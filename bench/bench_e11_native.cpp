@@ -1,0 +1,138 @@
+// E11 — the Attiya-et-al. question "are wait-free algorithms fast?" asked
+// natively: wall-clock of the wait-free sorter in the NORMAL (faultless)
+// execution against sequential and conventional parallel baselines.
+//
+// Notes for reading the numbers: the wait-free sorter performs O(N) CAS
+// installs plus redundant traversals by design — its wins are progress
+// guarantees (E9), not raw single-machine throughput; the paper makes the
+// same point by analysing "normal executions" separately.  Thread counts
+// beyond the host's cores only add scheduling noise.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <span>
+
+#include "baselines/bitonic.h"
+#include "baselines/lock_parallel_quicksort.h"
+#include "baselines/parallel_mergesort.h"
+#include "baselines/sequential.h"
+#include "core/sort.h"
+#include "exp/workloads.h"
+
+namespace {
+
+using wfsort::exp::Dist;
+
+std::vector<std::uint64_t> input(std::size_t n) {
+  return wfsort::exp::make_u64_keys(n, Dist::kUniform, 424242);
+}
+
+void BM_StdSort(benchmark::State& state) {
+  const auto base = input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto v = base;
+    std::sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_SequentialQuicksort(benchmark::State& state) {
+  const auto base = input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto v = base;
+    wfsort::baselines::quicksort(std::span<std::uint64_t>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_WaitFreeSortDet(benchmark::State& state) {
+  const auto base = input(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    auto v = base;
+    wfsort::sort(std::span<std::uint64_t>(v), wfsort::Options{.threads = threads});
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_WaitFreeSortLc(benchmark::State& state) {
+  const auto base = input(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    auto v = base;
+    wfsort::sort(std::span<std::uint64_t>(v),
+                 wfsort::Options{.threads = threads,
+                                 .variant = wfsort::Variant::kLowContention});
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_LockParallelQuicksort(benchmark::State& state) {
+  const auto base = input(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    auto v = base;
+    wfsort::baselines::lock_parallel_quicksort(std::span<std::uint64_t>(v), threads);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ParallelMergesort(benchmark::State& state) {
+  const auto base = input(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    auto v = base;
+    wfsort::baselines::parallel_mergesort(std::span<std::uint64_t>(v), threads);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_BitonicThreaded(benchmark::State& state) {
+  const auto base = input(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    auto v = base;
+    wfsort::baselines::bitonic_threaded_sort(std::span<std::uint64_t>(v), threads);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_StdSort)->Arg(1 << 14)->Arg(1 << 16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SequentialQuicksort)->Arg(1 << 14)->Arg(1 << 16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WaitFreeSortDet)
+    ->Args({1 << 14, 1})
+    ->Args({1 << 14, 4})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+BENCHMARK(BM_WaitFreeSortLc)
+    ->Args({1 << 14, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+BENCHMARK(BM_LockParallelQuicksort)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+BENCHMARK(BM_ParallelMergesort)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+BENCHMARK(BM_BitonicThreaded)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+
+BENCHMARK_MAIN();

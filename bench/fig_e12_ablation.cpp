@@ -1,0 +1,147 @@
+// E12 — ablations of the design choices DESIGN.md calls out.
+//
+// (a) Placement pruning policy: Figure 6's literal place>0 rule creates
+//     subtree OWNERSHIP — under even the WAT's natural phase-entry skew one
+//     processor can claim a large subtree, everyone else prunes it, and the
+//     tail serializes.  The completion-flag policy restores parallel help.
+// (b) Processor spreading: raw PID bits are all zero below depth log P, so
+//     helpers stampede down identical paths; hashed decision bits keep them
+//     spread at every depth.
+// (c) Random-first pickup (Section 2.3): tree depth on sorted input with
+//     P << N, with and without the randomized pickup.
+// (d) Memory model: the same sort under the Dwork-Herlihy-Waarts stall
+//     model, where contention costs time — quantifies how much the
+//     deterministic variant's Theta(P) hot-spot would actually hurt.
+#include <cmath>
+#include <cstdio>
+
+#include "exp/table.h"
+#include "exp/workloads.h"
+#include "pram/machine.h"
+#include "pramsort/driver.h"
+
+using wfsort::exp::Dist;
+using wfsort::sim::DetSortConfig;
+using wfsort::sim::PlacePrune;
+
+namespace {
+
+std::uint64_t run_rounds(std::span<const pram::Word> keys, std::uint32_t procs,
+                         DetSortConfig cfg, pram::MemoryModel model,
+                         std::size_t* contention = nullptr) {
+  pram::Machine m(pram::MachineOptions{.memory_model = model});
+  auto res = wfsort::sim::run_det_sort_sync(m, keys, procs, cfg);
+  if (!res.sorted) {
+    std::printf("SORT FAILED in ablation run\n");
+    std::exit(1);
+  }
+  if (contention != nullptr) *contention = m.metrics().max_cell_contention();
+  return res.run.rounds;
+}
+
+std::uint32_t tree_depth(const pram::Machine& m, const wfsort::sim::SortLayout& l) {
+  std::uint32_t maxd = 0;
+  std::vector<std::pair<pram::Word, std::uint32_t>> stack{{0, 1}};
+  while (!stack.empty()) {
+    auto [node, d] = stack.back();
+    stack.pop_back();
+    if (node == pram::kEmpty) continue;
+    maxd = std::max(maxd, d);
+    stack.emplace_back(m.mem().peek(l.child_addr(node, 0)), d + 1);
+    stack.emplace_back(m.mem().peek(l.child_addr(node, 1)), d + 1);
+  }
+  return maxd;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E12: ablations (synchronous CRCW PRAM unless noted)\n");
+
+  {
+    wfsort::exp::Table table("E12a  placement pruning policy (P = N, rounds)",
+                             {"N=P", "no prune", "Figure 6 (placed)",
+                              "completion flags", "speedup flags vs Fig.6"});
+    for (std::size_t n = 256; n <= (1u << 12); n *= 4) {
+      auto keys = wfsort::exp::make_word_keys(n, Dist::kShuffled, 5 + n);
+      const auto p = static_cast<std::uint32_t>(n);
+      const auto none =
+          run_rounds(keys, p, DetSortConfig{.prune = PlacePrune::kNone},
+                     pram::MemoryModel::kCrcw);
+      const auto placed =
+          run_rounds(keys, p, DetSortConfig{.prune = PlacePrune::kPlaced},
+                     pram::MemoryModel::kCrcw);
+      const auto done =
+          run_rounds(keys, p, DetSortConfig{.prune = PlacePrune::kCompleted},
+                     pram::MemoryModel::kCrcw);
+      table.add_row({static_cast<std::uint64_t>(n), none, placed, done,
+                     static_cast<double>(placed) / static_cast<double>(done)});
+    }
+    table.print();
+    std::printf("finding: Figure 6's rule grows ~linearly in N (ownership tail);\n"
+                "completion flags restore the polylog growth the lemma expects.\n");
+  }
+
+  {
+    wfsort::exp::Table table("E12b  processor spreading below depth log P (rounds)",
+                             {"N=P", "raw PID bits", "hashed bits", "speedup"});
+    for (std::size_t n = 256; n <= (1u << 12); n *= 4) {
+      auto keys = wfsort::exp::make_word_keys(n, Dist::kShuffled, 9 + n);
+      const auto p = static_cast<std::uint32_t>(n);
+      const auto raw = run_rounds(
+          keys, p,
+          DetSortConfig{.prune = PlacePrune::kCompleted, .raw_pid_spread = true},
+          pram::MemoryModel::kCrcw);
+      const auto hashed = run_rounds(
+          keys, p, DetSortConfig{.prune = PlacePrune::kCompleted},
+          pram::MemoryModel::kCrcw);
+      table.add_row({static_cast<std::uint64_t>(n), raw, hashed,
+                     static_cast<double>(raw) / static_cast<double>(hashed)});
+    }
+    table.print();
+  }
+
+  {
+    wfsort::exp::Table table("E12c  random-first pickup, sorted input, P = 2",
+                             {"N", "depth sequential", "depth random-first",
+                              "3*log2N reference"});
+    for (std::size_t n : {256u, 1024u, 4096u}) {
+      auto keys = wfsort::exp::make_word_keys(n, Dist::kSorted, 0);
+      pram::Machine m_seq;
+      auto seq = wfsort::sim::run_det_sort_sync(m_seq, keys, 2);
+      pram::Machine m_rf;
+      auto rf = wfsort::sim::run_det_sort_sync(m_rf, keys, 2,
+                                               DetSortConfig{.random_first = true});
+      if (!seq.sorted || !rf.sorted) return 1;
+      table.add_row({static_cast<std::uint64_t>(n),
+                     static_cast<std::uint64_t>(tree_depth(m_seq, seq.layout)),
+                     static_cast<std::uint64_t>(tree_depth(m_rf, rf.layout)),
+                     3.0 * std::log2(static_cast<double>(n))});
+    }
+    table.print();
+  }
+
+  {
+    wfsort::exp::Table table(
+        "E12d  CRCW vs stall memory model (contention costs time; P = N)",
+        {"N=P", "CRCW rounds", "stall rounds", "slowdown", "stalls", "max contention"});
+    for (std::size_t n = 64; n <= 1024; n *= 4) {
+      auto keys = wfsort::exp::make_word_keys(n, Dist::kShuffled, 17 + n);
+      const auto p = static_cast<std::uint32_t>(n);
+      std::size_t contention = 0;
+      const auto crcw = run_rounds(keys, p, DetSortConfig{}, pram::MemoryModel::kCrcw,
+                                   &contention);
+      pram::Machine m(pram::MachineOptions{.memory_model = pram::MemoryModel::kStall});
+      auto res = wfsort::sim::run_det_sort_sync(m, keys, p);
+      if (!res.sorted) return 1;
+      table.add_row({static_cast<std::uint64_t>(n), crcw, res.run.rounds,
+                     static_cast<double>(res.run.rounds) / static_cast<double>(crcw),
+                     m.metrics().stalls(), static_cast<std::uint64_t>(contention)});
+    }
+    table.print();
+    std::printf("finding: once contention costs time (Dwork et al. model), the Theta(P)\n"
+                "root hot-spot directly inflates the run — the motivation for Section 3.\n");
+  }
+
+  return 0;
+}

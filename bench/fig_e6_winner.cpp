@@ -1,0 +1,90 @@
+// E6 — Lemma 3.2: low-contention winner selection (Figure 9).
+//
+// P processors, arriving within an O(log P) window, each submit a candidate;
+// the claim is selection in O(log P) time with expected contention O(log P).
+// We report rounds, max contention on the tournament tree, and verify that
+// every processor learned the same (valid) winner.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "exp/table.h"
+#include "pram/machine.h"
+#include "pram/subtask.h"
+#include "pramsort/lc_programs.h"
+
+namespace {
+
+// Stagger arrival inside a window of `span` rounds, then compete and record
+// the learned winner.
+pram::Task winner_worker(pram::Ctx& ctx, wfsort::sim::LcSortLayout l, pram::Region out,
+                         std::uint32_t span) {
+  const std::uint64_t delay = span == 0 ? 0 : ctx.rng().below(span);
+  for (std::uint64_t k = 0; k < delay; ++k) (void)co_await ctx.yield();
+  const pram::Word w =
+      co_await wfsort::sim::select_winner_prog(ctx, l, static_cast<pram::Word>(ctx.pid()));
+  co_await ctx.write(out.base + ctx.pid(), w);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6: winner selection (Figure 9), arrivals within a log P window\n");
+  std::printf("Claim (Lemma 3.2): O(log P) rounds, expected contention O(log P).\n");
+
+  wfsort::exp::Table table("E6  tournament cost vs P",
+                           {"P", "rounds", "rounds/log2P", "winner-tree contention",
+                            "bound c*log2P", "agreement"});
+  wfsort::exp::Series rounds_series, contention_series;
+
+  for (std::uint32_t p = 16; p <= (1u << 13); p *= 4) {
+    pram::Machine m;
+    wfsort::sim::LcSortLayout l;
+    l.procs = p;
+    l.wait_unit = 2;
+    l.winner = m.mem().alloc("winner tree", 2 * wfsort::next_pow2(p) - 1, pram::kEmpty);
+    auto out = m.mem().alloc("learned winners", p, pram::kEmpty);
+
+    const std::uint32_t span = wfsort::log2_ceil(p);
+    for (std::uint32_t i = 0; i < p; ++i) {
+      m.spawn([l, out, span](pram::Ctx& ctx) { return winner_worker(ctx, l, out, span); });
+    }
+    auto r = m.run_synchronous();
+
+    bool agree = r.all_finished;
+    const pram::Word first = m.mem().peek(out.base);
+    for (std::uint32_t i = 0; i < p && agree; ++i) {
+      const pram::Word w = m.mem().peek(out.base + i);
+      agree = (w == first) && w >= 0 && w < static_cast<pram::Word>(p);
+    }
+
+    const double logp = std::log2(static_cast<double>(p));
+    table.add_row({static_cast<std::uint64_t>(p), r.rounds,
+                   static_cast<double>(r.rounds) / logp,
+                   static_cast<std::uint64_t>(
+                       m.metrics().region_contention().at("winner tree")),
+                   4.0 * logp, std::string(agree ? "yes" : "NO")});
+    rounds_series.add(p, static_cast<double>(r.rounds));
+    contention_series.add(
+        p, static_cast<double>(m.metrics().region_contention().at("winner tree")));
+    if (!agree) return 1;
+  }
+  table.print();
+
+  std::printf("rounds growth: %s (log-like)\n",
+              wfsort::exp::verdict_exponent(rounds_series.power_law_exponent(), 0.0, 0.3)
+                  .c_str());
+  // The contention claim is O(log P): check the measured values stay under
+  // c * log2(P) row by row (a power-law fit is the wrong lens for a log
+  // target — log P itself has a small positive apparent exponent).
+  double worst_ratio = 0.0;
+  for (std::size_t i = 0; i < contention_series.xs().size(); ++i) {
+    worst_ratio = std::max(worst_ratio, contention_series.ys()[i] /
+                                            std::log2(contention_series.xs()[i]));
+  }
+  std::printf("contention bound: max contention / log2(P) = %.2f (%s c*logP with c<=4)\n",
+              worst_ratio, worst_ratio <= 4.0 ? "WITHIN" : "EXCEEDS");
+  std::printf("paper-vs-measured: a single winner is always chosen, everyone learns it,\n"
+              "and tournament-tree contention stays near log P instead of P.\n");
+  return 0;
+}

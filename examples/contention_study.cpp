@@ -1,0 +1,49 @@
+// Driving the CRCW PRAM simulator directly: measure the memory-contention
+// profile of both sort variants, the way the paper's Section 3 reasons
+// about them.  Shows the simulator's public API: build a machine, load
+// keys, run a program on P virtual processors, inspect per-region metrics.
+#include <cstdio>
+
+#include "exp/workloads.h"
+#include "pram/machine.h"
+#include "pramsort/driver.h"
+
+namespace {
+
+void report(const char* label, const pram::Machine& m, std::uint64_t rounds,
+            bool sorted) {
+  const auto& metrics = m.metrics();
+  std::printf("\n%s: rounds=%llu sorted=%s\n", label,
+              static_cast<unsigned long long>(rounds), sorted ? "yes" : "NO");
+  std::printf("  max concurrent accesses to one cell: %zu\n",
+              metrics.max_cell_contention());
+  const pram::Region* hot = m.mem().region_of(metrics.hottest_addr());
+  std::printf("  hottest cell lives in region: %s (round %llu)\n",
+              hot != nullptr ? hot->name.c_str() : "?",
+              static_cast<unsigned long long>(metrics.hottest_round()));
+  std::printf("  per-region max contention:\n");
+  for (const auto& [name, c] : metrics.region_contention()) {
+    std::printf("    %-28s %zu\n", name.c_str(), c);
+  }
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kN = 512;  // P = N virtual processors
+  std::printf("contention study: N = P = %zu on the synchronous CRCW PRAM\n", kN);
+  auto keys = wfsort::exp::make_word_keys(kN, wfsort::exp::Dist::kShuffled, 99);
+
+  pram::Machine m_det;
+  auto det = wfsort::sim::run_det_sort_sync(m_det, keys, kN);
+  report("deterministic variant (Section 2)", m_det, det.run.rounds, det.sorted);
+
+  pram::Machine m_lc;
+  auto lc = wfsort::sim::run_lc_sort_sync(m_lc, keys, kN);
+  report("randomized low-contention variant (Section 3)", m_lc, lc.run.rounds, lc.sorted);
+
+  std::printf("\ntakeaway: the deterministic variant's hottest cell sees P concurrent\n"
+              "accesses (the pivot root); the randomized variant divides that pressure\n"
+              "across sqrt(P) fat-tree copies and random probes.\n");
+  return det.sorted && lc.sorted ? 0 : 1;
+}

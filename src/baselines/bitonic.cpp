@@ -1,0 +1,86 @@
+#include "baselines/bitonic.h"
+
+#include <algorithm>
+#include <barrier>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace wfsort::baselines {
+
+namespace {
+
+// Pad to a power of two with +infinity so the network sorts any size.
+std::vector<std::uint64_t> padded(std::span<const std::uint64_t> data) {
+  const std::size_t m = next_pow2(std::max<std::size_t>(1, data.size()));
+  std::vector<std::uint64_t> v(m, std::numeric_limits<std::uint64_t>::max());
+  std::copy(data.begin(), data.end(), v.begin());
+  return v;
+}
+
+// One stage: compare-exchange pairs (i, i^j) for ascending/descending runs
+// of length k (the standard bitonic indexing), over indices [lo, hi).
+void run_stage(std::span<std::uint64_t> d, std::size_t k, std::size_t j, std::size_t lo,
+               std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const std::size_t partner = i ^ j;
+    if (partner > i) {
+      const bool ascending = (i & k) == 0;
+      if ((d[i] > d[partner]) == ascending) std::swap(d[i], d[partner]);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint32_t bitonic_stage_count(std::size_t n) {
+  const std::uint32_t k = log2_ceil(next_pow2(std::max<std::size_t>(2, n)));
+  return k * (k + 1) / 2;
+}
+
+void bitonic_serial_sort(std::span<std::uint64_t> data) {
+  if (data.size() <= 1) return;
+  auto v = padded(data);
+  const std::size_t m = v.size();
+  for (std::size_t k = 2; k <= m; k *= 2) {
+    for (std::size_t j = k / 2; j > 0; j /= 2) {
+      run_stage(v, k, j, 0, m);
+    }
+  }
+  std::copy(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(data.size()), data.begin());
+}
+
+void bitonic_threaded_sort(std::span<std::uint64_t> data, std::uint32_t threads) {
+  if (data.size() <= 1) return;
+  threads = std::max<std::uint32_t>(1, threads);
+  if (threads == 1) {
+    bitonic_serial_sort(data);
+    return;
+  }
+  auto v = padded(data);
+  const std::size_t m = v.size();
+  std::barrier barrier(static_cast<std::ptrdiff_t>(threads));
+  const std::size_t chunk = (m + threads - 1) / threads;
+
+  {
+    std::vector<std::jthread> crew;
+    crew.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      crew.emplace_back([&, t] {
+        const std::size_t lo = std::min<std::size_t>(m, t * chunk);
+        const std::size_t hi = std::min<std::size_t>(m, lo + chunk);
+        for (std::size_t k = 2; k <= m; k *= 2) {
+          for (std::size_t j = k / 2; j > 0; j /= 2) {
+            run_stage(v, k, j, lo, hi);
+            barrier.arrive_and_wait();  // bulk-synchronous: stage boundary
+          }
+        }
+      });
+    }
+  }
+  std::copy(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(data.size()), data.begin());
+}
+
+}  // namespace wfsort::baselines

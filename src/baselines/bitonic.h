@@ -1,0 +1,29 @@
+// Batcher's bitonic sorting network.
+//
+// The fault-tolerant-sorting line of work the paper compares against (Yen
+// et al.) builds on sorting networks, and the QRQW/asynchronous-PRAM
+// baselines are network-structured too.  A network sorts in
+// log2(N) * (log2(N)+1) / 2 data-parallel stages of N/2 fixed
+// compare-exchange gates — O(log^2 N) depth versus the wait-free sort's
+// O(log N), which experiment E10 measures.
+//
+// Two execution modes are provided:
+//  * serial_sort():   run the stages in place (correctness reference);
+//  * threaded_sort(): one std::barrier per stage across T threads — the
+//    conventional bulk-synchronous execution whose barriers are exactly
+//    what wait-freedom avoids (a stalled thread stalls every stage).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace wfsort::baselines {
+
+// Number of compare-exchange stages for n elements (n rounded up to a power
+// of two internally): k(k+1)/2 with k = log2(n_padded).
+std::uint32_t bitonic_stage_count(std::size_t n);
+
+void bitonic_serial_sort(std::span<std::uint64_t> data);
+void bitonic_threaded_sort(std::span<std::uint64_t> data, std::uint32_t threads);
+
+}  // namespace wfsort::baselines

@@ -1,0 +1,36 @@
+#include "baselines/cost_model.h"
+
+#include <cmath>
+
+namespace wfsort::baselines {
+
+namespace {
+double lg(double n) { return std::log2(std::max(2.0, n)); }
+}  // namespace
+
+double steps_this_paper(double n) { return lg(n); }
+double steps_aks_direct(double n) { return lg(n); }
+double steps_bitonic_direct(double n) { return lg(n) * (lg(n) + 1) / 2; }
+double steps_yen_fault_tolerant(double n) { return lg(n) * lg(n); }
+double steps_wait_free_transform(double n) { return lg(n) * lg(n) * lg(n); }
+double steps_bitonic_wait_free(double n) { return lg(n) * lg(n) * lg(n); }
+
+const CostModel* cost_models(std::size_t* count) {
+  static const CostModel kModels[] = {
+      {"this paper (wait-free)", "Lemma 2.8: O(log N) w.h.p., P = N",
+       &steps_this_paper},
+      {"AKS / Cole (direct)", "O(log N) PRAM sort, NOT wait-free", &steps_aks_direct},
+      {"bitonic network (direct)", "Batcher: O(log^2 N) stages, NOT wait-free",
+       &steps_bitonic_direct},
+      {"Yen et al. network", "fail-stop fault-tolerant: O(log^2 N)",
+       &steps_yen_fault_tolerant},
+      {"AKS + async simulation", "Anderson-Woll / Buss et al.: O(log^3 N)",
+       &steps_wait_free_transform},
+      {"bitonic + wait-free transform", "O(log^3 N), + O(log^2 N) memory factor",
+       &steps_bitonic_wait_free},
+  };
+  *count = sizeof(kModels) / sizeof(kModels[0]);
+  return kModels;
+}
+
+}  // namespace wfsort::baselines

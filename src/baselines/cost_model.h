@@ -1,0 +1,32 @@
+// Analytic step-count models for the related-work comparison (E10).
+//
+// Section 1.1 of the paper argues that making a classic O(log N) PRAM sort
+// wait-free through generic transformations costs polylog blowups.  These
+// models turn that argument into comparable numbers: predicted parallel
+// step counts (constants set to 1; only growth shapes are meaningful),
+// printed next to our measured round counts.
+#pragma once
+
+#include <cstdint>
+
+namespace wfsort::baselines {
+
+struct CostModel {
+  const char* name;
+  const char* source;  // which related-work route the model represents
+  double (*steps)(double n);
+};
+
+// Parallel steps with P = N processors, constants normalized to 1.
+double steps_this_paper(double n);          // O(log N)          (Lemma 2.8)
+double steps_aks_direct(double n);          // O(log N), not wait-free
+double steps_bitonic_direct(double n);      // O(log^2 N), not wait-free
+double steps_yen_fault_tolerant(double n);  // O(log^2 N), fail-stop only
+double steps_wait_free_transform(double n); // O(log^3 N): AKS + asynchronous
+                                            // simulation (Anderson-Woll/Buss)
+double steps_bitonic_wait_free(double n);   // O(log^3 N): network + transform
+
+// All models in presentation order.
+const CostModel* cost_models(std::size_t* count);
+
+}  // namespace wfsort::baselines

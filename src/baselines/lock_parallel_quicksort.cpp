@@ -1,0 +1,117 @@
+#include "baselines/lock_parallel_quicksort.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "baselines/sequential.h"
+
+namespace wfsort::baselines {
+
+namespace {
+
+constexpr std::size_t kSerialCutoff = 512;
+
+struct Pool {
+  std::mutex mu;
+  std::deque<std::pair<std::size_t, std::size_t>> ranges;
+  std::size_t active = 0;       // ranges popped and being processed
+  std::uint32_t lost = 0;       // ranges stranded by crashed workers
+  std::atomic<bool> done{false};
+};
+
+std::uint64_t median_of_three(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  if (a > b) std::swap(a, b);
+  if (b > c) b = c;
+  return std::max(a, b);
+}
+
+std::size_t hoare_partition(std::span<std::uint64_t> d, std::size_t lo, std::size_t hi,
+                            std::uint64_t pivot) {
+  std::size_t i = lo;
+  std::size_t j = hi - 1;
+  while (true) {
+    while (d[i] < pivot) ++i;
+    while (d[j] > pivot) --j;
+    if (i >= j) return j;
+    std::swap(d[i], d[j]);
+    ++i;
+    --j;
+  }
+}
+
+void worker(std::span<std::uint64_t> data, Pool& pool, std::uint32_t tid,
+            runtime::FaultPlan* plan) {
+  while (!pool.done.load(std::memory_order_acquire)) {
+    std::pair<std::size_t, std::size_t> range;
+    {
+      std::unique_lock<std::mutex> lock(pool.mu);
+      if (pool.ranges.empty()) {
+        if (pool.active == 0) {
+          // Nothing queued, nobody working: either finished or stranded.
+          pool.done.store(true, std::memory_order_release);
+          return;
+        }
+        lock.unlock();
+        std::this_thread::yield();
+        continue;
+      }
+      range = pool.ranges.front();
+      pool.ranges.pop_front();
+      ++pool.active;
+      // Checkpoint INSIDE the critical section: a "page-faulting" worker
+      // stalls every other worker here — the blocking behaviour the
+      // wait-free sorter is immune to.  A crashing worker strands its range
+      // (we account it so the harness can terminate and report failure; a
+      // real crash would simply hang the sort).
+      if (plan != nullptr && !plan->checkpoint(tid)) {
+        --pool.active;
+        ++pool.lost;
+        return;
+      }
+    }
+
+    auto [lo, hi] = range;
+    if (hi - lo <= kSerialCutoff) {
+      quicksort(data.subspan(lo, hi - lo));
+      std::lock_guard<std::mutex> lock(pool.mu);
+      --pool.active;
+    } else {
+      const std::uint64_t pivot =
+          median_of_three(data[lo], data[lo + (hi - lo) / 2], data[hi - 1]);
+      const std::size_t mid = hoare_partition(data, lo, hi, pivot);
+      std::lock_guard<std::mutex> lock(pool.mu);
+      pool.ranges.emplace_back(lo, mid + 1);
+      pool.ranges.emplace_back(mid + 1, hi);
+      --pool.active;
+    }
+  }
+}
+
+}  // namespace
+
+LockSortResult lock_parallel_quicksort(std::span<std::uint64_t> data, std::uint32_t threads,
+                                       runtime::FaultPlan* plan) {
+  LockSortResult result;
+  if (data.size() <= 1) return result;
+  threads = std::max<std::uint32_t>(1, threads);
+
+  Pool pool;
+  pool.ranges.emplace_back(0, data.size());
+  {
+    std::vector<std::jthread> crew;
+    crew.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      crew.emplace_back([&data, &pool, t, plan] { worker(data, pool, t, plan); });
+    }
+  }
+  result.completed = pool.lost == 0;
+  result.crashed = pool.lost;
+  return result;
+}
+
+}  // namespace wfsort::baselines

@@ -1,0 +1,31 @@
+// Lock-based parallel quicksort — the blocking baseline.
+//
+// A conventional task-pool parallel quicksort: threads pull [lo, hi) ranges
+// from a mutex-protected deque, partition, and push the halves back.  It is
+// the natural "what everyone writes first" comparator for E9/E11 — and the
+// anti-thesis of the wait-free sorter: a worker that stalls while holding
+// the pool lock stalls everyone, and a worker that dies after popping a
+// range loses that range forever (the sort never completes).  Both failure
+// modes are demonstrable through the same FaultPlan used for the wait-free
+// sorter; see tests/test_baselines.cpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "runtime/fault_plan.h"
+
+namespace wfsort::baselines {
+
+struct LockSortResult {
+  bool completed = true;    // false when crashed workers stranded ranges
+  std::uint32_t crashed = 0;
+};
+
+// Sort with `threads` workers.  `plan` (optional) injects crashes/sleeps at
+// task-pop checkpoints; with a plan the result can report non-completion —
+// exactly the behaviour wait-freedom rules out.
+LockSortResult lock_parallel_quicksort(std::span<std::uint64_t> data, std::uint32_t threads,
+                                       runtime::FaultPlan* plan = nullptr);
+
+}  // namespace wfsort::baselines

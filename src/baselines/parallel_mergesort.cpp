@@ -1,0 +1,75 @@
+#include "baselines/parallel_mergesort.h"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#include <vector>
+
+namespace wfsort::baselines {
+
+namespace {
+
+// Merge sorted [lo, mid) and [mid, hi) of `src` into `dst`.
+void merge_into(const std::uint64_t* src, std::uint64_t* dst, std::size_t lo,
+                std::size_t mid, std::size_t hi) {
+  std::size_t a = lo, b = mid, o = lo;
+  while (a < mid && b < hi) dst[o++] = src[a] <= src[b] ? src[a++] : src[b++];
+  while (a < mid) dst[o++] = src[a++];
+  while (b < hi) dst[o++] = src[b++];
+}
+
+}  // namespace
+
+void parallel_mergesort(std::span<std::uint64_t> data, std::uint32_t threads) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  threads = std::max<std::uint32_t>(1, threads);
+
+  std::vector<std::uint64_t> scratch(n);
+  std::uint64_t* bufs[2] = {data.data(), scratch.data()};
+  int src = 0;
+
+  std::barrier barrier(static_cast<std::ptrdiff_t>(threads));
+  // Precompute the passes so every thread agrees on src/dst parity.
+  std::vector<std::size_t> runs;
+  for (std::size_t r = 1; r < n; r *= 2) runs.push_back(r);
+
+  if (threads == 1) {
+    for (std::size_t r : runs) {
+      for (std::size_t lo = 0; lo < n; lo += 2 * r) {
+        const std::size_t mid = std::min(n, lo + r);
+        const std::size_t hi = std::min(n, lo + 2 * r);
+        merge_into(bufs[src], bufs[1 - src], lo, mid, hi);
+      }
+      src = 1 - src;
+    }
+  } else {
+    std::vector<std::jthread> crew;
+    crew.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      crew.emplace_back([&, t] {
+        int my_src = 0;
+        for (std::size_t r : runs) {
+          // Thread t handles every threads-th merge pair.
+          std::size_t pair_index = 0;
+          for (std::size_t lo = 0; lo < n; lo += 2 * r, ++pair_index) {
+            if (pair_index % threads != t) continue;
+            const std::size_t mid = std::min(n, lo + r);
+            const std::size_t hi = std::min(n, lo + 2 * r);
+            merge_into(bufs[my_src], bufs[1 - my_src], lo, mid, hi);
+          }
+          my_src = 1 - my_src;
+          barrier.arrive_and_wait();  // bulk-synchronous pass boundary
+        }
+      });
+    }
+    crew.clear();  // join
+    src = static_cast<int>(runs.size() % 2);
+  }
+
+  if (bufs[src] != data.data()) {
+    std::copy(scratch.begin(), scratch.end(), data.begin());
+  }
+}
+
+}  // namespace wfsort::baselines

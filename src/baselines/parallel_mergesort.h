@@ -1,0 +1,17 @@
+// Bulk-synchronous parallel mergesort — the "textbook PRAM style" baseline.
+//
+// Bottom-up mergesort: pass k merges runs of length 2^k pairwise; T threads
+// split each pass's merges and meet at a barrier.  This is the shape of the
+// classic O(log^2 N)-depth PRAM sorts (and of Cole's O(log N) one, minus
+// the pipelining), and like them it is barrier-synchronized: a stalled or
+// dead thread stops every subsequent pass — the contrast to wait-freedom.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace wfsort::baselines {
+
+void parallel_mergesort(std::span<std::uint64_t> data, std::uint32_t threads);
+
+}  // namespace wfsort::baselines

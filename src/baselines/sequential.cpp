@@ -1,0 +1,69 @@
+#include "baselines/sequential.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace wfsort::baselines {
+
+namespace {
+
+constexpr std::size_t kInsertionCutoff = 24;
+
+std::uint64_t median_of_three(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  if (a > b) std::swap(a, b);
+  if (b > c) b = c;
+  return std::max(a, b);
+}
+
+// Hoare partition around `pivot`: returns an index j such that
+// [lo, j] <= pivot <= [j+1, hi) in the weak sense Hoare's scheme guarantees.
+std::size_t hoare_partition(std::span<std::uint64_t> d, std::size_t lo, std::size_t hi,
+                            std::uint64_t pivot) {
+  std::size_t i = lo;
+  std::size_t j = hi - 1;
+  while (true) {
+    while (d[i] < pivot) ++i;
+    while (d[j] > pivot) --j;
+    if (i >= j) return j;
+    std::swap(d[i], d[j]);
+    ++i;
+    --j;
+  }
+}
+
+void quicksort_range(std::span<std::uint64_t> d, std::size_t lo, std::size_t hi) {
+  while (hi - lo > kInsertionCutoff) {
+    const std::uint64_t pivot =
+        median_of_three(d[lo], d[lo + (hi - lo) / 2], d[hi - 1]);
+    const std::size_t mid = hoare_partition(d, lo, hi, pivot);
+    // Recurse into the smaller half, loop on the larger: O(log N) stack.
+    if (mid - lo < hi - mid) {
+      quicksort_range(d, lo, mid + 1);
+      lo = mid + 1;
+    } else {
+      quicksort_range(d, mid + 1, hi);
+      hi = mid + 1;
+    }
+  }
+  insertion_sort(d.subspan(lo, hi - lo));
+}
+
+}  // namespace
+
+void insertion_sort(std::span<std::uint64_t> data) {
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    const std::uint64_t key = data[i];
+    std::size_t j = i;
+    while (j > 0 && data[j - 1] > key) {
+      data[j] = data[j - 1];
+      --j;
+    }
+    data[j] = key;
+  }
+}
+
+void quicksort(std::span<std::uint64_t> data) {
+  if (data.size() > 1) quicksort_range(data, 0, data.size());
+}
+
+}  // namespace wfsort::baselines

@@ -1,0 +1,19 @@
+// Sequential baselines, implemented from scratch.
+//
+// quicksort(): Hoare's algorithm (the paper's serial starting point) with
+// median-of-three pivoting and an insertion-sort cutoff — the natural
+// single-processor comparison point for experiment E11.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace wfsort::baselines {
+
+// In-place quicksort.  Deterministic; O(N log N) expected.
+void quicksort(std::span<std::uint64_t> data);
+
+// In-place insertion sort (used below the cutoff; exposed for tests).
+void insertion_sort(std::span<std::uint64_t> data);
+
+}  // namespace wfsort::baselines

@@ -1,0 +1,38 @@
+#include "baselines/universal.h"
+
+#include <algorithm>
+#include <set>
+#include <span>
+#include <thread>
+
+namespace wfsort::baselines {
+
+void universal_object_sort(std::span<const std::uint64_t> in,
+                           std::vector<std::uint64_t>& out, std::uint32_t threads,
+                           std::size_t* decided_slots) {
+  threads = std::max<std::uint32_t>(1, threads);
+  const std::size_t n = in.size();
+  // Duplicate slots are bounded in practice by a small multiple of P; size
+  // generously (checked at runtime).
+  UniversalLog<std::uint64_t> log(threads,
+                                  2 * n + 16 * static_cast<std::size_t>(threads) + 16);
+  {
+    std::vector<std::jthread> crew;
+    crew.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      crew.emplace_back([&, t] {
+        // Thread t funnels keys t, t+P, t+2P, ... through the object.
+        for (std::size_t i = t; i < n; i += threads) log.apply(t, in[i]);
+      });
+    }
+  }
+
+  // The "sorting object" semantics: every insert is applied serially to a
+  // sorted container in linearization order — the f-cost of the transform.
+  std::multiset<std::uint64_t> object;
+  log.replay([&object](const std::uint64_t& key) { object.insert(key); });
+  out.assign(object.begin(), object.end());
+  if (decided_slots != nullptr) *decided_slots = log.decided_slots();
+}
+
+}  // namespace wfsort::baselines

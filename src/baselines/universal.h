@@ -1,0 +1,137 @@
+// A wait-free universal construction (Herlihy-style), used as the paper's
+// Section-1.1 strawman: build "a sorting object" from a generic wait-free
+// object template and watch the helping mechanism serialize everything.
+//
+// Design (CAS-based, correct by construction):
+//  * every thread announces its pending operation in announce[tid];
+//  * the object is a log of slots, each decided once by CAS consensus;
+//  * at slot k every thread first proposes the pending operation of thread
+//    (k mod P) if it is still undecided — this helping priority guarantees
+//    any announced operation is decided within O(P) slot advances, which is
+//    the wait-freedom bound (and exactly the O(k f) serialization cost the
+//    paper quotes from Afek et al.);
+//  * a pending operation may win several slots under races, so the winner
+//    of slot k immediately CASes its *canonical position* from -1 to k —
+//    only the first claim sticks, later slots holding the same pending are
+//    replayed as no-ops.  Every operation is therefore applied exactly once,
+//    in canonical-position order (the linearization order).
+//
+// The log is replayed after the fact (replay()); for the sorting strawman
+// the operations are "insert key", and replaying them into a sorted
+// container is the serial f-cost the transformation cannot avoid.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wfsort::baselines {
+
+template <typename Op>
+class UniversalLog {
+ public:
+  // `threads`: number of participating threads (tids 0..threads-1).
+  // `slot_capacity`: upper bound on slots ever decided; duplicates consume
+  // slots too, so allow ~2x the expected operation count plus slack.
+  UniversalLog(std::uint32_t threads, std::size_t slot_capacity)
+      : threads_(threads),
+        announce_(threads),
+        slots_(slot_capacity),
+        arena_(slot_capacity) {
+    WFSORT_CHECK(threads >= 1);
+    for (auto& a : announce_) a.store(nullptr, std::memory_order_relaxed);
+    for (auto& s : slots_) s.store(nullptr, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  // Apply `op` as thread `tid`; returns the canonical log position.
+  // Wait-free: decided within O(threads) slot advances past the tail.
+  std::int64_t apply(std::uint32_t tid, Op op) {
+    WFSORT_CHECK(tid < threads_);
+    Pending* mine = allocate(op);
+    announce_[tid].store(mine, std::memory_order_release);
+
+    std::size_t k = tail_hint_.load(std::memory_order_relaxed);
+    while (true) {
+      WFSORT_CHECK(k < slots_.size());
+      // Helping priority: slot k belongs to thread k mod P if it needs help.
+      Pending* cand = announce_[k % threads_].load(std::memory_order_acquire);
+      if (cand == nullptr || cand->pos.load(std::memory_order_acquire) != -1) {
+        cand = mine;
+      }
+      Pending* expected = nullptr;
+      Pending* winner = cand;
+      if (!slots_[k].compare_exchange_strong(expected, cand, std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        winner = expected;
+      }
+      // Claim the winner's canonical position (first claim wins; duplicates
+      // of an already-claimed pending leave later slots as no-ops).
+      std::int64_t none = -1;
+      winner->pos.compare_exchange_strong(none, static_cast<std::int64_t>(k),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+      const std::int64_t mine_pos = mine->pos.load(std::memory_order_acquire);
+      if (mine_pos != -1) {
+        tail_hint_.store(k + 1, std::memory_order_relaxed);
+        return mine_pos;
+      }
+      ++k;
+    }
+  }
+
+  // Replay the decided operations in linearization order.  Call after all
+  // appliers are done (quiescent).  `f(op)` runs once per operation.
+  template <typename F>
+  void replay(F&& f) const {
+    for (std::size_t k = 0; k < slots_.size(); ++k) {
+      const Pending* p = slots_[k].load(std::memory_order_acquire);
+      if (p == nullptr) break;  // slots are decided densely from 0
+      if (p->pos.load(std::memory_order_acquire) == static_cast<std::int64_t>(k)) {
+        f(p->op);
+      }
+    }
+  }
+
+  // Number of decided slots (including squashed duplicates) — the log's
+  // total consensus work.
+  std::size_t decided_slots() const {
+    std::size_t k = 0;
+    while (k < slots_.size() && slots_[k].load(std::memory_order_acquire) != nullptr) ++k;
+    return k;
+  }
+
+ private:
+  struct Pending {
+    Op op{};
+    std::atomic<std::int64_t> pos{-1};
+  };
+
+  Pending* allocate(const Op& op) {
+    const std::size_t i = arena_next_.fetch_add(1, std::memory_order_relaxed);
+    WFSORT_CHECK(i < arena_.size());
+    arena_[i].op = op;
+    arena_[i].pos.store(-1, std::memory_order_relaxed);
+    return &arena_[i];
+  }
+
+  std::uint32_t threads_;
+  std::vector<std::atomic<Pending*>> announce_;
+  std::vector<std::atomic<Pending*>> slots_;
+  std::vector<Pending> arena_;  // node storage; index = allocation order
+  std::atomic<std::size_t> arena_next_{0};
+  std::atomic<std::size_t> tail_hint_{0};
+};
+
+// The Section-1.1 strawman: sort by funneling every key through a universal
+// object.  Returns the sorted data via `out`; `decided_slots` (optional)
+// reports the consensus traffic.  The point is the cost, not the method.
+void universal_object_sort(std::span<const std::uint64_t> in,
+                           std::vector<std::uint64_t>& out, std::uint32_t threads,
+                           std::size_t* decided_slots = nullptr);
+
+}  // namespace wfsort::baselines

@@ -1,0 +1,83 @@
+// Bit-manipulation helpers shared by the tree algorithms.
+//
+// Binary trees throughout the library (WATs, winner-selection trees, fat
+// trees) are stored as implicit heaps: node i has children 2i+1 / 2i+2 and
+// parent (i-1)/2.  These helpers keep the index arithmetic in one place.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace wfsort {
+
+// True iff x is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// floor(log2(x)); requires x >= 1.
+constexpr std::uint32_t log2_floor(std::uint64_t x) {
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(x | 1));
+}
+
+// ceil(log2(x)); requires x >= 1.  log2_ceil(1) == 0.
+constexpr std::uint32_t log2_ceil(std::uint64_t x) {
+  return x <= 1 ? 0u : log2_floor(x - 1) + 1u;
+}
+
+// Smallest power of two >= x (x >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  return x <= 1 ? 1 : std::uint64_t{1} << log2_ceil(x);
+}
+
+// Integer square root (floor).
+constexpr std::uint64_t isqrt(std::uint64_t x) {
+  std::uint64_t r = 0;
+  std::uint64_t bit = std::uint64_t{1} << 62;
+  while (bit > x) bit >>= 2;
+  while (bit != 0) {
+    if (x >= r + bit) {
+      x -= r + bit;
+      r = (r >> 1) + bit;
+    } else {
+      r >>= 1;
+    }
+    bit >>= 2;
+  }
+  return r;
+}
+
+// --- Implicit complete binary tree over 2*L-1 nodes with L leaves -----------
+//
+// Layout: node 0 is the root; leaves occupy indices [L-1, 2L-2] in left-to-
+// right order.  L must be a power of two.
+
+struct HeapTree {
+  std::uint64_t leaves;  // number of leaves, power of two
+
+  constexpr explicit HeapTree(std::uint64_t num_leaves) : leaves(num_leaves) {}
+
+  constexpr std::uint64_t nodes() const { return 2 * leaves - 1; }
+  constexpr std::uint64_t root() const { return 0; }
+  constexpr std::uint32_t depth() const { return log2_floor(leaves); }
+
+  constexpr bool is_leaf(std::uint64_t i) const { return i >= leaves - 1; }
+  constexpr bool is_root(std::uint64_t i) const { return i == 0; }
+
+  constexpr std::uint64_t left(std::uint64_t i) const { return 2 * i + 1; }
+  constexpr std::uint64_t right(std::uint64_t i) const { return 2 * i + 2; }
+  constexpr std::uint64_t parent(std::uint64_t i) const { return (i - 1) / 2; }
+  constexpr std::uint64_t sibling(std::uint64_t i) const {
+    return ((i & 1) != 0) ? i + 1 : i - 1;  // odd = left child, even = right
+  }
+
+  // Index of the k-th leaf (k in [0, leaves)).
+  constexpr std::uint64_t leaf(std::uint64_t k) const { return leaves - 1 + k; }
+  // Inverse of leaf().
+  constexpr std::uint64_t leaf_rank(std::uint64_t i) const { return i - (leaves - 1); }
+
+  // Depth of node i (root = 0).
+  constexpr std::uint32_t node_depth(std::uint64_t i) const { return log2_floor(i + 1); }
+};
+
+}  // namespace wfsort

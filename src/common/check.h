@@ -1,0 +1,31 @@
+// Lightweight invariant checking used across the library.
+//
+// WFSORT_CHECK is always on (it guards algorithmic invariants whose violation
+// would make results silently wrong); WFSORT_DCHECK compiles away in NDEBUG
+// builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wfsort {
+
+[[noreturn]] inline void check_failed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace wfsort
+
+#define WFSORT_CHECK(expr)                                   \
+  do {                                                       \
+    if (!(expr)) ::wfsort::check_failed(__FILE__, __LINE__, #expr); \
+  } while (0)
+
+#ifdef NDEBUG
+#define WFSORT_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define WFSORT_DCHECK(expr) WFSORT_CHECK(expr)
+#endif

@@ -1,0 +1,167 @@
+#include "common/cli.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace wfsort {
+
+void CliFlags::add_u64(const std::string& name, std::uint64_t default_value,
+                       std::string help) {
+  Flag f;
+  f.kind = Kind::kU64;
+  f.help = std::move(help);
+  f.u64_value = default_value;
+  WFSORT_CHECK(flags_.emplace(name, std::move(f)).second);
+  declaration_order_.push_back(name);
+}
+
+void CliFlags::add_string(const std::string& name, std::string default_value,
+                          std::string help) {
+  Flag f;
+  f.kind = Kind::kString;
+  f.help = std::move(help);
+  f.str_value = std::move(default_value);
+  WFSORT_CHECK(flags_.emplace(name, std::move(f)).second);
+  declaration_order_.push_back(name);
+}
+
+void CliFlags::add_bool(const std::string& name, bool default_value, std::string help) {
+  Flag f;
+  f.kind = Kind::kBool;
+  f.help = std::move(help);
+  f.bool_value = default_value;
+  WFSORT_CHECK(flags_.emplace(name, std::move(f)).second);
+  declaration_order_.push_back(name);
+}
+
+bool CliFlags::set_value(Flag& flag, const std::string& name, const std::string& value) {
+  switch (flag.kind) {
+    case Kind::kU64: {
+      std::uint64_t parsed = 0;
+      const auto* begin = value.data();
+      const auto* end = value.data() + value.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+      if (ec != std::errc() || ptr != end) {
+        error_ = "flag --" + name + " expects an unsigned integer, got '" + value + "'";
+        return false;
+      }
+      flag.u64_value = parsed;
+      return true;
+    }
+    case Kind::kString:
+      flag.str_value = value;
+      return true;
+    case Kind::kBool:
+      if (value == "true" || value == "1") {
+        flag.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        flag.bool_value = false;
+      } else {
+        error_ = "flag --" + name + " expects true/false, got '" + value + "'";
+        return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+
+    // --no-<bool>.
+    if (!has_value && name.rfind("no-", 0) == 0) {
+      const std::string base = name.substr(3);
+      auto it = flags_.find(base);
+      if (it != flags_.end() && it->second.kind == Kind::kBool) {
+        it->second.bool_value = false;
+        continue;
+      }
+    }
+
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      error_ = "unknown flag --" + name;
+      return false;
+    }
+    Flag& flag = it->second;
+
+    if (!has_value) {
+      if (flag.kind == Kind::kBool) {
+        flag.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        error_ = "flag --" + name + " needs a value";
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!set_value(flag, name, value)) return false;
+  }
+  return true;
+}
+
+const CliFlags::Flag* CliFlags::find(const std::string& name, Kind kind) const {
+  auto it = flags_.find(name);
+  WFSORT_CHECK(it != flags_.end());
+  WFSORT_CHECK(it->second.kind == kind);
+  return &it->second;
+}
+
+std::uint64_t CliFlags::u64(const std::string& name) const {
+  return find(name, Kind::kU64)->u64_value;
+}
+
+const std::string& CliFlags::str(const std::string& name) const {
+  return find(name, Kind::kString)->str_value;
+}
+
+bool CliFlags::flag(const std::string& name) const {
+  return find(name, Kind::kBool)->bool_value;
+}
+
+std::string CliFlags::help_text() const {
+  std::ostringstream os;
+  os << description_ << "\n\nflags:\n";
+  for (const std::string& name : declaration_order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name;
+    switch (f.kind) {
+      case Kind::kU64:
+        os << "=N (default " << f.u64_value << ")";
+        break;
+      case Kind::kString:
+        os << "=S (default '" << f.str_value << "')";
+        break;
+      case Kind::kBool:
+        os << " / --no-" << name << " (default " << (f.bool_value ? "true" : "false")
+           << ")";
+        break;
+    }
+    os << "\n      " << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wfsort

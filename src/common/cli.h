@@ -1,0 +1,61 @@
+// Minimal command-line flag parsing for the tools and benches.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name.
+// Flags are declared with defaults and help text; parse() consumes argv,
+// reports unknown flags, and renders --help.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wfsort {
+
+class CliFlags {
+ public:
+  explicit CliFlags(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  // Declaration (call before parse()).
+  void add_u64(const std::string& name, std::uint64_t default_value, std::string help);
+  void add_string(const std::string& name, std::string default_value, std::string help);
+  void add_bool(const std::string& name, bool default_value, std::string help);
+
+  // Returns false on error (message in error()); sets help_requested() for
+  // --help.
+  bool parse(int argc, const char* const* argv);
+
+  std::uint64_t u64(const std::string& name) const;
+  const std::string& str(const std::string& name) const;
+  bool flag(const std::string& name) const;
+
+  // Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool help_requested() const { return help_requested_; }
+  const std::string& error() const { return error_; }
+  std::string help_text() const;
+
+ private:
+  enum class Kind { kU64, kString, kBool };
+  struct Flag {
+    Kind kind = Kind::kBool;
+    std::string help;
+    std::uint64_t u64_value = 0;
+    std::string str_value;
+    bool bool_value = false;
+  };
+
+  bool set_value(Flag& flag, const std::string& name, const std::string& value);
+  const Flag* find(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> declaration_order_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace wfsort

@@ -1,0 +1,101 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component of the library (LC-WAT probing, winner-selection
+// coin flips, write-most target choice, workload generation) draws from an
+// explicitly-seeded Rng so that simulations, tests and benchmarks are
+// reproducible.  The generator is xoshiro256**, seeded via SplitMix64 — both
+// are public-domain algorithms by Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace wfsort {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state, and
+// as a cheap standalone mixer for per-processor seed derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless 64-bit mixer (SplitMix64 finalizer).  Used to derive
+// deterministic pseudo-random decision bits, e.g. spreading processors
+// across tree children below the levels their PID bits cover.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  // Derive an independent stream for sub-component `stream_id` — used to give
+  // every virtual processor its own generator from one experiment seed.
+  Rng fork(std::uint64_t stream_id) const {
+    std::uint64_t mix = s_[0] ^ (stream_id * 0x9e3779b97f4a7c15ULL) ^ (s_[3] + stream_id);
+    return Rng(mix);
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~std::uint64_t{0}; }
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  // Fair coin.
+  bool coin() { return (next() & 1) != 0; }
+
+  // Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> data) {
+    for (std::size_t i = data.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(data[i - 1], data[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace wfsort

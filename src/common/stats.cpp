@@ -1,0 +1,108 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace wfsort {
+
+void Summary::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void Histogram::add(std::size_t value, std::uint64_t weight) {
+  WFSORT_CHECK(!counts_.empty());
+  const std::size_t bucket = std::min(value, counts_.size() - 1);
+  counts_[bucket] += weight;
+  total_ += weight;
+}
+
+std::size_t Histogram::max_nonzero() const {
+  for (std::size_t i = counts_.size(); i > 0; --i) {
+    if (counts_[i - 1] != 0) return i - 1;
+  }
+  return 0;
+}
+
+std::size_t Histogram::quantile(double fraction) const {
+  WFSORT_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  if (total_ == 0) return 0;
+  const double target = fraction * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += static_cast<double>(counts_[i]);
+    if (cumulative >= target) return i;
+  }
+  return counts_.size() - 1;
+}
+
+namespace {
+
+// Ordinary least squares for y = a + b*x; returns {a, b}.
+std::pair<double, double> ols(const std::vector<double>& x, const std::vector<double>& y) {
+  WFSORT_CHECK(x.size() == y.size());
+  WFSORT_CHECK(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  WFSORT_CHECK(std::abs(denom) > 1e-12);
+  const double b = (n * sxy - sx * sy) / denom;
+  const double a = (sy - b * sx) / n;
+  return {a, b};
+}
+
+}  // namespace
+
+double fit_power_law(const std::vector<double>& x, const std::vector<double>& y) {
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    WFSORT_CHECK(x[i] > 0 && y[i] > 0);
+    lx[i] = std::log2(x[i]);
+    ly[i] = std::log2(y[i]);
+  }
+  return ols(lx, ly).second;
+}
+
+double fit_log(const std::vector<double>& x, const std::vector<double>& y) {
+  std::vector<double> lx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    WFSORT_CHECK(x[i] > 0);
+    lx[i] = std::log2(x[i]);
+  }
+  return ols(lx, y).second;
+}
+
+double linear_r2(const std::vector<double>& x, const std::vector<double>& y) {
+  auto [a, b] = ols(x, y);
+  double ss_res = 0, ss_tot = 0, mean_y = 0;
+  for (double v : y) mean_y += v;
+  mean_y /= static_cast<double>(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = a + b * x[i];
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  if (ss_tot < 1e-12) return 1.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace wfsort

@@ -1,0 +1,69 @@
+// Small statistics toolkit for the experiment harness.
+//
+// The benchmarks report measured series (rounds, contention, work) against
+// the paper's predicted asymptotics; Summary condenses repeated trials and
+// fit_power_law / fit_log estimate growth exponents from a measured series.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace wfsort {
+
+// Streaming summary of a sample set (Welford's algorithm for the variance).
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-bucket histogram over [0, buckets); values beyond the last bucket are
+// clamped into it.  Used for contention profiles (accesses-per-cell counts).
+class Histogram {
+ public:
+  explicit Histogram(std::size_t buckets) : counts_(buckets, 0) {}
+
+  void add(std::size_t value, std::uint64_t weight = 1);
+
+  std::uint64_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+  // Largest bucket index with a nonzero count (0 if empty).
+  std::size_t max_nonzero() const;
+  // Smallest value v such that at least `fraction` of the mass is <= v.
+  std::size_t quantile(double fraction) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Least-squares fit of y = c * x^alpha on log-log axes; returns alpha.
+// Used to check e.g. that measured contention grows like sqrt(P)
+// (alpha ~ 0.5) rather than linearly (alpha ~ 1).
+double fit_power_law(const std::vector<double>& x, const std::vector<double>& y);
+
+// Least-squares fit of y = a + b * log2(x); returns b (the per-doubling
+// increment).  Used to check O(log N) round counts.
+double fit_log(const std::vector<double>& x, const std::vector<double>& y);
+
+// Pearson correlation of (x, y) after the transform applied by the fits
+// above is not needed by callers; we expose plain R^2 of a linear fit for
+// reporting goodness-of-fit on the transformed axes.
+double linear_r2(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace wfsort

@@ -1,0 +1,60 @@
+// Phase 1 — building the Quicksort pivot tree (paper Figure 4).
+//
+// Every element is inserted by walking from the root and CASing itself into
+// the first EMPTY child slot on its (deterministic) search path.  Facts 1-6
+// of the paper make this wait-free with at most N-1 loop iterations
+// (Lemma 2.4): child pointers are written once and never change, so
+// processors working on the same element follow the same path, exactly one
+// CAS per element ever succeeds, and a processor that finds its own element
+// already installed simply stops.
+#pragma once
+
+#include <cstdint>
+
+#include "core/detail/tree_state.h"
+
+namespace wfsort::detail {
+
+struct BuildResult {
+  std::uint64_t iterations = 0;    // trips around the Figure-4 loop
+  std::uint64_t cas_failures = 0;  // CAS attempts lost to another processor
+};
+
+// Insert element `i` starting the descent at `start_parent` (the pivot-tree
+// root for the plain algorithm; the fat-tree handoff point for the
+// low-contention variant).
+template <typename Key, typename Compare>
+BuildResult build_from(TreeState<Key, Compare>& st, std::int64_t i,
+                       std::int64_t start_parent) {
+  BuildResult r;
+  std::int64_t parent = start_parent;
+  while (true) {
+    ++r.iterations;
+    WFSORT_DCHECK(r.iterations <= static_cast<std::uint64_t>(st.n()));  // Lemma 2.4
+    const Side side = st.less(i, parent) ? kSmall : kBig;
+    auto& slot = st.child_slot(parent, side);
+    std::int64_t expected = kNoIdx;
+    if (slot.compare_exchange_strong(expected, i, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      return r;
+    }
+    // Re-read (paper line 15): either some processor installed i here
+    // concurrently, or we must descend to the occupant.
+    const std::int64_t c = slot.load(std::memory_order_acquire);
+    WFSORT_DCHECK(c != kNoIdx);
+    if (c == i) return r;
+    ++r.cas_failures;
+    parent = c;
+  }
+}
+
+// Plain Figure-4 entry point: element 0 is the first pivot and is never
+// inserted (it *is* the root).
+template <typename Key, typename Compare>
+BuildResult build_one(TreeState<Key, Compare>& st, std::int64_t i) {
+  const std::int64_t r0 = st.root_idx();
+  if (i == r0) return {};
+  return build_from(st, i, r0);
+}
+
+}  // namespace wfsort::detail

@@ -1,0 +1,333 @@
+// The sort engine: shared state plus the per-worker program.
+//
+// One Engine instance lives for the duration of one sort.  Any number of
+// workers (threads) may execute run_worker() concurrently; each worker runs
+// every phase to its own completion, so the sorted result is ready as soon
+// as ANY ONE worker returns true — that is the wait-freedom guarantee made
+// operational.  Workers that crash (fault injection returns false) leave
+// only idempotent or write-once state behind and never endanger the rest.
+//
+// finalize() copies the assembled output back into the caller's buffer; it
+// must be called after the worker threads are joined and at least one
+// completed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/detail/build_phase.h"
+#include "core/detail/lc_phase.h"
+#include "core/detail/sum_place_phase.h"
+#include "core/detail/tree_state.h"
+#include "core/options.h"
+#include "lowcontention/fat_tree.h"
+#include "lowcontention/winner_tree.h"
+#include "runtime/fault_plan.h"
+#include "workalloc/lcwat.h"
+#include "workalloc/wat.h"
+
+namespace wfsort::detail {
+
+inline void atomic_fetch_max(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// Phase durations are tracked as integral microseconds so the max can be
+// maintained with a plain atomic.
+class PhaseClock {
+ public:
+  void start() { t0_ = std::chrono::steady_clock::now(); }
+  // Record the elapsed time into `slot` (max over workers) and restart.
+  void lap(std::atomic<std::uint64_t>& slot) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - t0_).count());
+    atomic_fetch_max(slot, us);
+    t0_ = now;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+template <typename Key, typename Compare>
+class Engine {
+ public:
+  // Below this size the low-contention variant falls back to the
+  // deterministic one: with fewer elements than this there is no slice worth
+  // pre-sorting and no contention worth spreading.
+  static constexpr std::uint64_t kLcMinN = 64;
+
+  Engine(std::span<Key> data, Compare cmp, const Options& opts)
+      : data_(data),
+        opts_(opts),
+        nominal_threads_(opts.resolved_threads()),
+        st_(std::span<const Key>(data.data(), data.size()), cmp),
+        wat_(data.size() < 2 ? 1 : data.size()) {
+    effective_variant_ = opts.variant;
+    if (effective_variant_ == Variant::kLowContention && data.size() < kLcMinN) {
+      effective_variant_ = Variant::kDeterministic;
+    }
+    if (effective_variant_ == Variant::kLowContention) init_lc();
+  }
+
+  Variant effective_variant() const { return effective_variant_; }
+
+  // Execute all phases as worker `tid`.  Returns false if the fault plan
+  // aborted this worker ("crash"); shared state remains safe for others.
+  bool run_worker(std::uint32_t tid, runtime::FaultPlan* plan = nullptr) {
+    if (data_.size() <= 1) {
+      completed_.fetch_add(1, std::memory_order_acq_rel);
+      return true;
+    }
+    const bool ok = effective_variant_ == Variant::kDeterministic
+                        ? run_deterministic(tid, plan)
+                        : run_low_contention(tid, plan);
+    if (!ok) crashed_.fetch_add(1, std::memory_order_acq_rel);
+    return ok;
+  }
+
+  // True once some worker has completed all phases (result fully assembled).
+  bool result_ready() const { return completed_.load(std::memory_order_acquire) > 0; }
+
+  // Copy the sorted output into the caller's buffer.  Call with all workers
+  // joined (or known crashed) and result_ready().
+  void finalize() {
+    if (data_.size() <= 1) return;
+    WFSORT_CHECK(result_ready());
+    WFSORT_DCHECK(st_.all_placed());
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      data_[i] = st_.out[i].load(std::memory_order_relaxed);
+    }
+    measured_depth_ = st_.measure_depth();
+  }
+
+  SortStats stats() const {
+    SortStats s;
+    s.n = data_.size();
+    s.workers = nominal_threads_;
+    s.crashed_workers = crashed_.load(std::memory_order_relaxed);
+    s.completed_workers = completed_.load(std::memory_order_relaxed);
+    s.max_build_iters = max_build_iters_.load(std::memory_order_relaxed);
+    s.total_build_iters = total_build_iters_.load(std::memory_order_relaxed);
+    s.cas_failures = cas_failures_.load(std::memory_order_relaxed);
+    s.fat_read_misses = fat_misses_.load(std::memory_order_relaxed);
+    s.tree_depth = measured_depth_;
+    s.phase1_ms = static_cast<double>(phase1_us_.load(std::memory_order_relaxed)) / 1000.0;
+    s.phase2_ms = static_cast<double>(phase2_us_.load(std::memory_order_relaxed)) / 1000.0;
+    s.phase3_ms = static_cast<double>(phase3_us_.load(std::memory_order_relaxed)) / 1000.0;
+    return s;
+  }
+
+  TreeState<Key, Compare>& state() { return st_; }
+  const TreeState<Key, Compare>& state() const { return st_; }
+
+ private:
+  struct LcShared {
+    std::uint32_t levels = 0;      // H: fat-tree levels
+    std::uint64_t slice_len = 0;   // S = 2^H - 1
+    std::uint32_t groups = 0;      // sqrt-style group count
+    std::vector<std::unique_ptr<TreeState<Key, Compare>>> group_states;
+    std::vector<std::unique_ptr<Wat>> group_wats;
+    WinnerTree winner;
+    FatTree fat;
+    LcWat insert_wat;  // randomized phase-1 work allocation over all N jobs
+    LcMarks sum_marks;
+    LcMarks place_marks;
+
+    LcShared(std::uint32_t levels_in, std::uint64_t slice_in, std::uint32_t groups_in,
+             std::uint32_t threads, std::uint32_t copies, std::uint64_t n)
+        : levels(levels_in),
+          slice_len(slice_in),
+          groups(groups_in),
+          winner(threads),
+          fat(levels_in, copies),
+          insert_wat(n),
+          sum_marks(n),
+          place_marks(n) {}
+  };
+
+  void init_lc() {
+    const std::uint64_t n = data_.size();
+    // S = 2^H - 1 <= sqrt(N): the fat tree seeds the top ~ (log N)/2 levels.
+    const std::uint32_t levels = std::max<std::uint32_t>(1, log2_floor(isqrt(n) + 1));
+    const std::uint64_t slice = (std::uint64_t{1} << levels) - 1;
+    const std::uint32_t groups = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        std::max<std::uint32_t>(1, isqrt(nominal_threads_)), n / slice));
+    const std::uint32_t copies =
+        opts_.lc_copies != 0 ? opts_.lc_copies
+                             : std::max<std::uint32_t>(2, isqrt(nominal_threads_));
+    lc_ = std::make_unique<LcShared>(levels, slice, groups, nominal_threads_, copies, n);
+    for (std::uint32_t g = 0; g < groups; ++g) {
+      auto keys = std::span<const Key>(data_.data() + g * slice, slice);
+      lc_->group_states.push_back(
+          std::make_unique<TreeState<Key, Compare>>(keys, st_.cmp));
+      lc_->group_wats.push_back(std::make_unique<Wat>(slice));
+    }
+  }
+
+  void record_build(const BuildResult& r) {
+    total_build_iters_.fetch_add(r.iterations, std::memory_order_relaxed);
+    cas_failures_.fetch_add(r.cas_failures, std::memory_order_relaxed);
+    atomic_fetch_max(max_build_iters_, r.iterations);
+  }
+
+  // --- deterministic variant (Section 2) ---
+  bool run_deterministic(std::uint32_t tid, runtime::FaultPlan* plan) {
+    const auto chk = [plan, tid] { return plan == nullptr || plan->checkpoint(tid); };
+
+    PhaseClock clock;
+    clock.start();
+    // Phase 1: WAT-allocated tree building.
+    std::int64_t node = wat_.initial_leaf(tid, nominal_threads_);
+    while (true) {
+      if (!chk()) return false;
+      if (wat_.is_job_leaf(node)) {
+        record_build(build_one(st_, static_cast<std::int64_t>(wat_.job_of(node))));
+      }
+      node = wat_.next_element(node);
+      if (node == Wat::kAllJobsDone) break;
+    }
+    clock.lap(phase1_us_);
+    // Phases 2 and 3.
+    if (!tree_sum(st_, tid, chk)) return false;
+    clock.lap(phase2_us_);
+    if (!find_place_emit(st_, tid, opts_.prune, chk)) return false;
+    clock.lap(phase3_us_);
+    completed_.fetch_add(1, std::memory_order_acq_rel);
+    return true;
+  }
+
+  // --- randomized low-contention variant (Section 3) ---
+  bool run_low_contention(std::uint32_t tid, runtime::FaultPlan* plan) {
+    const auto chk = [plan, tid] { return plan == nullptr || plan->checkpoint(tid); };
+    LcShared& lc = *lc_;
+    Rng rng = Rng(opts_.seed).fork(tid);
+    PhaseClock clock;
+    clock.start();
+
+    // Stage A: this worker's group pre-sorts its slice with the
+    // deterministic algorithm (paper step 1).
+    const std::uint32_t group = tid % lc.groups;
+    const std::uint32_t group_workers =
+        std::max<std::uint32_t>(1, nominal_threads_ / lc.groups);
+    TreeState<Key, Compare>& gst = *lc.group_states[group];
+    Wat& gwat = *lc.group_wats[group];
+    std::int64_t node = gwat.initial_leaf(tid / lc.groups, group_workers);
+    while (true) {
+      if (!chk()) return false;
+      if (gwat.is_job_leaf(node)) {
+        record_build(build_one(gst, static_cast<std::int64_t>(gwat.job_of(node))));
+      }
+      node = gwat.next_element(node);
+      if (node == Wat::kAllJobsDone) break;
+    }
+    if (!tree_sum(gst, tid, chk)) return false;
+    if (!find_place_emit(gst, tid, PrunePlaced::kNo, chk)) return false;
+
+    // Stage B: pick the winning group (paper step 2; Figure 9).
+    const std::int64_t w = lc.winner.compete(tid, group, rng);
+
+    // Stage C: reconstruct the winner slice's sorted order (global element
+    // indices).  The winner candidate was submitted by a worker that
+    // completed the slice, so every place is set.
+    std::vector<std::int64_t> sorted_idx(lc.slice_len);
+    {
+      TreeState<Key, Compare>& wst = *lc.group_states[static_cast<std::size_t>(w)];
+      for (std::uint64_t i = 0; i < lc.slice_len; ++i) {
+        const std::int64_t pl = wst.place_of(static_cast<std::int64_t>(i));
+        WFSORT_CHECK(pl > 0);
+        sorted_idx[static_cast<std::size_t>(pl - 1)] =
+            static_cast<std::int64_t>(w) * static_cast<std::int64_t>(lc.slice_len) +
+            static_cast<std::int64_t>(i);
+      }
+    }
+
+    // Stage D: fatten the winner tree (write-most) and stitch its structure
+    // into the main pivot tree.  All writes are idempotent (identical values
+    // from every worker), so no coordination is needed.
+    lc.fat.write_random_cells(sorted_idx, lc.fat.fill_quota(nominal_threads_), rng);
+    const std::int64_t root = sorted_idx[lc.fat.rank_of(0)];
+    st_.set_root(root);
+    for (std::uint64_t f = 0; f < lc.fat.node_count(); ++f) {
+      if (!chk()) return false;
+      const std::int64_t pe = sorted_idx[lc.fat.rank_of(f)];
+      if (!lc.fat.is_leaf(f)) {
+        const std::int64_t se = sorted_idx[lc.fat.rank_of(lc.fat.left(f))];
+        const std::int64_t be = sorted_idx[lc.fat.rank_of(lc.fat.right(f))];
+        st_.child_slot(pe, kSmall).store(se, std::memory_order_release);
+        st_.child_slot(pe, kBig).store(be, std::memory_order_release);
+      }
+    }
+
+    // Stage E: insert every remaining element (paper step 3).  Work is
+    // allocated by random probing (LC-WAT), which doubles as the random
+    // insertion order that keeps the tree depth O(log N) on any input;
+    // descents go through the fat tree, dividing top-level contention.
+    const std::int64_t wbase = static_cast<std::int64_t>(w) *
+                               static_cast<std::int64_t>(lc.slice_len);
+    const std::int64_t wend = wbase + static_cast<std::int64_t>(lc.slice_len);
+    while (true) {
+      if (!chk()) return false;
+      const auto outcome = lc.insert_wat.step(rng, [&](std::uint64_t j) {
+        const std::int64_t i = static_cast<std::int64_t>(j);
+        if (i >= wbase && i < wend) return;  // already in the tree (fat top)
+        insert_via_fat(i, sorted_idx, rng);
+      });
+      if (outcome == LcWat::Outcome::kQuit) break;
+    }
+
+    clock.lap(phase1_us_);
+    // Stages F, G: randomized summation and placement (Section 3.3).
+    if (!lc_tree_sum(st_, lc.sum_marks, rng, chk)) return false;
+    clock.lap(phase2_us_);
+    if (!lc_find_place_emit(st_, lc.place_marks, rng, chk)) return false;
+    clock.lap(phase3_us_);
+    completed_.fetch_add(1, std::memory_order_acq_rel);
+    return true;
+  }
+
+  void insert_via_fat(std::int64_t i, std::span<const std::int64_t> sorted_idx, Rng& rng) {
+    LcShared& lc = *lc_;
+    std::uint64_t misses = 0;
+    std::uint64_t f = 0;
+    while (!lc.fat.is_leaf(f)) {
+      const std::int64_t e = lc.fat.read(f, sorted_idx, rng, &misses);
+      f = st_.less(i, e) ? lc.fat.left(f) : lc.fat.right(f);
+    }
+    const std::int64_t handoff = lc.fat.read(f, sorted_idx, rng, &misses);
+    if (misses != 0) fat_misses_.fetch_add(misses, std::memory_order_relaxed);
+    record_build(build_from(st_, i, handoff));
+  }
+
+  std::span<Key> data_;
+  Options opts_;
+  Variant effective_variant_;
+  std::uint32_t nominal_threads_;
+  TreeState<Key, Compare> st_;
+  Wat wat_;
+  std::unique_ptr<LcShared> lc_;
+
+  std::atomic<std::uint64_t> max_build_iters_{0};
+  std::atomic<std::uint64_t> total_build_iters_{0};
+  std::atomic<std::uint64_t> cas_failures_{0};
+  std::atomic<std::uint32_t> completed_{0};
+  std::atomic<std::uint32_t> crashed_{0};
+  std::uint32_t measured_depth_ = 0;
+  std::atomic<std::uint64_t> fat_misses_{0};
+  std::atomic<std::uint64_t> phase1_us_{0};
+  std::atomic<std::uint64_t> phase2_us_{0};
+  std::atomic<std::uint64_t> phase3_us_{0};
+};
+
+}  // namespace wfsort::detail

@@ -1,0 +1,152 @@
+// Randomized low-contention summation and placement (paper Section 3.3).
+//
+// Both phases follow the LC-WAT blueprint of Figure 8, but the tree being
+// probed is the Quicksort pivot tree itself: processors repeatedly pick a
+// *uniformly random element* and act on it, so no element — in particular
+// not the pivot root — collects the Theta(P) polling traffic of the
+// deterministic traversals.
+//
+//   Summation:  a probed element whose children are both summed gets its
+//               size written and is marked DONE (bottom-up); marking the
+//               root switches to ALLDONE, which spreads back down; a
+//               processor that pushes ALLDONE one level quits.
+//   Placement:  the paper's "three passes": place values are written going
+//               DOWN the tree (a probe on a placed element places its
+//               children), DONE propagates up once a node is placed and its
+//               children are DONE, and ALLDONE spreads down again.
+//
+// Places are pushed downward from the parent rather than pulled up via
+// parent pointers: a parent pointer would have to be written by the install
+// CAS winner *after* its CAS, and a crash between the two writes would
+// strand the element forever.  Downward propagation only ever reads
+// child pointers, which are written atomically by the install itself.
+//
+// Quitting on ALLDONE is what makes per-processor completion sound here:
+// DONE reaches the root only after every descendant is summed/placed, so a
+// processor that has seen ALLDONE knows the whole phase is finished — no
+// per-processor full traversal is needed, unlike the deterministic variant.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/detail/tree_state.h"
+
+namespace wfsort::detail {
+
+enum LcMark : std::uint8_t { kLcEmpty = 0, kLcDone = 1, kLcAllDone = 2 };
+
+// Per-phase announcement flags, one byte per element.
+class LcMarks {
+ public:
+  explicit LcMarks(std::size_t n) : marks_(n) {
+    for (auto& m : marks_) m.store(kLcEmpty, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  LcMark get(std::int64_t i) const {
+    return static_cast<LcMark>(
+        marks_[static_cast<std::size_t>(i)].load(std::memory_order_acquire));
+  }
+  void set(std::int64_t i, LcMark m) {
+    marks_[static_cast<std::size_t>(i)].store(m, std::memory_order_release);
+  }
+
+ private:
+  std::vector<std::atomic<std::uint8_t>> marks_;
+};
+
+// Randomized phase 2.  Returns false only if `keep_going` aborts the worker.
+template <typename Key, typename Compare, typename Check>
+bool lc_tree_sum(TreeState<Key, Compare>& st, LcMarks& marks, Rng& rng,
+                 Check&& keep_going) {
+  const std::int64_t n = st.n();
+  if (n == 0) return true;
+  const std::uint64_t un = static_cast<std::uint64_t>(n);
+  while (true) {
+    if (!keep_going()) return false;
+    const std::int64_t e = static_cast<std::int64_t>(rng.below(un));
+    const LcMark v = marks.get(e);
+    const std::int64_t l = st.child_of(e, kSmall);
+    const std::int64_t r = st.child_of(e, kBig);
+
+    if (v == kLcEmpty) {
+      const bool l_done = (l == kNoIdx) || marks.get(l) != kLcEmpty;
+      const bool r_done = (r == kNoIdx) || marks.get(r) != kLcEmpty;
+      if (l_done && r_done) {
+        const std::int64_t total = st.size_of(l) + st.size_of(r) + 1;
+        st.size[static_cast<std::size_t>(e)].store(total, std::memory_order_release);
+        marks.set(e, e == st.root_idx() ? kLcAllDone : kLcDone);
+      }
+      continue;
+    }
+    if (v == kLcAllDone) {
+      if (l != kNoIdx || r != kNoIdx) {
+        if (l != kNoIdx) marks.set(l, kLcAllDone);
+        if (r != kNoIdx) marks.set(r, kLcAllDone);
+        return true;
+      }
+      if (e == st.root_idx()) return true;  // single-element tree
+    }
+  }
+}
+
+// Randomized phase 3 with output emission.
+template <typename Key, typename Compare, typename Check>
+bool lc_find_place_emit(TreeState<Key, Compare>& st, LcMarks& marks, Rng& rng,
+                        Check&& keep_going) {
+  const std::int64_t n = st.n();
+  if (n == 0) return true;
+  const std::uint64_t un = static_cast<std::uint64_t>(n);
+  const std::int64_t root = st.root_idx();
+
+  const auto emit = [&st](std::int64_t node, std::int64_t pl) {
+    st.place[static_cast<std::size_t>(node)].store(pl, std::memory_order_release);
+    st.out[static_cast<std::size_t>(pl - 1)].store(
+        st.keys[static_cast<std::size_t>(node)], std::memory_order_release);
+  };
+
+  while (true) {
+    if (!keep_going()) return false;
+    const std::int64_t e = static_cast<std::int64_t>(rng.below(un));
+    const LcMark v = marks.get(e);
+    const std::int64_t l = st.child_of(e, kSmall);
+    const std::int64_t r = st.child_of(e, kBig);
+
+    if (v == kLcAllDone) {  // announcement dissemination
+      if (l != kNoIdx || r != kNoIdx) {
+        if (l != kNoIdx) marks.set(l, kLcAllDone);
+        if (r != kNoIdx) marks.set(r, kLcAllDone);
+        return true;
+      }
+      if (e == root) return true;
+      continue;
+    }
+
+    // Root rule: its place depends only on its SMALL subtree size.
+    if (e == root && st.place_of(e) == 0) emit(e, st.size_of(l) + 1);
+
+    // Downward rule: a placed element places its children.
+    //   place(small child) = place(e) - size(small child's BIG subtree) - 1
+    //   place(big child)   = place(e) + size(big child's SMALL subtree) + 1
+    const std::int64_t pl = st.place_of(e);
+    if (pl > 0) {
+      if (l != kNoIdx && st.place_of(l) == 0) {
+        emit(l, pl - st.size_of(st.child_of(l, kBig)) - 1);
+      }
+      if (r != kNoIdx && st.place_of(r) == 0) {
+        emit(r, pl + st.size_of(st.child_of(r, kSmall)) + 1);
+      }
+      // Upward rule: placed + both children announced => announce.
+      if (v == kLcEmpty) {
+        const bool l_done = (l == kNoIdx) || marks.get(l) != kLcEmpty;
+        const bool r_done = (r == kNoIdx) || marks.get(r) != kLcEmpty;
+        if (l_done && r_done) marks.set(e, e == root ? kLcAllDone : kLcDone);
+      }
+    }
+  }
+}
+
+}  // namespace wfsort::detail

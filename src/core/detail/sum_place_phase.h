@@ -1,0 +1,169 @@
+// Phases 2 and 3 — subtree summation (Figure 5) and placement (Figure 6).
+//
+// Both are full tree traversals performed independently by every worker;
+// all writes are idempotent (the tree is frozen after phase 1, so sizes and
+// places are deterministic), which is what makes concurrent duplicated work
+// harmless.
+//
+// Spreading.  The paper uses processor-ID bits to choose the child visit
+// order at each depth, so concurrent workers fan out over disjoint subtrees.
+// PIDs only have log P significant bits; below that depth raw PID bits are
+// all zero and every helper would walk the same path.  We therefore derive
+// the decision bit from a hash of (pid, depth), which preserves the paper's
+// even split near the root in distribution and keeps helpers spread at
+// every depth (ablated in bench fig_e12).
+//
+// Pruning.  tree_sum skips a subtree when its root's size is known — safe,
+// because sizes propagate bottom-up: size > 0 implies the whole subtree is
+// summed.  Figure 6 prunes on place > 0, but places propagate TOP-DOWN, so
+// a placed subtree root says nothing about its interior; under crashes —
+// or merely under skewed phase entry — that rule either loses work or
+// serializes a whole claimed subtree onto one processor (see DESIGN.md and
+// EXPERIMENTS.md E12).  PrunePlaced selects between:
+//   kNo    — never prune: every worker re-traverses everything (always
+//            correct; O(N) per worker);
+//   kYes   — the paper's rule (fast only under faultless lockstep entry);
+//   kDone  — prune on an explicit bottom-up completion flag, giving
+//            phase-2 semantics to phase 3: crash-safe AND work-sharing.
+//            This is the default.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/detail/tree_state.h"
+#include "core/options.h"
+
+namespace wfsort::detail {
+
+// Child visited first by worker `pid` at `depth`: an even pseudo-random
+// split at every level.
+inline Side spread_side(std::uint32_t pid, std::uint32_t depth) {
+  const std::uint64_t h =
+      mix64((std::uint64_t{pid} << 32) | std::uint64_t{depth});
+  return (h & 1u) != 0 ? kBig : kSmall;
+}
+inline Side other(Side s) { return s == kSmall ? kBig : kSmall; }
+
+// `keep_going` is polled once per tree node touched; returning false aborts
+// the traversal (fault injection) and the phase returns false.
+
+template <typename Key, typename Compare, typename Check>
+bool tree_sum(TreeState<Key, Compare>& st, std::uint32_t pid, Check&& keep_going) {
+  if (st.n() == 0) return true;
+  struct Frame {
+    std::int64_t node;
+    std::uint32_t depth;
+    std::uint8_t stage;      // 0: fresh, 1: first child done, 2: both done
+    std::int64_t first_sum;  // result of the first child
+  };
+  std::vector<Frame> stack;
+  stack.push_back({st.root_idx(), 0, 0, 0});
+  std::int64_t ret = 0;  // value "returned" by the frame just popped
+
+  while (!stack.empty()) {
+    if (!keep_going()) return false;
+    Frame f = stack.back();  // copy: pushes below may reallocate
+    if (f.node == kNoIdx) {
+      ret = 0;
+      stack.pop_back();
+      continue;
+    }
+    switch (f.stage) {
+      case 0: {
+        const std::int64_t s = st.size_of(f.node);
+        if (s > 0) {  // someone already summed this whole subtree
+          ret = s;
+          stack.pop_back();
+          break;
+        }
+        stack.back().stage = 1;
+        const Side first = spread_side(pid, f.depth);
+        stack.push_back({st.child_of(f.node, first), f.depth + 1, 0, 0});
+        break;
+      }
+      case 1: {
+        stack.back().first_sum = ret;
+        stack.back().stage = 2;
+        const Side second = other(spread_side(pid, f.depth));
+        stack.push_back({st.child_of(f.node, second), f.depth + 1, 0, 0});
+        break;
+      }
+      default: {
+        const std::int64_t total = f.first_sum + ret + 1;
+        st.size[static_cast<std::size_t>(f.node)].store(total, std::memory_order_release);
+        ret = total;
+        stack.pop_back();
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+// Phase 3 with output emission: place every element and store it into
+// st.out at its final rank.
+template <typename Key, typename Compare, typename Check>
+bool find_place_emit(TreeState<Key, Compare>& st, std::uint32_t pid, PrunePlaced prune,
+                     Check&& keep_going) {
+  if (st.n() == 0) return true;
+  struct Frame {
+    std::int64_t node;
+    std::int64_t sub;  // elements known to precede this subtree
+    std::uint32_t depth;
+    std::uint8_t stage;  // 1 = post-frame: both children complete
+  };
+  std::vector<Frame> stack;
+  stack.push_back({st.root_idx(), 0, 0, 0});
+
+  while (!stack.empty()) {
+    if (!keep_going()) return false;
+    const Frame f = stack.back();
+    if (f.node == kNoIdx) {
+      stack.pop_back();
+      continue;
+    }
+    if (f.stage == 1) {  // kDone post-frame: whole subtree below is placed
+      st.place_done[static_cast<std::size_t>(f.node)].store(1, std::memory_order_release);
+      stack.pop_back();
+      continue;
+    }
+    if (prune == PrunePlaced::kYes && st.place_of(f.node) > 0) {
+      stack.pop_back();
+      continue;
+    }
+    if (prune == PrunePlaced::kDone &&
+        st.place_done[static_cast<std::size_t>(f.node)].load(std::memory_order_acquire) !=
+            0) {
+      stack.pop_back();
+      continue;
+    }
+
+    const std::int64_t small = st.child_of(f.node, kSmall);
+    const std::int64_t s = st.size_of(small);
+    const std::int64_t pl = f.sub + s + 1;
+    st.place[static_cast<std::size_t>(f.node)].store(pl, std::memory_order_release);
+    st.out[static_cast<std::size_t>(pl - 1)].store(
+        st.keys[static_cast<std::size_t>(f.node)], std::memory_order_release);
+
+    if (prune == PrunePlaced::kDone) {
+      stack.back().stage = 1;  // revisit after the children to mark done
+    } else {
+      stack.pop_back();
+    }
+    const Frame fs{small, f.sub, f.depth + 1, 0};
+    const Frame fb{st.child_of(f.node, kBig), f.sub + s + 1, f.depth + 1, 0};
+    // LIFO stack: push the child to be visited *second* first.
+    if (spread_side(pid, f.depth) == kSmall) {
+      stack.push_back(fb);
+      stack.push_back(fs);
+    } else {
+      stack.push_back(fs);
+      stack.push_back(fb);
+    }
+  }
+  return true;
+}
+
+}  // namespace wfsort::detail

@@ -1,0 +1,113 @@
+// Shared state of one sort: the pivot tree threaded through the input.
+//
+// Mirrors Figure 3 of the paper in structure-of-arrays form: each element i
+// of the input owns two child slots (SMALL and BIG), a subtree size and a
+// final place (1-based rank; 0 = not yet known).  Keys are never modified
+// while the sort runs; the sorted result is assembled into `out` and copied
+// back after the workers are done.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wfsort::detail {
+
+inline constexpr std::int64_t kNoIdx = -1;
+
+enum Side : int { kSmall = 0, kBig = 1 };
+
+template <typename Key, typename Compare>
+struct TreeState {
+  static_assert(std::is_trivially_copyable_v<Key>,
+                "the wait-free sorter assembles its output with atomic element "
+                "stores; sort records must be trivially copyable (sort indices "
+                "or pointers for heavyweight payloads)");
+
+  std::span<const Key> keys;
+  Compare cmp;
+  // Pivot-tree root element: 0 for the deterministic variant; the fat-tree
+  // root chosen at runtime by the low-contention variant (every worker
+  // stores the same value, so the atomic is only for data-race freedom).
+  std::atomic<std::int64_t> root{0};
+
+  std::vector<std::atomic<std::int64_t>> child;  // 2 per element
+  std::vector<std::atomic<std::int64_t>> size;   // 0 = unknown
+  std::vector<std::atomic<std::int64_t>> place;  // 0 = unknown, else 1-based rank
+  std::vector<std::atomic<std::uint8_t>> place_done;  // PrunePlaced::kDone flags
+  std::vector<std::atomic<Key>> out;                  // sorted result (index place-1)
+
+  TreeState(std::span<const Key> k, Compare c)
+      : keys(k),
+        cmp(c),
+        child(2 * k.size()),
+        size(k.size()),
+        place(k.size()),
+        place_done(k.size()),
+        out(k.size()) {
+    for (auto& x : child) x.store(kNoIdx, std::memory_order_relaxed);
+    for (auto& x : size) x.store(0, std::memory_order_relaxed);
+    for (auto& x : place) x.store(0, std::memory_order_relaxed);
+    for (auto& x : place_done) x.store(0, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  std::int64_t n() const { return static_cast<std::int64_t>(keys.size()); }
+
+  std::int64_t root_idx() const { return root.load(std::memory_order_acquire); }
+  void set_root(std::int64_t r) { root.store(r, std::memory_order_release); }
+
+  // Strict order with index tie-breaking (the paper's "use an element's
+  // index to break ties"), so all keys behave as if distinct.
+  bool less(std::int64_t a, std::int64_t b) const {
+    const Key& ka = keys[static_cast<std::size_t>(a)];
+    const Key& kb = keys[static_cast<std::size_t>(b)];
+    if (cmp(ka, kb)) return true;
+    if (cmp(kb, ka)) return false;
+    return a < b;
+  }
+
+  std::atomic<std::int64_t>& child_slot(std::int64_t node, Side s) {
+    return child[static_cast<std::size_t>(2 * node + s)];
+  }
+  std::int64_t child_of(std::int64_t node, Side s) const {
+    return child[static_cast<std::size_t>(2 * node + s)].load(std::memory_order_acquire);
+  }
+  std::int64_t size_of(std::int64_t node) const {
+    return node == kNoIdx
+               ? 0
+               : size[static_cast<std::size_t>(node)].load(std::memory_order_acquire);
+  }
+  std::int64_t place_of(std::int64_t node) const {
+    return place[static_cast<std::size_t>(node)].load(std::memory_order_acquire);
+  }
+
+  // Post-run validation/diagnostics (single-threaded use).
+  bool all_placed() const {
+    for (const auto& p : place) {
+      if (p.load(std::memory_order_relaxed) == 0) return false;
+    }
+    return true;
+  }
+
+  std::uint32_t measure_depth() const {
+    if (keys.empty()) return 0;
+    std::uint32_t max_depth = 0;
+    std::vector<std::pair<std::int64_t, std::uint32_t>> stack{{root_idx(), 1u}};
+    while (!stack.empty()) {
+      auto [node, d] = stack.back();
+      stack.pop_back();
+      if (node == kNoIdx) continue;
+      max_depth = std::max(max_depth, d);
+      stack.emplace_back(child_of(node, kSmall), d + 1);
+      stack.emplace_back(child_of(node, kBig), d + 1);
+    }
+    return max_depth;
+  }
+};
+
+}  // namespace wfsort::detail

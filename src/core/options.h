@@ -1,0 +1,77 @@
+// Public configuration and statistics types of the wait-free sorter.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+namespace wfsort {
+
+enum class Variant {
+  // Section 2: WAT work allocation, direct pivot-tree construction.
+  // Optimal time; the root of the pivot tree is an O(P) hot-spot.
+  kDeterministic,
+  // Section 3: randomized low-contention construction — group pre-sort,
+  // winner selection, fat pivot-tree top filled by write-most, LC-WAT-style
+  // randomized summation/placement.  O(sqrt P) contention w.h.p.
+  kLowContention,
+};
+
+// How phase 3 skips subtrees other workers already handled.  Figure 6
+// prunes when the subtree root's place is set (kYes), but place propagates
+// top-down, so the rule is only sound under faultless lockstep entry — a
+// crash (or mere phase-entry skew) strands or serializes the claimed
+// subtree.  kNo never prunes (every worker re-traverses everything,
+// trivially safe).  kDone — the default — prunes on an explicit bottom-up
+// completion flag instead, which is crash-safe AND lets workers share the
+// remaining work; bench fig_e12 quantifies all three.
+enum class PrunePlaced { kNo, kYes, kDone };
+
+struct Options {
+  std::uint32_t threads = 0;  // 0 = std::thread::hardware_concurrency()
+  Variant variant = Variant::kDeterministic;
+  PrunePlaced prune = PrunePlaced::kDone;
+  std::uint64_t seed = 0x50535a97ULL;  // randomized-variant randomness
+
+  // Low-contention variant: duplicates per fat-tree node (0 = automatic,
+  // ~sqrt(threads)).  More copies divide top-level read pressure further at
+  // the cost of more write-most traffic.
+  std::uint32_t lc_copies = 0;
+
+  std::uint32_t resolved_threads() const {
+    if (threads != 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+  }
+};
+
+struct SortStats {
+  std::uint64_t n = 0;
+  std::uint32_t workers = 0;
+  std::uint32_t crashed_workers = 0;    // fault-injected exits
+  std::uint32_t completed_workers = 0;  // workers that ran all phases
+
+  // Lemma 2.4: the build_tree loop runs at most N-1 times per element.
+  std::uint64_t max_build_iters = 0;
+  std::uint64_t total_build_iters = 0;
+
+  // Depth of the Quicksort pivot tree (O(log N) w.h.p. on random input).
+  std::uint32_t tree_depth = 0;
+
+  // Failed CAS attempts during tree building (a native proxy for phase-1
+  // memory contention).
+  std::uint64_t cas_failures = 0;
+
+  // Low-contention variant: fat-tree reads that hit an unfilled copy and
+  // fell back to the authoritative slice (see FatTree::read).
+  std::uint64_t fat_read_misses = 0;
+
+  // Wall-clock milliseconds spent in each phase, maximum over the workers
+  // that completed (the critical path through a phase).  For the
+  // low-contention variant phase1 covers stages A-E and the remaining two
+  // map to the randomized summation / placement probes.
+  double phase1_ms = 0.0;
+  double phase2_ms = 0.0;
+  double phase3_ms = 0.0;
+};
+
+}  // namespace wfsort

@@ -1,0 +1,124 @@
+// Public API of the wait-free sorter.
+//
+//   std::vector<std::uint64_t> v = ...;
+//   wfsort::sort(std::span<std::uint64_t>(v));                  // defaults
+//   wfsort::sort(std::span(v), {.threads = 8,
+//                               .variant = wfsort::Variant::kLowContention});
+//
+// The call blocks until the array is sorted.  Internally P worker threads
+// execute the paper's three phases; every phase is wait-free, so the sort
+// completes as long as at least one worker keeps running — the fault-
+// injection entry point sort_with_faults() (and the SortSession API in
+// session.h) demonstrates exactly that.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/detail/engine.h"
+#include "core/options.h"
+#include "runtime/fault_plan.h"
+
+namespace wfsort {
+
+// Sort `data` in place.  `stats`, if given, receives per-run diagnostics.
+template <typename T, typename Compare = std::less<T>>
+void sort(std::span<T> data, const Options& opts = {}, SortStats* stats = nullptr,
+          Compare cmp = Compare{}) {
+  detail::Engine<T, Compare> engine(data, cmp, opts);
+  const std::uint32_t workers = opts.resolved_threads();
+  if (workers <= 1 || data.size() <= 1) {
+    engine.run_worker(0);
+  } else {
+    std::vector<std::jthread> threads;
+    threads.reserve(workers);
+    for (std::uint32_t tid = 0; tid < workers; ++tid) {
+      threads.emplace_back([&engine, tid] { engine.run_worker(tid); });
+    }
+    threads.clear();  // join
+  }
+  engine.finalize();
+  if (stats != nullptr) *stats = engine.stats();
+}
+
+// Sort under a fault plan (crashes / page-fault sleeps injected into chosen
+// workers).  Returns true if the sort completed — i.e. at least one worker
+// survived; on false `data` is untouched.  This is the wait-freedom
+// experiment harness (E9).
+template <typename T, typename Compare = std::less<T>>
+bool sort_with_faults(std::span<T> data, const Options& opts, runtime::FaultPlan& plan,
+                      SortStats* stats = nullptr, Compare cmp = Compare{}) {
+  detail::Engine<T, Compare> engine(data, cmp, opts);
+  const std::uint32_t workers = opts.resolved_threads();
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(workers);
+    for (std::uint32_t tid = 0; tid < workers; ++tid) {
+      threads.emplace_back([&engine, tid, &plan] { engine.run_worker(tid, &plan); });
+    }
+  }  // join
+  const bool ok = engine.result_ready();
+  if (ok) engine.finalize();
+  if (stats != nullptr) *stats = engine.stats();
+  return ok;
+}
+
+// Compute the sorting permutation without moving the data: perm[rank] is
+// the index of the element with that rank (i.e. data[perm[0]] <= ... <=
+// data[perm[n-1]], ties by index).  Useful when elements are heavyweight or
+// must stay in place; runs the same wait-free phases, skipping only the
+// final copy-back.
+template <typename T, typename Compare = std::less<T>>
+std::vector<std::uint32_t> sort_permutation(std::span<const T> data,
+                                            const Options& opts = {},
+                                            Compare cmp = Compare{}) {
+  std::vector<std::uint32_t> perm(data.size());
+  if (data.size() <= 1) {
+    if (data.size() == 1) perm[0] = 0;
+    return perm;
+  }
+  // The engine never writes the input; the const_cast span is only a
+  // formality of its (normally in-place) interface.
+  std::span<T> mutable_view(const_cast<T*>(data.data()), data.size());
+  detail::Engine<T, Compare> engine(mutable_view, cmp, opts);
+  const std::uint32_t workers = opts.resolved_threads();
+  if (workers <= 1) {
+    engine.run_worker(0);
+  } else {
+    std::vector<std::jthread> threads;
+    threads.reserve(workers);
+    for (std::uint32_t tid = 0; tid < workers; ++tid) {
+      threads.emplace_back([&engine, tid] { engine.run_worker(tid); });
+    }
+  }
+  WFSORT_CHECK(engine.result_ready());
+  const auto& st = engine.state();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::int64_t place = st.place_of(static_cast<std::int64_t>(i));
+    perm[static_cast<std::size_t>(place - 1)] = static_cast<std::uint32_t>(i);
+  }
+  return perm;
+}
+
+// Object form for repeated sorts with fixed options.
+template <typename T, typename Compare = std::less<T>>
+class Sorter {
+ public:
+  explicit Sorter(Options opts = {}, Compare cmp = Compare{})
+      : opts_(opts), cmp_(cmp) {}
+
+  void operator()(std::span<T> data) { sort(data, opts_, &last_stats_, cmp_); }
+  void sort_span(std::span<T> data) { (*this)(data); }
+
+  const Options& options() const { return opts_; }
+  const SortStats& last_stats() const { return last_stats_; }
+
+ private:
+  Options opts_;
+  Compare cmp_;
+  SortStats last_stats_{};
+};
+
+}  // namespace wfsort

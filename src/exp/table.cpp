@@ -1,0 +1,147 @@
+#include "exp/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace wfsort::exp {
+
+namespace {
+
+std::string to_display(const Cell& c) {
+  struct Visitor {
+    std::string operator()(const std::string& s) const { return s; }
+    std::string operator()(double d) const {
+      std::ostringstream os;
+      if (d != 0.0 && (std::fabs(d) >= 100000.0 || std::fabs(d) < 0.001)) {
+        os << std::scientific << std::setprecision(2) << d;
+      } else {
+        os << std::fixed << std::setprecision(3) << d;
+        std::string s = os.str();
+        // Trim trailing zeros but keep at least one decimal digit.
+        while (s.size() > 1 && s.back() == '0' && s[s.size() - 2] != '.') s.pop_back();
+        return s;
+      }
+      return os.str();
+    }
+    std::string operator()(std::int64_t v) const { return std::to_string(v); }
+    std::string operator()(std::uint64_t v) const { return std::to_string(v); }
+  };
+  return std::visit(Visitor{}, c);
+}
+
+}  // namespace
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  WFSORT_CHECK(!columns_.empty());
+}
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  WFSORT_CHECK(cells.size() == columns_.size());
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (const Cell& c : cells) row.push_back(to_display(c));
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+void Table::render(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&](char fill) {
+    out << '+';
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) out << fill;
+      out << '+';
+    }
+    out << '\n';
+  };
+
+  out << "\n== " << title_ << " ==\n";
+  rule('-');
+  out << '|';
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << ' ' << std::setw(static_cast<int>(widths[c])) << std::left << columns_[c]
+        << " |";
+  }
+  out << '\n';
+  rule('=');
+  for (const auto& row : rows_) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << std::setw(static_cast<int>(widths[c])) << std::right << row[c] << " |";
+    }
+    out << '\n';
+  }
+  rule('-');
+}
+
+void Table::print() const { render(std::cout); }
+
+namespace {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::render_csv(std::ostream& out) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << (c == 0 ? "" : ",") << csv_escape(columns_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : ",") << csv_escape(row[c]);
+    }
+    out << '\n';
+  }
+}
+
+void Series::add(double x, double y) {
+  xs_.push_back(x);
+  ys_.push_back(y);
+}
+
+double Series::power_law_exponent() const { return fit_power_law(xs_, ys_); }
+
+double Series::log_slope() const { return fit_log(xs_, ys_); }
+
+double Series::loglog_r2() const {
+  std::vector<double> lx(xs_.size()), ly(ys_.size());
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    lx[i] = std::log2(xs_[i]);
+    ly[i] = std::log2(std::max(ys_[i], 1e-9));
+  }
+  return linear_r2(lx, ly);
+}
+
+std::string verdict_exponent(double measured, double expected, double tolerance) {
+  char buf[128];
+  const bool ok = std::fabs(measured - expected) <= tolerance;
+  std::snprintf(buf, sizeof(buf), "measured %.3f vs expected %.2f (+/-%.2f): %s", measured,
+                expected, tolerance, ok ? "MATCH" : "DEVIATES");
+  return buf;
+}
+
+}  // namespace wfsort::exp

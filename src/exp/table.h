@@ -1,0 +1,67 @@
+// Console table rendering for the experiment harness.
+//
+// Every bench binary prints its results as one or more of these tables; the
+// same rows are recorded in EXPERIMENTS.md.  Columns are declared up front,
+// rows appended as cells, and the renderer right-aligns numbers under their
+// headers.  A Series helper accumulates (x, y) points and reports fitted
+// growth (power-law exponent on log-log axes, or per-doubling slope).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace wfsort::exp {
+
+using Cell = std::variant<std::string, double, std::int64_t, std::uint64_t>;
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  Table& add_row(std::vector<Cell> cells);
+
+  // Render with box-drawing separators to `out` (defaults used by print()).
+  void render(std::ostream& out) const;
+  void print() const;
+
+  // Machine-readable form: a header row then one CSV line per row.  Cells
+  // containing commas or quotes are quoted per RFC 4180.
+  void render_csv(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// A measured (x, y) series with growth-fitting helpers.
+class Series {
+ public:
+  void add(double x, double y);
+
+  // Exponent alpha of y ~ c * x^alpha.
+  double power_law_exponent() const;
+  // Slope b of y ~ a + b * log2(x).
+  double log_slope() const;
+  // R^2 of the log-log linear fit.
+  double loglog_r2() const;
+
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+// One-line verdict helper: "alpha=0.52 (expected ~0.5) PASS/WARN".
+std::string verdict_exponent(double measured, double expected, double tolerance);
+
+}  // namespace wfsort::exp

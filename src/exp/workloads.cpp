@@ -1,0 +1,57 @@
+#include "exp/workloads.h"
+
+namespace wfsort::exp {
+
+const char* dist_name(Dist d) {
+  switch (d) {
+    case Dist::kShuffled: return "shuffled";
+    case Dist::kUniform: return "uniform";
+    case Dist::kSorted: return "sorted";
+    case Dist::kReversed: return "reversed";
+    case Dist::kFewDistinct: return "few-distinct";
+    case Dist::kOrganPipe: return "organ-pipe";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+std::vector<T> make_keys(std::size_t n, Dist d, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> v(n);
+  switch (d) {
+    case Dist::kShuffled:
+      for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<T>(i);
+      rng.shuffle(std::span<T>(v));
+      break;
+    case Dist::kUniform:
+      for (auto& x : v) x = static_cast<T>(rng.next() >> 1);
+      break;
+    case Dist::kSorted:
+      for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<T>(i);
+      break;
+    case Dist::kReversed:
+      for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<T>(n - i);
+      break;
+    case Dist::kFewDistinct:
+      for (auto& x : v) x = static_cast<T>(rng.below(8));
+      break;
+    case Dist::kOrganPipe:
+      for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<T>(i < n / 2 ? i : n - i);
+      break;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> make_word_keys(std::size_t n, Dist d, std::uint64_t seed) {
+  return make_keys<std::int64_t>(n, d, seed);
+}
+
+std::vector<std::uint64_t> make_u64_keys(std::size_t n, Dist d, std::uint64_t seed) {
+  return make_keys<std::uint64_t>(n, d, seed);
+}
+
+}  // namespace wfsort::exp

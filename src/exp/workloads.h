@@ -1,0 +1,29 @@
+// Input generators shared by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace wfsort::exp {
+
+enum class Dist {
+  kShuffled,   // distinct values, uniformly shuffled (the paper's model input)
+  kUniform,    // i.i.d. 64-bit values
+  kSorted,     // already sorted (adversarial for deterministic pickup)
+  kReversed,   // descending
+  kFewDistinct,  // heavy duplication (8 distinct values)
+  kOrganPipe,  // ascending then descending
+};
+
+const char* dist_name(Dist d);
+
+// Signed-word keys for the PRAM simulator.
+std::vector<std::int64_t> make_word_keys(std::size_t n, Dist d, std::uint64_t seed);
+
+// Unsigned keys for the native sorter.
+std::vector<std::uint64_t> make_u64_keys(std::size_t n, Dist d, std::uint64_t seed);
+
+}  // namespace wfsort::exp

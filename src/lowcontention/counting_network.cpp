@@ -1,0 +1,55 @@
+#include "lowcontention/counting_network.h"
+
+namespace wfsort {
+
+BitonicCountingNetwork::BitonicCountingNetwork(std::uint32_t width)
+    : width_(width), wire_counters_(width) {
+  WFSORT_CHECK(width >= 2 && is_pow2(width));
+
+  // Batcher's bitonic layout: merge phases k = 2,4,...,w; within each phase
+  // sub-stages j = k/2, k/4, ..., 1 pair wire i with i^j.  The "ascending"
+  // half (i & k) == 0 routes the toggle's 0-side to the lower wire; the
+  // descending half reverses it — exactly the comparator orientation of the
+  // sorting network, which is what gives Bitonic[w] the step property.
+  for (std::uint32_t k = 2; k <= width_; k *= 2) {
+    for (std::uint32_t j = k / 2; j > 0; j /= 2) {
+      std::vector<std::int32_t> stage(width_, -1);
+      for (std::uint32_t i = 0; i < width_; ++i) {
+        const std::uint32_t partner = i ^ j;
+        if (partner <= i) continue;
+        const bool ascending = (i & k) == 0;
+        Step step;
+        step.balancer = static_cast<std::uint32_t>(steps_.size());  // 1:1 with steps
+        step.up = ascending ? i : partner;
+        step.down = ascending ? partner : i;
+        const auto step_index = static_cast<std::int32_t>(steps_.size());
+        steps_.push_back(step);
+        stage[i] = step_index;
+        stage[partner] = step_index;
+      }
+      stages_.push_back(std::move(stage));
+    }
+  }
+  // Allocate the toggles in one block (atomics are not movable, so the
+  // vector must be sized once, after the wiring is known).
+  balancers_ = std::vector<Balancer>(steps_.size());
+
+  // Output wire i hands out values i, i+w, i+2w, ...
+  for (std::uint32_t i = 0; i < width_; ++i) {
+    wire_counters_[i].store(i, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t BitonicCountingNetwork::next(std::uint32_t input_wire) {
+  std::uint32_t wire = input_wire % width_;
+  for (std::uint32_t s = 0; s < stages_.size(); ++s) {
+    const Step* step = step_at(s, wire);
+    if (step == nullptr) continue;
+    const std::uint8_t bit =
+        balancers_[step->balancer].toggle.fetch_xor(1, std::memory_order_acq_rel);
+    wire = (bit == 0) ? step->up : step->down;
+  }
+  return wire_counters_[wire].fetch_add(width_, std::memory_order_acq_rel);
+}
+
+}  // namespace wfsort

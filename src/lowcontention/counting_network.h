@@ -1,0 +1,66 @@
+// Bitonic counting network (Aspnes, Herlihy & Shavit).
+//
+// The paper's contention discussion (Section 1.2) builds on the counting-
+// network literature: networks of two-input "balancers" spread increments
+// of a shared counter across w output wires, replacing one Theta(P) hot
+// cell with O(P/w) pressure per balancer.  This module implements
+// Bitonic[w] — the balancer layout of Batcher's bitonic merge network —
+// which satisfies the step property and therefore counts: after any
+// quiescent prefix of T traversals the values handed out are exactly
+// 0..T-1.
+//
+// Balancers are single atomic toggle bits flipped with fetch_xor, so a
+// traversal is wait-free: exactly depth(w) = O(log^2 w) atomic operations,
+// no loops.  This makes the network a natural companion experiment (E14)
+// to the paper's own low-contention constructions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace wfsort {
+
+class BitonicCountingNetwork {
+ public:
+  // `width`: number of wires, a power of two >= 2.
+  explicit BitonicCountingNetwork(std::uint32_t width);
+
+  std::uint32_t width() const { return width_; }
+  std::size_t balancer_count() const { return balancers_.size(); }
+  std::uint32_t depth() const { return static_cast<std::uint32_t>(stages_.size()); }
+
+  // Take the next counter value, entering on `input_wire` (callers usually
+  // pass their thread id; it only affects which balancers they touch).
+  // Wait-free: depth() fetch_xor operations plus one fetch_add.
+  std::uint64_t next(std::uint32_t input_wire);
+
+  // Exposed for the simulator program and for tests: the stage structure.
+  struct Step {
+    std::uint32_t balancer;  // index into the global balancer array
+    std::uint32_t up;        // output wire when the toggle read 0
+    std::uint32_t down;      // output wire when the toggle read 1
+  };
+  // stage s, wire w -> the step taken (or nullptr if the wire passes through).
+  const Step* step_at(std::uint32_t stage, std::uint32_t wire) const {
+    const std::int32_t idx = stages_[stage][wire];
+    return idx < 0 ? nullptr : &steps_[static_cast<std::size_t>(idx)];
+  }
+
+ private:
+  struct Balancer {
+    std::atomic<std::uint8_t> toggle{0};
+  };
+
+  std::uint32_t width_;
+  std::vector<Balancer> balancers_;
+  std::vector<Step> steps_;
+  std::vector<std::vector<std::int32_t>> stages_;  // [stage][wire] -> step index or -1
+  std::vector<std::atomic<std::uint64_t>> wire_counters_;
+};
+
+}  // namespace wfsort

@@ -1,0 +1,89 @@
+#include "lowcontention/fat_tree.h"
+
+namespace wfsort {
+
+namespace {
+constexpr std::int64_t kEmptyCell = -1;
+}
+
+FatTree::FatTree(std::uint32_t levels, std::uint32_t copies)
+    : levels_(levels),
+      nodes_((std::uint64_t{1} << levels) - 1),
+      copies_(copies),
+      cells_(nodes_ * copies) {
+  WFSORT_CHECK(levels >= 1);
+  WFSORT_CHECK(copies >= 1);
+  reset();
+}
+
+void FatTree::reset() {
+  for (auto& c : cells_) c.store(kEmptyCell, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+std::uint64_t FatTree::rank_of(std::uint64_t f) const {
+  WFSORT_CHECK(f < nodes_);
+  return rank_of_node(levels_, f);
+}
+
+std::uint64_t FatTree::rank_of_node(std::uint32_t levels, std::uint64_t f) {
+  // Node at depth d, position p within its level, in a complete tree of
+  // `levels` levels: the subtree below it owns a contiguous rank interval
+  // of width 2^(levels-d); its own rank is the interval's midpoint.
+  const std::uint32_t d = log2_floor(f + 1);
+  const std::uint64_t p = (f + 1) - (std::uint64_t{1} << d);
+  const std::uint64_t width = std::uint64_t{1} << (levels - d);
+  return p * width + width / 2 - 1;
+}
+
+std::uint64_t FatTree::node_of_rank(std::uint32_t levels, std::uint64_t rank) {
+  // rank + 1 = p * W + W/2 with W = 2^(levels - d), so W/2 is the largest
+  // power of two dividing rank + 1.
+  const std::uint64_t r1 = rank + 1;
+  const std::uint64_t half_w = r1 & (~r1 + 1);  // lowest set bit
+  const std::uint64_t w = 2 * half_w;
+  const std::uint32_t d = levels - log2_floor(w);
+  const std::uint64_t p = (r1 - half_w) / w;
+  return (std::uint64_t{1} << d) - 1 + p;
+}
+
+std::uint64_t FatTree::fill_quota(std::uint32_t participants) const {
+  return log2_ceil(std::uint64_t{participants} + 1) + 1;
+}
+
+void FatTree::write_cell(std::uint64_t node, std::uint32_t copy, std::int64_t element_index) {
+  WFSORT_CHECK(node < nodes_ && copy < copies_);
+  cells_[node * copies_ + copy].store(element_index, std::memory_order_release);
+}
+
+void FatTree::write_random_cells(std::span<const std::int64_t> sorted_slice,
+                                 std::uint64_t quota, Rng& rng) {
+  WFSORT_CHECK(sorted_slice.size() >= nodes_);
+  for (std::uint64_t k = 0; k < quota; ++k) {
+    const std::uint64_t cell = rng.below(cells_.size());
+    const std::uint64_t node = cell / copies_;
+    cells_[cell].store(sorted_slice[rank_of(node)], std::memory_order_release);
+  }
+}
+
+std::int64_t FatTree::read(std::uint64_t f, std::span<const std::int64_t> sorted_slice,
+                           Rng& rng, std::uint64_t* misses) const {
+  WFSORT_CHECK(f < nodes_);
+  const std::uint64_t copy = rng.below(copies_);
+  const std::int64_t v = cells_[f * copies_ + copy].load(std::memory_order_acquire);
+  if (v != kEmptyCell) return v;
+  if (misses != nullptr) ++*misses;
+  WFSORT_CHECK(sorted_slice.size() >= nodes_);
+  return sorted_slice[rank_of(f)];
+}
+
+double FatTree::fill_fraction() const {
+  std::uint64_t filled = 0;
+  for (const auto& c : cells_) {
+    if (c.load(std::memory_order_relaxed) != kEmptyCell) ++filled;
+  }
+  return cells_.empty() ? 1.0
+                        : static_cast<double>(filled) / static_cast<double>(cells_.size());
+}
+
+}  // namespace wfsort

@@ -1,0 +1,85 @@
+// Fat balanced binary tree with replicated nodes (paper Section 3.2) —
+// native form.
+//
+// The winner group's sorted slice of S = 2^H - 1 elements is viewed as a
+// complete binary search tree (node 0 the root, heap layout); each node is
+// replicated into `copies` cells.  Readers descending the top of the
+// Quicksort tree pick a random copy, which divides the read traffic at each
+// level: the root — the hottest node of the deterministic algorithm, with
+// P concurrent readers — has sqrt(P) copies, so expected per-cell contention
+// drops to sqrt(P).
+//
+// Cells store *element indices* (into the array being sorted), not keys, so
+// the structure is key-type agnostic and tie-breaking by index keeps
+// working.  Filling is randomized ("write-most"): every processor writes
+// `fill_quota()` randomly chosen cells, which fills the whole structure only
+// with high probability.  A reader that draws a still-empty copy falls back
+// to the authoritative slice value (see read()); the fallback is correct and
+// merely costs the contention the duplicate would have absorbed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace wfsort {
+
+class FatTree {
+ public:
+  // `levels`: H, the number of BST levels (S = 2^H - 1 nodes).
+  // `copies`: duplicates per node.
+  FatTree(std::uint32_t levels, std::uint32_t copies);
+
+  std::uint32_t levels() const { return levels_; }
+  std::uint64_t node_count() const { return nodes_; }
+  std::uint32_t copies() const { return copies_; }
+
+  // In-order rank of heap-layout node `f` within the S sorted values; the
+  // value of node f is sorted_slice[rank_of(f)].
+  std::uint64_t rank_of(std::uint64_t f) const;
+
+  // Inverse of rank_of for a tree with `levels` levels (static so the PRAM
+  // programs can use it without an instance).
+  static std::uint64_t node_of_rank(std::uint32_t levels, std::uint64_t rank);
+  static std::uint64_t rank_of_node(std::uint32_t levels, std::uint64_t f);
+
+  // Heap navigation (valid while the child index is < node_count()).
+  std::uint64_t left(std::uint64_t f) const { return 2 * f + 1; }
+  std::uint64_t right(std::uint64_t f) const { return 2 * f + 2; }
+  bool is_leaf(std::uint64_t f) const { return left(f) >= nodes_; }
+
+  // Write-most: write `quota` random cells, taking values from
+  // `sorted_slice` (element indices of the winner slice in sorted order).
+  // The paper's quota is log P; fill_quota() returns it for convenience.
+  void write_random_cells(std::span<const std::int64_t> sorted_slice, std::uint64_t quota,
+                          Rng& rng);
+  std::uint64_t fill_quota(std::uint32_t participants) const;
+
+  // Deterministic write of one cell (used by tests and by the PRAM variant's
+  // setup comparisons).
+  void write_cell(std::uint64_t node, std::uint32_t copy, std::int64_t element_index);
+
+  // Read node f through a random copy.  If the chosen copy is still empty,
+  // fall back to the authoritative slice value.  `misses` (optional) counts
+  // fallbacks taken.
+  std::int64_t read(std::uint64_t f, std::span<const std::int64_t> sorted_slice, Rng& rng,
+                    std::uint64_t* misses = nullptr) const;
+
+  // Fraction of cells filled (diagnostics for experiment E7).
+  double fill_fraction() const;
+
+  void reset();
+
+ private:
+  std::uint32_t levels_;
+  std::uint64_t nodes_;
+  std::uint32_t copies_;
+  std::vector<std::atomic<std::int64_t>> cells_;  // nodes_ * copies_
+};
+
+}  // namespace wfsort

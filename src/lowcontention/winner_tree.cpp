@@ -1,0 +1,49 @@
+#include "lowcontention/winner_tree.h"
+
+namespace wfsort {
+
+WinnerTree::WinnerTree(std::uint32_t slots, std::uint32_t wait_unit)
+    : tree_(next_pow2(slots == 0 ? 1 : slots)), wait_unit_(wait_unit), nodes_(tree_.nodes()) {
+  reset();
+}
+
+void WinnerTree::reset() {
+  for (auto& n : nodes_) n.store(kUndecided, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+std::int64_t WinnerTree::compete(std::uint32_t slot, std::int64_t candidate, Rng& rng) {
+  WFSORT_CHECK(candidate >= 0);
+  const std::uint32_t depth = tree_.depth();
+
+  // Geometric pre-wait: s counts consecutive heads; a processor that tossed
+  // s heads waits K * (log P - s) units, so about 2^s processors leave the
+  // wait phase in wave s.
+  std::uint32_t s = 0;
+  while (s < depth && rng.coin()) ++s;
+  const std::uint64_t wait_iters =
+      static_cast<std::uint64_t>(wait_unit_) * (depth - s);
+  for (std::uint64_t w = 0; w < wait_iters; ++w) std::this_thread::yield();
+
+  // Climb from our leaf to the first decided node (or the root).
+  std::uint64_t j = tree_.leaf(slot % tree_.leaves);
+  while (!tree_.is_root(j) && nodes_[j].load(std::memory_order_acquire) == kUndecided) {
+    j = tree_.parent(j);
+  }
+  if (tree_.is_root(j)) {
+    std::int64_t expected = kUndecided;
+    nodes_[0].compare_exchange_strong(expected, candidate, std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+  }
+
+  const std::int64_t decided = nodes_[j].load(std::memory_order_acquire);
+  WFSORT_CHECK(decided != kUndecided);
+  // Push the decision one level down (the paper's binary dissemination).
+  if (!tree_.is_leaf(j)) {
+    nodes_[tree_.left(j)].store(decided, std::memory_order_release);
+    nodes_[tree_.right(j)].store(decided, std::memory_order_release);
+  }
+  return decided;
+}
+
+}  // namespace wfsort

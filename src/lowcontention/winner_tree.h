@@ -1,0 +1,49 @@
+// Low-contention winner selection (paper Figure 9) — native form.
+//
+// P participants each bring a candidate value; exactly one candidate is
+// selected, and every participant learns the selection.  A balanced binary
+// tree of P slots starts EMPTY.  Each participant first waits a random
+// geometric amount (tossing a coin up to log P times and then delaying
+// proportionally to the number of heads NOT obtained) so that arrivals form
+// exponentially growing waves; it then climbs from its leaf until it meets a
+// non-EMPTY node or the root, CASes its candidate into the root if it got
+// there, and copies the decided value one level down.  The waves keep the
+// expected contention at any node O(log P) (Lemma 3.2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace wfsort {
+
+class WinnerTree {
+ public:
+  // `slots`: number of participants (rounded up to a power of two
+  // internally).  `wait_unit`: how many cooperative yields one unit of the
+  // Figure-9 wait loop costs (0 disables waiting — useful in tests).
+  explicit WinnerTree(std::uint32_t slots, std::uint32_t wait_unit = 4);
+
+  // Compete with `candidate` (>= 0) from position `slot`.  Returns the
+  // winning candidate.  Wait-free: the climb is bounded by the tree depth;
+  // the pre-wait is bounded by K * log P yields.
+  std::int64_t compete(std::uint32_t slot, std::int64_t candidate, Rng& rng);
+
+  // The decided value, or kUndecided if no competitor reached the root yet.
+  static constexpr std::int64_t kUndecided = -1;
+  std::int64_t winner() const { return nodes_[0].load(std::memory_order_acquire); }
+
+  void reset();
+
+ private:
+  HeapTree tree_;
+  std::uint32_t wait_unit_;
+  std::vector<std::atomic<std::int64_t>> nodes_;
+};
+
+}  // namespace wfsort

@@ -1,0 +1,233 @@
+#include "pram/machine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pram {
+
+Machine::Machine(MachineOptions opts) : opts_(opts), arb_rng_(opts.seed ^ 0xa5b5c5d5e5f50505ULL) {}
+
+Machine::~Machine() = default;
+
+ProcId Machine::spawn(ProgramFactory factory) {
+  const ProcId pid = static_cast<ProcId>(procs_.size());
+  wfsort::Rng base(opts_.seed);
+  auto proc = std::make_unique<Proc>(pid, base.fork(pid));
+  proc->factory = std::move(factory);
+  procs_.push_back(std::move(proc));
+  return pid;
+}
+
+void Machine::kill(ProcId p) {
+  WFSORT_CHECK(p < procs_.size());
+  procs_[p]->killed = true;
+}
+
+void Machine::suspend(ProcId p) {
+  WFSORT_CHECK(p < procs_.size());
+  procs_[p]->suspended = true;
+}
+
+void Machine::awaken(ProcId p) {
+  WFSORT_CHECK(p < procs_.size());
+  procs_[p]->suspended = false;
+}
+
+bool Machine::killed(ProcId p) const {
+  WFSORT_CHECK(p < procs_.size());
+  return procs_[p]->killed;
+}
+
+bool Machine::finished(ProcId p) const {
+  WFSORT_CHECK(p < procs_.size());
+  const Proc& proc = *procs_[p];
+  return proc.started && proc.task.valid() && proc.task.done();
+}
+
+std::size_t Machine::live_procs() const {
+  std::size_t n = 0;
+  for (const auto& p : procs_) {
+    if (!p->killed) ++n;
+  }
+  return n;
+}
+
+void Machine::advance(Proc& p) {
+  // Resume the innermost active coroutine (the root program, or the deepest
+  // SubTask subroutine it is currently inside).
+  p.ctx.current().resume();
+  if (p.task.done()) p.task.rethrow_if_failed();
+}
+
+bool Machine::eligible(const Proc& p) const {
+  return p.started && !p.killed && !p.suspended && !p.task.done();
+}
+
+RunResult Machine::run(Scheduler& sched, const StopPredicate& stop) {
+  RunResult res;
+  while (true) {
+    if (round_hook_) round_hook_(*this, round_);
+
+    // Start newly-spawned processors; local computation up to the first
+    // shared-memory operation is free in the PRAM cost model.
+    for (auto& p : procs_) {
+      if (!p->started && !p->killed) {
+        p->task = p->factory(p->ctx);
+        WFSORT_CHECK(p->task.valid());
+        p->ctx.set_current(p->task.handle());
+        p->started = true;
+        advance(*p);
+      }
+    }
+
+    bool all_done = true;
+    bool any_eligible = false;
+    for (const auto& p : procs_) {
+      if (!p->killed && !(p->started && p->task.done())) all_done = false;
+      if (eligible(*p)) any_eligible = true;
+    }
+    if (all_done) {
+      res.all_finished = true;
+      break;
+    }
+    if (stop && stop(*this)) {
+      res.predicate_hit = true;
+      break;
+    }
+    if (res.rounds >= opts_.max_rounds) {
+      res.hit_round_cap = true;
+      break;
+    }
+    if (!any_eligible && !round_hook_) {
+      // Every unfinished processor is suspended and nothing can wake one up.
+      break;
+    }
+
+    eligible_scratch_.assign(procs_.size(), false);
+    stepping_scratch_.assign(procs_.size(), false);
+    for (std::size_t p = 0; p < procs_.size(); ++p) eligible_scratch_[p] = eligible(*procs_[p]);
+    sched.select(round_, eligible_scratch_, stepping_scratch_);
+
+    stepping_list_.clear();
+    for (std::size_t p = 0; p < procs_.size(); ++p) {
+      if (stepping_scratch_[p] && eligible_scratch_[p]) {
+        stepping_list_.push_back(static_cast<ProcId>(p));
+      }
+    }
+
+    metrics_.begin_round();
+    serve_round(stepping_list_);
+    metrics_.end_round(mem_);
+
+    ++round_;
+    ++res.rounds;
+  }
+  return res;
+}
+
+RunResult Machine::run_synchronous(const StopPredicate& stop) {
+  SynchronousScheduler sched;
+  return run(sched, stop);
+}
+
+void Machine::serve_round(const std::vector<ProcId>& stepping) {
+  // Group memory accesses by cell; yields are served unconditionally.
+  by_cell_.clear();
+  std::vector<ProcId> yielders;
+  for (ProcId pid : stepping) {
+    MemRequest& req = procs_[pid]->ctx.pending_;
+    WFSORT_CHECK(req.kind != OpKind::kNone);
+    if (req.kind == OpKind::kYield) {
+      yielders.push_back(pid);
+    } else {
+      by_cell_[req.addr].push_back(pid);
+      metrics_.record_access(req.addr);
+    }
+  }
+
+  std::vector<ProcId> served;
+  served.reserve(stepping.size());
+
+  for (auto& [addr, group] : by_cell_) {
+    const Word pre = mem_.load(addr);
+
+    if (opts_.memory_model == MemoryModel::kStall && group.size() > 1) {
+      // One access per cell per round; the rest stall and retry next round.
+      const std::size_t winner_index = static_cast<std::size_t>(arb_rng_.below(group.size()));
+      const ProcId winner = group[winner_index];
+      metrics_.record_stall(group.size() - 1);
+      MemRequest& req = procs_[winner]->ctx.pending_;
+      Word cur = pre;
+      switch (req.kind) {
+        case OpKind::kRead:
+          req.result = cur;
+          break;
+        case OpKind::kWrite:
+          req.result = cur;
+          mem_.store(addr, req.arg0);
+          break;
+        case OpKind::kCas:
+          req.result = cur;
+          if (cur == req.arg0) mem_.store(addr, req.arg1);
+          break;
+        case OpKind::kFaa:
+          req.result = cur;
+          mem_.store(addr, cur + req.arg0);
+          break;
+        default:
+          WFSORT_CHECK(false);
+      }
+      served.push_back(winner);
+      continue;
+    }
+
+    // CRCW: reads all observe the cell's value at the start of the round;
+    // read-modify-writes serialize in a random arbitration order within the
+    // round, so exactly one of several colliding CAS(EMPTY -> x) succeeds.
+    arb_rng_.shuffle(std::span<ProcId>(group));
+    Word cur = pre;
+    for (ProcId pid : group) {
+      MemRequest& req = procs_[pid]->ctx.pending_;
+      switch (req.kind) {
+        case OpKind::kRead:
+          req.result = pre;
+          break;
+        case OpKind::kWrite:
+          req.result = cur;
+          cur = req.arg0;
+          break;
+        case OpKind::kCas:
+          req.result = cur;
+          if (cur == req.arg0) cur = req.arg1;
+          break;
+        case OpKind::kFaa:
+          req.result = cur;
+          cur += req.arg0;
+          break;
+        default:
+          WFSORT_CHECK(false);
+      }
+      served.push_back(pid);
+    }
+    if (cur != pre) mem_.store(addr, cur);
+  }
+
+  for (ProcId pid : yielders) {
+    procs_[pid]->ctx.pending_.result = 0;
+    served.push_back(pid);
+  }
+
+  for (ProcId pid : served) {
+    metrics_.record_proc_op(pid);
+    MemRequest& req = procs_[pid]->ctx.pending_;
+    if (tracer_ != nullptr) {
+      tracer_->on_event(TraceEvent{round_, pid, req.kind, req.addr, req.arg0, req.arg1,
+                                   req.result});
+    }
+    req.kind = OpKind::kNone;
+    advance(*procs_[pid]);
+  }
+}
+
+}  // namespace pram

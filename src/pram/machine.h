@@ -1,0 +1,218 @@
+// The simulated CRCW PRAM.
+//
+// Model.  Execution proceeds in rounds.  In each round the scheduler picks a
+// set of processors; every picked processor performs exactly one pending
+// shared-memory operation (read, write, CAS, or an explicit yield) and then
+// runs its local computation — for free, as in the PRAM cost model — up to
+// its next operation.  Within a round:
+//
+//   * all READs return the cell value as of the start of the round
+//     (concurrent-read);
+//   * WRITEs and CASes targeting the same cell are serialized in a
+//     seeded-random arbitration order; each CAS observes the value left by
+//     the previous read-modify-write in that order, and for plain concurrent
+//     writes the last one in the order wins (arbitrary-winner CRCW).  This
+//     guarantees the property the algorithms rely on: of all CAS(EMPTY -> x)
+//     attempts that collide in one round, exactly one succeeds.
+//
+// Memory models.  kCrcw serves every access each round (contention is only
+// *measured*); kStall additionally makes contention cost time, as in Dwork,
+// Herlihy and Waarts' model: each cell serves one operation per round and
+// the losers stall, retrying in the next round.
+//
+// Failures.  kill(p) permanently removes a processor mid-operation —
+// whatever half-finished state it left in shared memory stays there, which
+// is exactly the failure model wait-freedom is about.  suspend(p)/awaken(p)
+// model a processor that stops taking steps (page fault, preemption) and
+// later resumes.  A per-round hook lets experiments inject these at chosen
+// rounds.
+//
+// Writing programs.  A processor program is a coroutine returning Task that
+// takes a Ctx& as its first parameter and performs co_await ctx.read(...)
+// etc.  Pass parameters BY VALUE into the coroutine.  The factory passed to
+// spawn() may be a capturing lambda, but the lambda itself must not be a
+// coroutine; have it call a free coroutine function (CppCoreGuidelines
+// CP.51).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "pram/memory.h"
+#include "pram/metrics.h"
+#include "pram/request.h"
+#include "pram/scheduler.h"
+#include "pram/task.h"
+#include "pram/trace.h"
+#include "pram/word.h"
+
+namespace pram {
+
+class Machine;
+
+// Per-processor execution context handed to programs.  Address-stable for
+// the processor's lifetime (coroutines hold a pointer to it).
+class Ctx {
+ public:
+  ProcId pid() const { return pid_; }
+  wfsort::Rng& rng() { return rng_; }
+
+  // Awaitable memory operations.  Each occupies one round when scheduled.
+  struct [[nodiscard]] Op {
+    Ctx* ctx;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    Word await_resume() const noexcept { return ctx->pending_.result; }
+  };
+
+  Op read(Addr a) {
+    pending_ = MemRequest{OpKind::kRead, a, 0, 0, 0};
+    return Op{this};
+  }
+  Op write(Addr a, Word v) {
+    pending_ = MemRequest{OpKind::kWrite, a, v, 0, 0};
+    return Op{this};
+  }
+  // Compare-and-swap; returns the value held before the operation (the CAS
+  // succeeded iff the returned word equals `expect`).
+  Op cas(Addr a, Word expect, Word desired) {
+    pending_ = MemRequest{OpKind::kCas, a, expect, desired, 0};
+    return Op{this};
+  }
+  // Fetch-and-add; returns the pre-operation value.  Concurrent FAAs to the
+  // same cell all take effect within the round (serialized in arbitration
+  // order, like CAS).
+  Op faa(Addr a, Word delta) {
+    pending_ = MemRequest{OpKind::kFaa, a, delta, 0, 0};
+    return Op{this};
+  }
+  // Spend one scheduled round without touching memory (used by the paper's
+  // winner-selection wait loop).
+  Op yield() {
+    pending_ = MemRequest{OpKind::kYield, 0, 0, 0, 0};
+    return Op{this};
+  }
+
+  // Innermost active coroutine of this processor; used by SubTask (nested
+  // subroutine coroutines) and by the Machine's round loop.  Programs never
+  // call these directly.
+  void set_current(std::coroutine_handle<> h) { current_ = h; }
+  std::coroutine_handle<> current() const { return current_; }
+
+ private:
+  friend class Machine;
+  Ctx(ProcId pid, wfsort::Rng rng) : pid_(pid), rng_(rng) {}
+
+  ProcId pid_;
+  wfsort::Rng rng_;
+  MemRequest pending_;
+  std::coroutine_handle<> current_;
+};
+
+using ProgramFactory = std::function<Task(Ctx&)>;
+
+enum class MemoryModel {
+  kCrcw,   // all concurrent accesses served; contention is measured only
+  kStall,  // one access per cell per round; losers stall (Dwork et al.)
+};
+
+struct MachineOptions {
+  std::uint64_t seed = 0x9a7a1e5ed0c0ffeeULL;
+  MemoryModel memory_model = MemoryModel::kCrcw;
+  std::uint64_t max_rounds = 100'000'000;  // safety cap against runaway programs
+};
+
+struct RunResult {
+  std::uint64_t rounds = 0;        // rounds executed by this run() call
+  bool all_finished = false;       // every live processor's program returned
+  bool predicate_hit = false;      // the caller's stop predicate fired
+  bool hit_round_cap = false;      // stopped by MachineOptions::max_rounds
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineOptions opts = {});
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  Memory& mem() { return mem_; }
+  const Memory& mem() const { return mem_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  // Create a processor running the given program.  May be called between
+  // run() calls (thread spawning in the paper's OS scenario).
+  ProcId spawn(ProgramFactory factory);
+  std::size_t procs() const { return procs_.size(); }
+
+  // Failure injection.
+  void kill(ProcId p);
+  void suspend(ProcId p);
+  void awaken(ProcId p);
+  bool killed(ProcId p) const;
+  bool finished(ProcId p) const;
+
+  // Count of processors that are alive (not killed), regardless of progress.
+  std::size_t live_procs() const;
+
+  // Invoked at the start of every round; experiments use it to kill/suspend/
+  // spawn at chosen times.
+  using RoundHook = std::function<void(Machine&, std::uint64_t round)>;
+  void set_round_hook(RoundHook hook) { round_hook_ = std::move(hook); }
+
+  // Observe every served memory operation (nullptr disables tracing).  The
+  // tracer must outlive the run.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  using StopPredicate = std::function<bool(const Machine&)>;
+
+  // Run rounds under `sched` until every eligible processor has finished,
+  // `stop` fires, or the round cap is reached.  Resumable: a later run()
+  // continues where the previous one left off.
+  RunResult run(Scheduler& sched, const StopPredicate& stop = nullptr);
+
+  // Convenience: run under the faultless synchronous schedule.
+  RunResult run_synchronous(const StopPredicate& stop = nullptr);
+
+  std::uint64_t current_round() const { return round_; }
+
+ private:
+  struct Proc {
+    Ctx ctx;
+    Task task;
+    ProgramFactory factory;  // kept alive for the coroutine's lifetime
+    bool started = false;
+    bool killed = false;
+    bool suspended = false;
+
+    Proc(ProcId pid, wfsort::Rng rng) : ctx(pid, rng) {}
+  };
+
+  // Start-or-resume p's coroutine: runs local computation to the next memory
+  // request or to completion.
+  void advance(Proc& p);
+  bool eligible(const Proc& p) const;
+  void serve_round(const std::vector<ProcId>& stepping);
+
+  MachineOptions opts_;
+  Memory mem_;
+  Metrics metrics_;
+  wfsort::Rng arb_rng_;  // arbitration randomness
+  std::vector<std::unique_ptr<Proc>> procs_;
+  RoundHook round_hook_;
+  Tracer* tracer_ = nullptr;
+  std::uint64_t round_ = 0;
+
+  // Scratch buffers reused across rounds.
+  std::vector<bool> eligible_scratch_;
+  std::vector<bool> stepping_scratch_;
+  std::vector<ProcId> stepping_list_;
+  std::unordered_map<Addr, std::vector<ProcId>> by_cell_;
+};
+
+}  // namespace pram

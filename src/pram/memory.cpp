@@ -1,0 +1,47 @@
+#include "pram/memory.h"
+
+#include "common/check.h"
+
+namespace pram {
+
+Region Memory::alloc(std::string_view name, Addr size, Word fill) {
+  WFSORT_CHECK(size > 0);
+  Region r{std::string(name), static_cast<Addr>(cells_.size()), size};
+  cells_.resize(cells_.size() + size, fill);
+  regions_.push_back(r);
+  return r;
+}
+
+Word Memory::peek(Addr a) const { return load(a); }
+
+void Memory::poke(Addr a, Word v) { store(a, v); }
+
+Word Memory::load(Addr a) const {
+  WFSORT_CHECK(a < cells_.size());
+  return cells_[a];
+}
+
+void Memory::store(Addr a, Word v) {
+  WFSORT_CHECK(a < cells_.size());
+  cells_[a] = v;
+}
+
+const Region* Memory::region_of(Addr a) const {
+  for (const Region& r : regions_) {
+    if (r.contains(a)) return &r;
+  }
+  return nullptr;
+}
+
+void Memory::fill_region(const Region& r, const std::vector<Word>& values) {
+  WFSORT_CHECK(values.size() == r.size);
+  for (Addr i = 0; i < r.size; ++i) cells_[r.base + i] = values[i];
+}
+
+std::vector<Word> Memory::read_region(const Region& r) const {
+  std::vector<Word> out(r.size);
+  for (Addr i = 0; i < r.size; ++i) out[i] = cells_[r.base + i];
+  return out;
+}
+
+}  // namespace pram

@@ -1,0 +1,53 @@
+// Shared memory of the simulated PRAM, with named regions.
+//
+// Regions exist purely for diagnostics: contention reports attribute the
+// hottest cells to a region ("quicksort-tree child pointers", "WAT nodes",
+// ...) so experiment output is readable.  peek/poke bypass the round
+// mechanism and cost model; they are for test setup and result verification
+// only, never for use inside processor programs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pram/word.h"
+
+namespace pram {
+
+struct Region {
+  std::string name;
+  Addr base = 0;
+  Addr size = 0;
+
+  bool contains(Addr a) const { return a >= base && a < base + size; }
+};
+
+class Memory {
+ public:
+  // Allocate `size` words initialized to `fill`; returns the region.
+  Region alloc(std::string_view name, Addr size, Word fill = 0);
+
+  Addr size() const { return static_cast<Addr>(cells_.size()); }
+
+  Word peek(Addr a) const;
+  void poke(Addr a, Word v);
+
+  // Direct cell access for the machine's round loop (bounds-checked).
+  Word load(Addr a) const;
+  void store(Addr a, Word v);
+
+  // Region whose range covers `a`; returns nullptr for unattributed cells.
+  const Region* region_of(Addr a) const;
+  const std::vector<Region>& regions() const { return regions_; }
+
+  // Convenience: copy a span of words in/out of a region.
+  void fill_region(const Region& r, const std::vector<Word>& values);
+  std::vector<Word> read_region(const Region& r) const;
+
+ private:
+  std::vector<Word> cells_;
+  std::vector<Region> regions_;
+};
+
+}  // namespace pram

@@ -1,0 +1,42 @@
+#include "pram/metrics.h"
+
+#include <algorithm>
+
+namespace pram {
+
+void Metrics::begin_round() { round_counts_.clear(); }
+
+void Metrics::record_access(Addr a) { ++round_counts_[a]; }
+
+void Metrics::record_proc_op(ProcId p) {
+  if (proc_ops_.size() <= p) proc_ops_.resize(p + 1, 0);
+  ++proc_ops_[p];
+  ++total_ops_;
+}
+
+void Metrics::end_round(const Memory& mem) {
+  ++rounds_;
+  std::uint32_t round_max = 1;
+  for (const auto& [addr, count] : round_counts_) {
+    round_max = std::max(round_max, count);
+    contention_hist_.add(count);
+    if (count > max_contention_) {
+      max_contention_ = count;
+      hottest_addr_ = addr;
+      hottest_round_ = rounds_;
+    }
+    if (const Region* r = mem.region_of(addr)) {
+      std::size_t& region_max = region_contention_[r->name];
+      region_max = std::max<std::size_t>(region_max, count);
+    }
+  }
+  qrqw_time_ += round_max;
+}
+
+std::uint64_t Metrics::max_proc_ops() const {
+  std::uint64_t m = 0;
+  for (std::uint64_t v : proc_ops_) m = std::max(m, v);
+  return m;
+}
+
+}  // namespace pram

@@ -1,0 +1,84 @@
+// Execution metrics of a simulated run.
+//
+// The paper defines contention as "the maximum number of concurrent accesses
+// to any single variable" (Section 1.2).  The simulator measures exactly
+// this: for every round, the number of processors whose memory operation
+// targets each cell; the maximum over all (cell, round) pairs is the run's
+// contention.  We additionally keep a histogram of per-(cell, round) access
+// counts, per-region maxima for attribution, per-processor step counts (the
+// empirical wait-free bound), and — in the stall memory model — the total
+// number of stalls as defined by Dwork, Herlihy and Waarts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "pram/memory.h"
+#include "pram/word.h"
+
+namespace pram {
+
+class Metrics {
+ public:
+  explicit Metrics(std::size_t histogram_buckets = 4096)
+      : contention_hist_(histogram_buckets) {}
+
+  // --- recording (driven by the Machine's round loop) ---
+  void begin_round();
+  void record_access(Addr a);
+  void record_proc_op(ProcId p);
+  void record_stall(std::uint64_t n = 1) { stalls_ += n; }
+  void end_round(const Memory& mem);
+
+  // --- queries ---
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t total_ops() const { return total_ops_; }
+  std::uint64_t stalls() const { return stalls_; }
+
+  // The paper's contention measure: max concurrent accesses to one variable.
+  std::size_t max_cell_contention() const { return max_contention_; }
+
+  // Time under the QRQW PRAM cost model (Gibbons, Matias & Ramachandran,
+  // cited by the paper): each round costs its maximum per-cell multiplicity
+  // instead of 1, so contention directly lengthens the run.  Rounds with no
+  // memory traffic cost 1.
+  std::uint64_t qrqw_time() const { return qrqw_time_; }
+  Addr hottest_addr() const { return hottest_addr_; }
+  std::uint64_t hottest_round() const { return hottest_round_; }
+
+  // Histogram over per-(cell, round) access counts (bucket k = "a cell was
+  // accessed by k processors in some round", counted once per such pair).
+  const wfsort::Histogram& contention_histogram() const { return contention_hist_; }
+
+  // Max contention attributed to each named memory region.
+  const std::map<std::string, std::size_t>& region_contention() const {
+    return region_contention_;
+  }
+
+  // Steps (memory operations incl. yields) executed by each processor; the
+  // max over processors is the empirical per-processor wait-free step bound.
+  const std::vector<std::uint64_t>& proc_ops() const { return proc_ops_; }
+  std::uint64_t max_proc_ops() const;
+
+ private:
+  std::uint64_t rounds_ = 0;
+  std::uint64_t total_ops_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t qrqw_time_ = 0;
+
+  std::size_t max_contention_ = 0;
+  Addr hottest_addr_ = 0;
+  std::uint64_t hottest_round_ = 0;
+
+  wfsort::Histogram contention_hist_;
+  std::map<std::string, std::size_t> region_contention_;
+  std::vector<std::uint64_t> proc_ops_;
+
+  std::unordered_map<Addr, std::uint32_t> round_counts_;  // scratch, per round
+};
+
+}  // namespace pram

@@ -1,0 +1,30 @@
+#include "pram/primitives.h"
+
+#include "common/check.h"
+
+namespace pram {
+
+PramBarrier make_barrier(Memory& mem, std::string_view name, std::uint32_t parties) {
+  WFSORT_CHECK(parties >= 1);
+  PramBarrier b;
+  b.cells = mem.alloc(name, 2, 0);
+  b.parties = parties;
+  return b;
+}
+
+SubTask<void> barrier_wait(Ctx& ctx, PramBarrier barrier) {
+  const Word gen = co_await ctx.read(barrier.gen_addr());
+  const Word arrived = co_await ctx.faa(barrier.count_addr(), 1);
+  if (arrived == static_cast<Word>(barrier.parties) - 1) {
+    // Last arrival: reset the count and release everyone.
+    co_await ctx.write(barrier.count_addr(), 0);
+    co_await ctx.write(barrier.gen_addr(), gen + 1);
+    co_return;
+  }
+  while (true) {
+    const Word g = co_await ctx.read(barrier.gen_addr());
+    if (g != gen) co_return;
+  }
+}
+
+}  // namespace pram

@@ -1,0 +1,32 @@
+// Shared-memory coordination primitives for PRAM programs.
+//
+// These are the *blocking* primitives classic PRAM algorithms assume and
+// wait-free algorithms exist to avoid: a sense-reversing barrier built on
+// fetch-and-add.  They are provided for the baseline programs (the classic
+// parallel quicksort of E15) so the cost — and the deadlock-on-failure —
+// of barrier synchronization can be measured against the paper's approach.
+#pragma once
+
+#include <string_view>
+
+#include "pram/machine.h"
+#include "pram/subtask.h"
+
+namespace pram {
+
+struct PramBarrier {
+  Region cells;  // [0] = arrival count, [1] = generation
+  std::uint32_t parties = 0;
+
+  Addr count_addr() const { return cells.base; }
+  Addr gen_addr() const { return cells.base + 1; }
+};
+
+PramBarrier make_barrier(Memory& mem, std::string_view name, std::uint32_t parties);
+
+// Block (spin on the generation cell) until all `parties` processors have
+// arrived.  One spin iteration costs one round, as on a real machine.
+// NOT wait-free: if any party never arrives, everyone else spins forever.
+SubTask<void> barrier_wait(Ctx& ctx, PramBarrier barrier);
+
+}  // namespace pram

@@ -1,0 +1,25 @@
+// A processor's pending shared-memory operation for the current round.
+#pragma once
+
+#include "pram/word.h"
+
+namespace pram {
+
+enum class OpKind : std::uint8_t {
+  kNone,   // no pending operation (not yet started, or finished)
+  kRead,   // result = M[addr]
+  kWrite,  // M[addr] = arg0
+  kCas,    // if M[addr] == arg0 then M[addr] = arg1; result = old M[addr]
+  kFaa,    // M[addr] += arg0; result = old M[addr] (fetch-and-add)
+  kYield,  // local delay step: occupies a round, touches no memory
+};
+
+struct MemRequest {
+  OpKind kind = OpKind::kNone;
+  Addr addr = 0;
+  Word arg0 = 0;    // write value / CAS expected
+  Word arg1 = 0;    // CAS desired
+  Word result = 0;  // filled by the machine before the processor resumes
+};
+
+}  // namespace pram

@@ -1,0 +1,84 @@
+// Schedulers decide, round by round, which eligible processors take a step.
+//
+// Wait-freedom must hold under *every* schedule, so the simulator treats the
+// schedule as an adversary supplied by the experiment.  "Eligible" means the
+// processor exists, has not finished, has not been killed and is not
+// suspended; the scheduler may only choose among eligible processors.
+// Processor *failures* (kill/suspend/revive) are injected separately through
+// the Machine's round hook, keeping "who crashed" orthogonal to "who is
+// slow".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "pram/word.h"
+
+namespace pram {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Set stepping[p] = true for each eligible processor that takes a step in
+  // this round.  stepping is pre-sized to eligible.size() and all-false.
+  virtual void select(std::uint64_t round, const std::vector<bool>& eligible,
+                      std::vector<bool>& stepping) = 0;
+};
+
+// The faultless synchronous CRCW PRAM: everyone steps every round.  All of
+// the paper's running-time lemmas are stated for this schedule.
+class SynchronousScheduler final : public Scheduler {
+ public:
+  void select(std::uint64_t round, const std::vector<bool>& eligible,
+              std::vector<bool>& stepping) override;
+};
+
+// Each eligible processor independently steps with probability `p` per round
+// (a standard model of asynchrony).  If the coin flips select nobody, the
+// first eligible processor is forced to step so the system always makes
+// progress — without this a run could spin in empty rounds forever.
+class RandomSubsetScheduler final : public Scheduler {
+ public:
+  RandomSubsetScheduler(double p, std::uint64_t seed);
+
+  void select(std::uint64_t round, const std::vector<bool>& eligible,
+              std::vector<bool>& stepping) override;
+
+ private:
+  double p_;
+  wfsort::Rng rng_;
+};
+
+// Exactly `width` eligible processors step per round, in rotation.  With
+// width = 1 this is the fully-sequential adversary: it serializes the whole
+// algorithm and is the harshest legal schedule for a wait-free run.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(std::uint32_t width) : width_(width) {}
+
+  void select(std::uint64_t round, const std::vector<bool>& eligible,
+              std::vector<bool>& stepping) override;
+
+ private:
+  std::uint32_t width_;
+  std::uint64_t cursor_ = 0;
+};
+
+// Adversary that deliberately starves a moving subset: in each window of
+// `period` rounds a different half of the processors is frozen.  Exercises
+// the "processors may be arbitrarily delayed and later resume" clause of the
+// wait-free definition without killing anyone.
+class HalfFreezeScheduler final : public Scheduler {
+ public:
+  explicit HalfFreezeScheduler(std::uint64_t period) : period_(period) {}
+
+  void select(std::uint64_t round, const std::vector<bool>& eligible,
+              std::vector<bool>& stepping) override;
+
+ private:
+  std::uint64_t period_;
+};
+
+}  // namespace pram

@@ -1,0 +1,164 @@
+// Nested coroutine subroutines for PRAM programs.
+//
+// The paper presents its algorithms as a hierarchy of routines
+// (next_element, build_tree, tree_sum, ...).  SubTask<T> lets simulator
+// programs mirror that structure: a subroutine is a coroutine returning
+// SubTask<T> whose first parameter is Ctx&, and a caller invokes it with
+// `T v = co_await next_element(ctx, tree, i);`.
+//
+// Mechanics: every Ctx tracks the innermost active coroutine
+// (Ctx::current()).  When a SubTask is awaited, the child registers itself
+// as current and starts via symmetric transfer; when it completes, it
+// restores its parent as current and transfers back.  The Machine always
+// resumes Ctx::current(), so memory operations issued at any nesting depth
+// suspend straight back to the round loop.
+//
+// The promise constructor requires the subroutine's first parameter to be
+// Ctx& (C++20 promise-constructor argument matching); passing anything else
+// first is a compile error, which keeps the registration automatic.
+//
+// TOOLCHAIN PITFALL: when calling a coroutine from inside another coroutine,
+// do not pass non-trivial arguments (std::function, std::string, ...) as
+// prvalue temporaries — GCC 12.x double-destroys the parameter copy
+// (observed as free() of frame-interior pointers).  Bind the argument to a
+// named local first and pass the lvalue; see det_sort_worker for the
+// pattern.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.h"
+#include "pram/machine.h"
+
+namespace pram {
+
+template <typename T>
+class [[nodiscard]] SubTask {
+ public:
+  struct promise_type {
+    Ctx* ctx = nullptr;
+    std::coroutine_handle<> continuation;
+    T value{};
+    std::exception_ptr exception;
+
+    template <typename... Args>
+    explicit promise_type(Ctx& c, Args&&...) : ctx(&c) {}
+
+    // Member/lambda coroutines receive the object as an implicit first
+    // argument; accept (object, Ctx&, ...) as well.
+    template <typename Obj, typename... Args>
+      requires(!std::is_convertible_v<Obj&&, Ctx&>)
+    explicit promise_type(Obj&&, Ctx& c, Args&&...) : ctx(&c) {}
+
+    SubTask get_return_object() {
+      return SubTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<promise_type> h) const noexcept {
+        promise_type& p = h.promise();
+        p.ctx->set_current(p.continuation);
+        return p.continuation;
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  explicit SubTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  SubTask(const SubTask&) = delete;
+  SubTask& operator=(const SubTask&) = delete;
+  SubTask(SubTask&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  ~SubTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  // Awaiter used by the parent coroutine.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+    promise_type& p = handle_.promise();
+    p.continuation = parent;
+    p.ctx->set_current(handle_);
+    return handle_;  // symmetric transfer: start the child immediately
+  }
+  T await_resume() {
+    promise_type& p = handle_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+    return std::move(p.value);
+  }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+// void specialization.
+template <>
+class [[nodiscard]] SubTask<void> {
+ public:
+  struct promise_type {
+    Ctx* ctx = nullptr;
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    template <typename... Args>
+    explicit promise_type(Ctx& c, Args&&...) : ctx(&c) {}
+
+    // Member/lambda coroutines receive the object as an implicit first
+    // argument; accept (object, Ctx&, ...) as well.
+    template <typename Obj, typename... Args>
+      requires(!std::is_convertible_v<Obj&&, Ctx&>)
+    explicit promise_type(Obj&&, Ctx& c, Args&&...) : ctx(&c) {}
+
+    SubTask get_return_object() {
+      return SubTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<promise_type> h) const noexcept {
+        promise_type& p = h.promise();
+        p.ctx->set_current(p.continuation);
+        return p.continuation;
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  explicit SubTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  SubTask(const SubTask&) = delete;
+  SubTask& operator=(const SubTask&) = delete;
+  SubTask(SubTask&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  ~SubTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+    promise_type& p = handle_.promise();
+    p.continuation = parent;
+    p.ctx->set_current(handle_);
+    return handle_;
+  }
+  void await_resume() {
+    promise_type& p = handle_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+  }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace pram

@@ -1,0 +1,72 @@
+// Coroutine task type for virtual PRAM processors.
+//
+// A processor program is an ordinary C++20 coroutine returning pram::Task.
+// Every shared-memory operation is expressed as `co_await ctx.read(a)` etc.;
+// the coroutine suspends at each such operation and the Machine's round loop
+// resumes it once the operation has been served under CRCW semantics.  Local
+// computation between memory operations runs to completion inside a single
+// resume and is free, matching the PRAM cost model where one round is one
+// shared-memory step.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace pram {
+
+class Task {
+ public:
+  struct promise_type {
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_.done(); }
+  std::coroutine_handle<> handle() const { return handle_; }
+
+  // Run the coroutine until its next suspension point (or completion).
+  void resume() { handle_.resume(); }
+
+  // Rethrow any exception that escaped the coroutine body.
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.done() && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace pram

@@ -1,0 +1,64 @@
+#include "pram/trace.h"
+
+#include <cstdio>
+
+namespace pram {
+
+std::string format_event(const TraceEvent& event, const Memory* mem) {
+  const char* kind = "?";
+  switch (event.kind) {
+    case OpKind::kRead: kind = "READ"; break;
+    case OpKind::kWrite: kind = "WRITE"; break;
+    case OpKind::kCas: kind = "CAS"; break;
+    case OpKind::kFaa: kind = "FAA"; break;
+    case OpKind::kYield: kind = "YIELD"; break;
+    case OpKind::kNone: kind = "NONE"; break;
+  }
+
+  char where[96];
+  const Region* region = mem != nullptr ? mem->region_of(event.addr) : nullptr;
+  if (region != nullptr) {
+    std::snprintf(where, sizeof(where), "%s[+%llu]", region->name.c_str(),
+                  static_cast<unsigned long long>(event.addr - region->base));
+  } else {
+    std::snprintf(where, sizeof(where), "@%llu",
+                  static_cast<unsigned long long>(event.addr));
+  }
+
+  char buf[256];
+  switch (event.kind) {
+    case OpKind::kRead:
+      std::snprintf(buf, sizeof(buf), "r%llu p%u READ %s -> %lld",
+                    static_cast<unsigned long long>(event.round), event.pid, where,
+                    static_cast<long long>(event.result));
+      break;
+    case OpKind::kWrite:
+      std::snprintf(buf, sizeof(buf), "r%llu p%u WRITE %s = %lld",
+                    static_cast<unsigned long long>(event.round), event.pid, where,
+                    static_cast<long long>(event.arg0));
+      break;
+    case OpKind::kCas:
+      std::snprintf(buf, sizeof(buf), "r%llu p%u CAS %s exp=%lld des=%lld -> %lld",
+                    static_cast<unsigned long long>(event.round), event.pid, where,
+                    static_cast<long long>(event.arg0), static_cast<long long>(event.arg1),
+                    static_cast<long long>(event.result));
+      break;
+    case OpKind::kFaa:
+      std::snprintf(buf, sizeof(buf), "r%llu p%u FAA %s += %lld -> %lld",
+                    static_cast<unsigned long long>(event.round), event.pid, where,
+                    static_cast<long long>(event.arg0),
+                    static_cast<long long>(event.result));
+      break;
+    case OpKind::kYield:
+      std::snprintf(buf, sizeof(buf), "r%llu p%u YIELD",
+                    static_cast<unsigned long long>(event.round), event.pid);
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "r%llu p%u %s %s",
+                    static_cast<unsigned long long>(event.round), event.pid, kind, where);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace pram

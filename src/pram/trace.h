@@ -1,0 +1,58 @@
+// Execution tracing for the simulated PRAM.
+//
+// A Tracer observes every served memory operation (round, processor, kind,
+// address, operands, result).  Useful for debugging simulator programs and
+// for teaching: a trace of a 4-processor run of build_tree reads like the
+// paper's walkthrough.  Tracing is off unless a tracer is installed; the
+// cost is a single branch per op otherwise.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "pram/memory.h"
+#include "pram/request.h"
+#include "pram/word.h"
+
+namespace pram {
+
+struct TraceEvent {
+  std::uint64_t round = 0;
+  ProcId pid = 0;
+  OpKind kind = OpKind::kNone;
+  Addr addr = 0;
+  Word arg0 = 0;    // write value / CAS expected
+  Word arg1 = 0;    // CAS desired
+  Word result = 0;  // value delivered to the processor
+};
+
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+// Keeps the most recent `capacity` events in memory.
+class RingTracer final : public Tracer {
+ public:
+  explicit RingTracer(std::size_t capacity) : capacity_(capacity) {}
+
+  void on_event(const TraceEvent& event) override {
+    if (events_.size() == capacity_) events_.pop_front();
+    events_.push_back(event);
+    ++total_;
+  }
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  std::uint64_t total_events() const { return total_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t total_ = 0;
+};
+
+// "r12 p3 CAS qs child pointers[+5] exp=-1 des=7 -> -1"
+std::string format_event(const TraceEvent& event, const Memory* mem = nullptr);
+
+}  // namespace pram

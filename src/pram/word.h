@@ -1,0 +1,22 @@
+// Fundamental types of the PRAM model.
+//
+// The simulated machine is a word-addressable shared memory of 64-bit signed
+// words.  All algorithm values (keys, indices, flags) are encoded as Words;
+// negative values are reserved for sentinels so that array indices and keys
+// stored by the sorting programs are always non-negative.
+#pragma once
+
+#include <cstdint>
+
+namespace pram {
+
+using Word = std::int64_t;
+using Addr = std::uint64_t;
+using ProcId = std::uint32_t;
+
+// Common sentinels used by the sorting and work-allocation programs.
+inline constexpr Word kEmpty = -1;    // uninitialized pointer / cell
+inline constexpr Word kDone = -2;     // WAT: subtree completed
+inline constexpr Word kAllDone = -3;  // LC-WAT: completion announcement
+
+}  // namespace pram

@@ -1,0 +1,27 @@
+#include "pramsort/classic_programs.h"
+
+#include "pramsort/det_programs.h"
+
+namespace wfsort::sim {
+
+pram::Task classic_sort_worker(pram::Ctx& ctx, SortLayout l, pram::PramBarrier barrier,
+                               ClassicSortConfig cfg) {
+  const pram::Word root = 0;
+  const std::uint32_t pid = ctx.pid();
+
+  // Phase 1: static ownership — processor p inserts elements p, p+P, ...
+  // No WAT, no helping: if p dies, its elements are simply never inserted.
+  for (std::uint64_t i = pid; i < l.n; i += cfg.procs) {
+    co_await build_tree(ctx, l, static_cast<pram::Word>(i), root);
+  }
+  co_await pram::barrier_wait(ctx, barrier);
+
+  // Phases 2 and 3 reuse the shared traversals; the barrier between them is
+  // what makes Figure 6's placed-prune safe here (lockstep phase entry).
+  co_await tree_sum_prog(ctx, l, root);
+  co_await pram::barrier_wait(ctx, barrier);
+  co_await find_place_prog(ctx, l, root, cfg.prune);
+  co_await pram::barrier_wait(ctx, barrier);
+}
+
+}  // namespace wfsort::sim

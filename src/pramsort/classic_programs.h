@@ -1,0 +1,30 @@
+// The classic (non-fault-tolerant) parallel quicksort the paper descends
+// from — Martel & Gusfield / Chlebus & Vrto style, adapted to our layout.
+//
+// Identical tree phases to the wait-free sort, but with the machinery the
+// paper adds stripped away: no work-assignment trees (processor p simply
+// owns elements p, p+P, ...), no per-processor completion guarantees, and
+// barrier synchronization between the phases.  It is faster in rounds —
+// that difference is the measured "price of wait-freedom" (E15) — and it
+// deadlocks if a single processor dies at a barrier, which E15 also shows.
+#pragma once
+
+#include "pram/machine.h"
+#include "pram/primitives.h"
+#include "pramsort/det_programs.h"
+#include "pramsort/layout.h"
+
+namespace wfsort::sim {
+
+struct ClassicSortConfig {
+  std::uint32_t procs = 1;
+  // Default to the same (best) pruning policy the wait-free sort uses, so
+  // E15 isolates the cost of the wait-freedom machinery itself rather than
+  // of Figure 6's prune rule (ablated separately in E12a).
+  PlacePrune prune = PlacePrune::kCompleted;
+};
+
+pram::Task classic_sort_worker(pram::Ctx& ctx, SortLayout l, pram::PramBarrier barrier,
+                               ClassicSortConfig cfg);
+
+}  // namespace wfsort::sim

@@ -1,0 +1,210 @@
+#include "pramsort/det_programs.h"
+
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace wfsort::sim {
+
+namespace {
+constexpr int kSmall = SortLayout::kSmall;
+constexpr int kBig = SortLayout::kBig;
+
+// First-visited child for worker `pid` at `depth`.  Hashed bits keep
+// helpers spread at every depth; raw PID bits (the paper's literal rule)
+// are kept for the E12 ablation.
+int pid_first_side(pram::ProcId pid, std::uint32_t depth, bool raw = false) {
+  if (raw) return ((pid >> (depth % 32)) & 1u) != 0 ? kBig : kSmall;
+  const std::uint64_t h =
+      wfsort::mix64((std::uint64_t{pid} << 32) | std::uint64_t{depth});
+  return (h & 1u) != 0 ? kBig : kSmall;
+}
+}  // namespace
+
+pram::SubTask<void> build_tree(pram::Ctx& ctx, SortLayout l, pram::Word i, pram::Word root) {
+  if (i == root) co_return;
+  const pram::Word ikey = co_await ctx.read(l.key_addr(i));
+  pram::Word parent = root;
+  while (true) {
+    const pram::Word pkey = co_await ctx.read(l.key_addr(parent));
+    const int side = SortLayout::key_less(ikey, i, pkey, parent) ? kSmall : kBig;
+    // CAS returns the previous slot value; success iff it was EMPTY.  If the
+    // slot already holds i, another processor installed our element.
+    const pram::Word old = co_await ctx.cas(l.child_addr(parent, side), pram::kEmpty, i);
+    if (old == pram::kEmpty || old == i) co_return;
+    parent = old;
+  }
+}
+
+pram::SubTask<pram::Word> tree_sum_prog(pram::Ctx& ctx, SortLayout l, pram::Word root) {
+  // Iterative Figure 5 (the simulator's coroutines do not recurse; an
+  // explicit frame stack is local computation and therefore free).
+  struct Frame {
+    pram::Word node;
+    std::uint32_t depth;
+    std::uint8_t stage;
+    pram::Word first_sum;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0, 0, 0});
+  pram::Word ret = 0;
+
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    if (f.node == pram::kEmpty) {
+      ret = 0;
+      stack.pop_back();
+      continue;
+    }
+    switch (f.stage) {
+      case 0: {
+        const pram::Word s = co_await ctx.read(l.size_addr(f.node));
+        if (s > 0) {
+          ret = s;
+          stack.pop_back();
+          break;
+        }
+        stack.back().stage = 1;
+        const int side = pid_first_side(ctx.pid(), f.depth);  // hashed spread
+        const pram::Word c = co_await ctx.read(l.child_addr(f.node, side));
+        stack.push_back({c, f.depth + 1, 0, 0});
+        break;
+      }
+      case 1: {
+        stack.back().first_sum = ret;
+        stack.back().stage = 2;
+        const int side = 1 - pid_first_side(ctx.pid(), f.depth);
+        const pram::Word c = co_await ctx.read(l.child_addr(f.node, side));
+        stack.push_back({c, f.depth + 1, 0, 0});
+        break;
+      }
+      default: {
+        const pram::Word total = f.first_sum + ret + 1;
+        co_await ctx.write(l.size_addr(f.node), total);
+        ret = total;
+        stack.pop_back();
+        break;
+      }
+    }
+  }
+  co_return ret;
+}
+
+pram::SubTask<void> find_place_prog(pram::Ctx& ctx, SortLayout l, pram::Word root,
+                                    PlacePrune prune, bool raw_pid_spread) {
+  struct Frame {
+    pram::Word node;
+    pram::Word sub;
+    std::uint32_t depth;
+    std::uint8_t stage;  // 1 = post-frame (kCompleted): subtree fully placed
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0, 0, 0});
+
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    if (f.node == pram::kEmpty) {
+      stack.pop_back();
+      continue;
+    }
+    if (f.stage == 1) {
+      co_await ctx.write(l.pdone_addr(f.node), 1);
+      stack.pop_back();
+      continue;
+    }
+    if (prune == PlacePrune::kPlaced) {
+      const pram::Word pl = co_await ctx.read(l.place_addr(f.node));
+      if (pl > 0) {
+        stack.pop_back();
+        continue;
+      }
+    } else if (prune == PlacePrune::kCompleted) {
+      const pram::Word d = co_await ctx.read(l.pdone_addr(f.node));
+      if (d != 0) {
+        stack.pop_back();
+        continue;
+      }
+    }
+    const pram::Word small = co_await ctx.read(l.child_addr(f.node, kSmall));
+    pram::Word s = 0;
+    if (small != pram::kEmpty) s = co_await ctx.read(l.size_addr(small));
+    const pram::Word pl = f.sub + s + 1;
+    co_await ctx.write(l.place_addr(f.node), pl);
+    // Element shuffling: move the key to its final rank.
+    const pram::Word key = co_await ctx.read(l.key_addr(f.node));
+    co_await ctx.write(l.out_addr(pl - 1), key);
+
+    const pram::Word big = co_await ctx.read(l.child_addr(f.node, kBig));
+    if (prune == PlacePrune::kCompleted) {
+      stack.back().stage = 1;  // revisit after the children to mark complete
+    } else {
+      stack.pop_back();
+    }
+    const Frame fs{small, f.sub, f.depth + 1, 0};
+    const Frame fb{big, f.sub + s + 1, f.depth + 1, 0};
+    if (pid_first_side(ctx.pid(), f.depth, raw_pid_spread) == kSmall) {
+      stack.push_back(fb);  // LIFO: second visit pushed first
+      stack.push_back(fs);
+    } else {
+      stack.push_back(fs);
+      stack.push_back(fb);
+    }
+  }
+}
+
+pram::SubTask<void> random_first_build(pram::Ctx& ctx, SortLayout l, PramWat wat,
+                                       std::uint32_t nprocs, pram::Word root) {
+  const std::uint32_t needed_misses = std::max<std::uint32_t>(1, log2_ceil(wat.jobs));
+  std::uint32_t misses = 0;
+  std::uint64_t last_leaf = wat.tree.leaf(wat.jobs * (ctx.pid() % nprocs) / nprocs);
+
+  while (misses < needed_misses) {
+    const std::uint64_t j = ctx.rng().below(wat.jobs);
+    const std::uint64_t leaf = wat.tree.leaf(j);
+    const pram::Word v = co_await ctx.read(wat.node_addr(leaf));
+    if (v == pram::kDone) {
+      ++misses;
+      continue;
+    }
+    misses = 0;
+    co_await build_tree(ctx, l, static_cast<pram::Word>(j), root);
+    // Mark the leaf and propagate completion up the WAT (next_element's
+    // ascent); we ignore the element it hands back — the next pick is random.
+    const pram::Word nxt =
+        co_await next_element(ctx, wat, static_cast<pram::Word>(leaf));
+    if (nxt == pram::kDone) co_return;
+    last_leaf = leaf;
+  }
+
+  // Fall back to deterministic allocation from the last random position.
+  pram::Word node = static_cast<pram::Word>(last_leaf);
+  while (true) {
+    const std::uint64_t u = static_cast<std::uint64_t>(node);
+    if (wat.tree.is_leaf(u)) {
+      const std::uint64_t j = wat.tree.leaf_rank(u);
+      if (j < wat.jobs) {
+        co_await build_tree(ctx, l, static_cast<pram::Word>(j), root);
+      }
+    }
+    node = co_await next_element(ctx, wat, node);
+    if (node == pram::kDone) co_return;
+  }
+}
+
+pram::Task det_sort_worker(pram::Ctx& ctx, SortLayout l, PramWat wat, DetSortConfig cfg) {
+  const pram::Word root = 0;
+  if (cfg.random_first) {
+    co_await random_first_build(ctx, l, wat, cfg.procs, root);
+  } else {
+    PramJobFn job = [l, root](pram::Ctx& c, std::uint64_t j) {
+      return build_tree(c, l, static_cast<pram::Word>(j), root);
+    };
+    co_await wat_skeleton(ctx, wat, cfg.procs, job);
+  }
+  co_await tree_sum_prog(ctx, l, root);
+  co_await find_place_prog(ctx, l, root, cfg.prune, cfg.raw_pid_spread);
+}
+
+}  // namespace wfsort::sim

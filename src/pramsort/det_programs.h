@@ -1,0 +1,56 @@
+// The deterministic wait-free sort (paper Section 2) as PRAM programs.
+//
+// Every shared-memory access of Figures 4-6 is a co_await, so the machine's
+// round counter and contention meter measure exactly what the paper's
+// lemmas talk about.  Local computation (stack bookkeeping, comparisons on
+// values already read) is free, per the PRAM cost model.
+#pragma once
+
+#include <cstdint>
+
+#include "pram/machine.h"
+#include "pram/subtask.h"
+#include "pramsort/layout.h"
+#include "workalloc/wat_program.h"
+
+namespace wfsort::sim {
+
+// Phase-3 pruning policy (see core/options.h for the full discussion):
+// kNone never prunes, kPlaced is Figure 6's rule (sound only under faultless
+// lockstep entry), kCompleted prunes on bottom-up completion flags (sound
+// under crashes, shares the remaining work; the default).
+enum class PlacePrune { kNone, kPlaced, kCompleted };
+
+struct DetSortConfig {
+  std::uint32_t procs = 1;
+  PlacePrune prune = PlacePrune::kCompleted;
+  bool random_first = false;  // Section 2.3's randomized phase-1 work pickup
+  // Spread processors with raw PID bits only (the paper's literal rule;
+  // depths beyond log P then all descend SMALL first) instead of hashed
+  // decision bits.  For the E12 ablation.
+  bool raw_pid_spread = false;
+};
+
+// Figure 4.  Insert element i, descending from `root`.
+pram::SubTask<void> build_tree(pram::Ctx& ctx, SortLayout l, pram::Word i, pram::Word root);
+
+// Figure 5.  Sum every subtree reachable from `root`; PID bits spread
+// processors across children.  Returns the root's size.
+pram::SubTask<pram::Word> tree_sum_prog(pram::Ctx& ctx, SortLayout l, pram::Word root);
+
+// Figure 6 plus output emission: compute places and write each key to its
+// rank in `out`.
+pram::SubTask<void> find_place_prog(pram::Ctx& ctx, SortLayout l, pram::Word root,
+                                    PlacePrune prune, bool raw_pid_spread = false);
+
+// Section 2.3's randomized work pickup: insert random un-DONE elements until
+// log2(N) consecutive picks were already DONE, then fall back to
+// next_element.  Ensures the top of the pivot tree is a uniform sample even
+// for adversarial inputs.
+pram::SubTask<void> random_first_build(pram::Ctx& ctx, SortLayout l, PramWat wat,
+                                       std::uint32_t nprocs, pram::Word root);
+
+// The complete three-phase worker (Figure 2 skeleton + phases 2 and 3).
+pram::Task det_sort_worker(pram::Ctx& ctx, SortLayout l, PramWat wat, DetSortConfig cfg);
+
+}  // namespace wfsort::sim

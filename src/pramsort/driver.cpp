@@ -1,0 +1,90 @@
+#include "pramsort/driver.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "pramsort/lc_programs.h"
+#include "workalloc/wat_program.h"
+
+namespace wfsort::sim {
+
+namespace {
+
+bool matches_sorted(std::span<const pram::Word> keys, const std::vector<pram::Word>& out) {
+  std::vector<pram::Word> expected(keys.begin(), keys.end());
+  std::sort(expected.begin(), expected.end());
+  return out == expected;
+}
+
+}  // namespace
+
+SimSortResult run_det_sort(pram::Machine& m, std::span<const pram::Word> keys,
+                           std::uint32_t procs, pram::Scheduler& sched, DetSortConfig cfg) {
+  WFSORT_CHECK(procs >= 1);
+  cfg.procs = procs;
+  SimSortResult res;
+  res.layout = make_sort_layout(m.mem(), keys);
+  const PramWat wat = make_pram_wat(m.mem(), "phase1 WAT", keys.size());
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    m.spawn([l = res.layout, wat, cfg](pram::Ctx& ctx) {
+      return det_sort_worker(ctx, l, wat, cfg);
+    });
+  }
+  res.run = m.run(sched);
+  res.output = read_output(m, res.layout);
+  res.sorted = matches_sorted(keys, res.output);
+  return res;
+}
+
+SimSortResult run_det_sort_sync(pram::Machine& m, std::span<const pram::Word> keys,
+                                std::uint32_t procs, DetSortConfig cfg) {
+  pram::SynchronousScheduler sched;
+  return run_det_sort(m, keys, procs, sched, cfg);
+}
+
+LcSimSortResult run_lc_sort(pram::Machine& m, std::span<const pram::Word> keys,
+                            std::uint32_t procs, pram::Scheduler& sched) {
+  WFSORT_CHECK(procs >= 1);
+  LcSimSortResult res;
+  res.layout = make_lc_sort_layout(m, keys, procs);
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    m.spawn([l = res.layout](pram::Ctx& ctx) { return lc_sort_worker(ctx, l); });
+  }
+  res.run = m.run(sched);
+  res.output = read_output(m, res.layout.main);
+  res.sorted = matches_sorted(keys, res.output);
+  return res;
+}
+
+LcSimSortResult run_lc_sort_sync(pram::Machine& m, std::span<const pram::Word> keys,
+                                 std::uint32_t procs) {
+  pram::SynchronousScheduler sched;
+  return run_lc_sort(m, keys, procs, sched);
+}
+
+SimSortResult run_classic_sort(pram::Machine& m, std::span<const pram::Word> keys,
+                               std::uint32_t procs, pram::Scheduler& sched,
+                               ClassicSortConfig cfg) {
+  WFSORT_CHECK(procs >= 1);
+  cfg.procs = procs;
+  SimSortResult res;
+  res.layout = make_sort_layout(m.mem(), keys);
+  const pram::PramBarrier barrier = pram::make_barrier(m.mem(), "phase barrier", procs);
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    m.spawn([l = res.layout, barrier, cfg](pram::Ctx& ctx) {
+      return classic_sort_worker(ctx, l, barrier, cfg);
+    });
+  }
+  res.run = m.run(sched);
+  res.output = read_output(m, res.layout);
+  res.sorted = matches_sorted(keys, res.output);
+  return res;
+}
+
+SimSortResult run_classic_sort_sync(pram::Machine& m, std::span<const pram::Word> keys,
+                                    std::uint32_t procs, ClassicSortConfig cfg) {
+  pram::SynchronousScheduler sched;
+  return run_classic_sort(m, keys, procs, sched, cfg);
+}
+
+}  // namespace wfsort::sim

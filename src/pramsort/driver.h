@@ -1,0 +1,54 @@
+// Convenience drivers: set up a machine, run a sort program on P virtual
+// processors under a given schedule, verify the output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pram/machine.h"
+#include "pramsort/det_programs.h"
+#include "pramsort/layout.h"
+#include "pramsort/classic_programs.h"
+#include "pramsort/lc_layout.h"
+
+namespace wfsort::sim {
+
+struct SimSortResult {
+  pram::RunResult run;
+  SortLayout layout;
+  std::vector<pram::Word> output;
+  bool sorted = false;  // output == std::sort(keys)
+};
+
+// Deterministic variant (Section 2).
+SimSortResult run_det_sort(pram::Machine& m, std::span<const pram::Word> keys,
+                           std::uint32_t procs, pram::Scheduler& sched,
+                           DetSortConfig cfg = {});
+
+// Synchronous-schedule shorthand.
+SimSortResult run_det_sort_sync(pram::Machine& m, std::span<const pram::Word> keys,
+                                std::uint32_t procs, DetSortConfig cfg = {});
+
+// Randomized low-contention variant (Section 3).  Requires keys.size() >= 4.
+struct LcSimSortResult {
+  pram::RunResult run;
+  LcSortLayout layout;
+  std::vector<pram::Word> output;
+  bool sorted = false;
+};
+LcSimSortResult run_lc_sort(pram::Machine& m, std::span<const pram::Word> keys,
+                            std::uint32_t procs, pram::Scheduler& sched);
+LcSimSortResult run_lc_sort_sync(pram::Machine& m, std::span<const pram::Word> keys,
+                                 std::uint32_t procs);
+
+// Classic barrier-synchronized parallel quicksort (NOT fault-tolerant; the
+// E15 baseline).  Deadlocks — i.e. returns with hit_round_cap — if any
+// processor is killed before its last barrier.
+SimSortResult run_classic_sort(pram::Machine& m, std::span<const pram::Word> keys,
+                               std::uint32_t procs, pram::Scheduler& sched,
+                               ClassicSortConfig cfg = {});
+SimSortResult run_classic_sort_sync(pram::Machine& m, std::span<const pram::Word> keys,
+                                    std::uint32_t procs, ClassicSortConfig cfg = {});
+
+}  // namespace wfsort::sim

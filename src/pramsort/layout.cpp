@@ -1,0 +1,26 @@
+#include "pramsort/layout.h"
+
+#include "common/check.h"
+
+namespace wfsort::sim {
+
+SortLayout make_sort_layout(pram::Memory& mem, std::span<const pram::Word> keys,
+                            const std::string& tag) {
+  WFSORT_CHECK(!keys.empty());
+  SortLayout l;
+  l.n = keys.size();
+  l.keys = mem.alloc(tag + " keys", l.n, 0);
+  l.child = mem.alloc(tag + " child pointers", 2 * l.n, pram::kEmpty);
+  l.size = mem.alloc(tag + " sizes", l.n, 0);
+  l.place = mem.alloc(tag + " places", l.n, 0);
+  l.pdone = mem.alloc(tag + " place-done flags", l.n, 0);
+  l.out = mem.alloc(tag + " output", l.n, 0);
+  mem.fill_region(l.keys, std::vector<pram::Word>(keys.begin(), keys.end()));
+  return l;
+}
+
+std::vector<pram::Word> read_output(const pram::Machine& m, const SortLayout& layout) {
+  return m.mem().read_region(layout.out);
+}
+
+}  // namespace wfsort::sim

@@ -1,0 +1,61 @@
+// Memory layout of the sorting programs on the simulated PRAM.
+//
+// Mirrors Figure 3: each element of A owns a key, two child pointers, a
+// subtree size and a place; `out` receives the shuffled (sorted) keys and
+// `parent` supports the low-contention placement phase.  All per-element
+// fields live in separate named regions so that contention reports can
+// attribute hot cells ("qs child pointers", "qs sizes", ...).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pram/machine.h"
+
+namespace wfsort::sim {
+
+struct SortLayout {
+  std::uint64_t n = 0;
+  pram::Region keys;
+  pram::Region child;  // 2 words per element: [2i] = SMALL, [2i+1] = BIG
+  pram::Region size;
+  pram::Region place;
+  pram::Region pdone;  // bottom-up placement-complete flags (PlacePrune::kCompleted)
+  pram::Region out;
+
+  static constexpr int kSmall = 0;
+  static constexpr int kBig = 1;
+
+  pram::Addr key_addr(pram::Word i) const { return keys.base + static_cast<pram::Addr>(i); }
+  pram::Addr child_addr(pram::Word i, int side) const {
+    return child.base + 2 * static_cast<pram::Addr>(i) + static_cast<pram::Addr>(side);
+  }
+  pram::Addr size_addr(pram::Word i) const { return size.base + static_cast<pram::Addr>(i); }
+  pram::Addr place_addr(pram::Word i) const {
+    return place.base + static_cast<pram::Addr>(i);
+  }
+  pram::Addr pdone_addr(pram::Word i) const {
+    return pdone.base + static_cast<pram::Addr>(i);
+  }
+  pram::Addr out_addr(pram::Word rank0) const {
+    return out.base + static_cast<pram::Addr>(rank0);
+  }
+
+  // Key order with index tie-breaking, applied to (key, index) pairs already
+  // read from memory.
+  static bool key_less(pram::Word ka, pram::Word a, pram::Word kb, pram::Word b) {
+    return ka < kb || (ka == kb && a < b);
+  }
+};
+
+// Allocate the layout and load `keys` into it.  `tag` prefixes region names
+// so multiple sorts can coexist in one machine.
+SortLayout make_sort_layout(pram::Memory& mem, std::span<const pram::Word> keys,
+                            const std::string& tag = "qs");
+
+// Read the out region back (after a run).
+std::vector<pram::Word> read_output(const pram::Machine& m, const SortLayout& layout);
+
+}  // namespace wfsort::sim

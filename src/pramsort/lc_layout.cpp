@@ -1,0 +1,45 @@
+#include "pramsort/lc_layout.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+
+namespace wfsort::sim {
+
+LcSortLayout make_lc_sort_layout(pram::Machine& m, std::span<const pram::Word> keys,
+                                 std::uint32_t procs) {
+  const std::uint64_t n = keys.size();
+  WFSORT_CHECK(n >= 4);
+  WFSORT_CHECK(procs >= 1);
+
+  LcSortLayout l;
+  l.main = make_sort_layout(m.mem(), keys);
+  l.procs = procs;
+  l.levels = std::max<std::uint32_t>(1, log2_floor(isqrt(n) + 1));
+  l.slice = (std::uint64_t{1} << l.levels) - 1;
+  l.groups = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      std::max<std::uint32_t>(1, isqrt(procs)), n / l.slice));
+  WFSORT_CHECK(l.groups >= 1);
+  l.copies = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, std::min<std::uint64_t>(procs / l.slice + 1, 4096)));
+
+  pram::Memory& mem = m.mem();
+  const std::uint64_t gs = static_cast<std::uint64_t>(l.groups) * l.slice;
+  l.gchild = mem.alloc("group child pointers", 2 * gs, pram::kEmpty);
+  l.gsize = mem.alloc("group sizes", gs, 0);
+  l.gplace = mem.alloc("group places", gs, 0);
+  l.gout = mem.alloc("group sorted indices", gs, pram::kEmpty);
+  l.winner = mem.alloc("winner tree", 2 * next_pow2(procs) - 1, pram::kEmpty);
+  l.fat = mem.alloc("fat tree", l.slice * l.copies, pram::kEmpty);
+  l.sum_marks = mem.alloc("sum marks", n, 0);
+  l.place_marks = mem.alloc("place marks", n, 0);
+  for (std::uint32_t g = 0; g < l.groups; ++g) {
+    l.gwats.push_back(
+        make_pram_wat(mem, "group WAT " + std::to_string(g), l.slice));
+  }
+  l.insert_wat = make_pram_lcwat(mem, "insertion LC-WAT", n);
+  return l;
+}
+
+}  // namespace wfsort::sim

@@ -1,0 +1,81 @@
+// Memory layout of the randomized low-contention sort (paper Section 3) on
+// the simulated PRAM.
+//
+// Beyond the main SortLayout it adds: per-group pivot-tree arrays for the
+// slice pre-sorts (indexed by global element id; the slices are the first
+// groups*slice elements), per-group WATs, the winner-selection tree, the fat
+// tree (slice_len nodes x copies cells, holding element indices), the LC-WAT
+// that allocates phase-1 insertions, and the DONE/ALLDONE mark arrays of the
+// randomized summation and placement phases.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "pram/machine.h"
+#include "pramsort/layout.h"
+#include "workalloc/lcwat_program.h"
+#include "workalloc/wat_program.h"
+
+namespace wfsort::sim {
+
+struct LcSortLayout {
+  SortLayout main;
+  std::uint32_t procs = 0;
+  std::uint32_t groups = 0;     // G
+  std::uint32_t levels = 0;     // H: fat-tree levels
+  std::uint64_t slice = 0;      // S = 2^H - 1 elements per pre-sorted slice
+  std::uint32_t copies = 0;     // C: duplicates per fat node
+  std::uint32_t wait_unit = 2;  // K of Figure 9 (yield rounds per wait unit)
+
+  pram::Region gchild;  // 2 * G * S
+  pram::Region gsize;   // G * S
+  pram::Region gplace;  // G * S
+  pram::Region gout;    // G * S; holds GLOBAL element indices in sorted order
+  pram::Region winner;  // tournament tree over next_pow2(procs) leaves
+  pram::Region fat;     // S * C cells, kEmpty until write-most fills them
+  pram::Region sum_marks;    // n: 0 empty / 1 done / 2 alldone
+  pram::Region place_marks;  // n
+  std::vector<PramWat> gwats;  // one WAT per group (slice pre-sort)
+  PramLcWat insert_wat;        // allocation of the main insertion stage
+
+  // Group-array addressing is by global element id e in [0, G*S).
+  pram::Addr gchild_addr(pram::Word e, int side) const {
+    return gchild.base + 2 * static_cast<pram::Addr>(e) + static_cast<pram::Addr>(side);
+  }
+  pram::Addr gsize_addr(pram::Word e) const {
+    return gsize.base + static_cast<pram::Addr>(e);
+  }
+  pram::Addr gplace_addr(pram::Word e) const {
+    return gplace.base + static_cast<pram::Addr>(e);
+  }
+  pram::Addr gout_addr(std::uint32_t group, std::uint64_t rank) const {
+    return gout.base + static_cast<pram::Addr>(group) * slice + rank;
+  }
+  pram::Addr fat_addr(std::uint64_t cell) const { return fat.base + cell; }
+  pram::Addr sum_mark_addr(pram::Word e) const {
+    return sum_marks.base + static_cast<pram::Addr>(e);
+  }
+  pram::Addr place_mark_addr(pram::Word e) const {
+    return place_marks.base + static_cast<pram::Addr>(e);
+  }
+
+  bool in_winner_slice(pram::Word e, std::uint32_t w) const {
+    const pram::Word lo = static_cast<pram::Word>(w) * static_cast<pram::Word>(slice);
+    return e >= lo && e < lo + static_cast<pram::Word>(slice);
+  }
+  std::uint32_t group_of_proc(pram::ProcId pid) const {
+    return static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(pid) * groups / procs);
+  }
+};
+
+// Parameter selection mirrors the native engine: S = 2^H - 1 <= sqrt(N),
+// G = min(ceil'(sqrt(P)), N / S), C = max(1, P / S) so that S * C ~ P cells
+// (the paper's sqrt(P) copies when P = N).
+LcSortLayout make_lc_sort_layout(pram::Machine& m, std::span<const pram::Word> keys,
+                                 std::uint32_t procs);
+
+}  // namespace wfsort::sim

@@ -1,0 +1,65 @@
+// The randomized low-contention sort (paper Section 3) as PRAM programs.
+//
+// Pipeline per processor (all stages wait-free or terminating w.h.p.):
+//   A. group pre-sort — the processor's group runs the deterministic
+//      algorithm on its S-element slice (Section 2 reused verbatim; the
+//      group's tree lives in separate g* regions so it cannot collide with
+//      the main pivot tree);
+//   B. winner selection — Figure 9's tournament with geometric waves;
+//   C/D. fattening — write-most copies the winner's sorted slice into the
+//      fat tree (S nodes x C copies of *element indices*);
+//   E. insertion — every non-winner element enters the main pivot tree,
+//      descending the fat tree's random copies for the top levels (LC-WAT
+//      allocates the work, which also randomizes insertion order);
+//   F/G. randomized summation and placement (Section 3.3), probing random
+//      elements; places propagate down, DONE up, ALLDONE down.
+//
+// The winner slice's top-of-tree structure is *derived*, not stitched: a
+// probe that lands on a winner-slice element computes its fat-tree position
+// from its slice rank (gplace) and reads its neighbours from the
+// authoritative sorted slice (gout).  This avoids an O(S) per-processor
+// stitching pass that would break the O(log N) running time.
+#pragma once
+
+#include <cstdint>
+
+#include "pram/machine.h"
+#include "pram/subtask.h"
+#include "pramsort/lc_layout.h"
+
+namespace wfsort::sim {
+
+// Mark values for the sum/place announcement arrays.
+inline constexpr pram::Word kMarkEmpty = 0;
+inline constexpr pram::Word kMarkDone = 1;
+inline constexpr pram::Word kMarkAllDone = 2;
+
+// Figure 9: returns the winning candidate (a group id).
+pram::SubTask<pram::Word> select_winner_prog(pram::Ctx& ctx, LcSortLayout l,
+                                             pram::Word candidate);
+
+// Write-most: copy log P random fat-tree cells from the winner's slice.
+pram::SubTask<void> write_most_fat_prog(pram::Ctx& ctx, LcSortLayout l, std::uint32_t w);
+
+// Structural children of element e (fat-derived for winner-slice elements).
+struct Kids {
+  pram::Word small = pram::kEmpty;
+  pram::Word big = pram::kEmpty;
+};
+pram::SubTask<Kids> lc_children_prog(pram::Ctx& ctx, LcSortLayout l, pram::Word e,
+                                     std::uint32_t w);
+
+// Fat-tree descent followed by the Figure-4 CAS loop.
+pram::SubTask<void> lc_insert_prog(pram::Ctx& ctx, LcSortLayout l, pram::Word i,
+                                   std::uint32_t w);
+
+// Randomized phases 2 and 3 (Section 3.3).
+pram::SubTask<void> lc_sum_prog(pram::Ctx& ctx, LcSortLayout l, std::uint32_t w,
+                                pram::Word root);
+pram::SubTask<void> lc_place_prog(pram::Ctx& ctx, LcSortLayout l, std::uint32_t w,
+                                  pram::Word root);
+
+// The complete worker.
+pram::Task lc_sort_worker(pram::Ctx& ctx, LcSortLayout l);
+
+}  // namespace wfsort::sim

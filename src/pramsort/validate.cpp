@@ -1,0 +1,137 @@
+#include "pramsort/validate.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace wfsort::sim {
+
+namespace {
+
+ValidationReport fail(const char* fmt, long long a = 0, long long b = 0) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return ValidationReport{false, buf};
+}
+
+}  // namespace
+
+ValidationReport validate_output_only(const pram::Machine& m, const SortLayout& layout) {
+  std::vector<pram::Word> keys = m.mem().read_region(layout.keys);
+  std::vector<pram::Word> out = m.mem().read_region(layout.out);
+  std::sort(keys.begin(), keys.end());
+  if (out != keys) return fail("output is not the sorted permutation of the input");
+  return {};
+}
+
+ValidationReport validate_sort_run(const pram::Machine& m, const SortLayout& layout,
+                                   pram::Word root) {
+  const auto n = static_cast<std::int64_t>(layout.n);
+  const auto key = [&](pram::Word i) { return m.mem().peek(layout.key_addr(i)); };
+  const auto child = [&](pram::Word i, int side) {
+    return m.mem().peek(layout.child_addr(i, side));
+  };
+
+  // 1. BST property + exactly-once reachability (Lemma 2.5).
+  std::vector<int> seen(layout.n, 0);
+  struct Frame {
+    pram::Word node;
+    bool has_lo, has_hi;
+    pram::Word lo_key, lo_idx, hi_key, hi_idx;  // open (key, index) interval
+  };
+  std::vector<Frame> stack{{root, false, false, 0, 0, 0, 0}};
+  std::int64_t visited = 0;
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.node == pram::kEmpty) continue;
+    if (f.node < 0 || f.node >= n) return fail("child pointer out of range: %lld", f.node);
+    if (seen[static_cast<std::size_t>(f.node)]++ != 0) {
+      return fail("element %lld reachable twice (tree is not a tree)", f.node);
+    }
+    ++visited;
+    const pram::Word k = key(f.node);
+    const auto less = [](pram::Word ka, pram::Word a, pram::Word kb, pram::Word b) {
+      return ka < kb || (ka == kb && a < b);
+    };
+    if (f.has_lo && !less(f.lo_key, f.lo_idx, k, f.node)) {
+      return fail("BST violation below element %lld", f.node);
+    }
+    if (f.has_hi && !less(k, f.node, f.hi_key, f.hi_idx)) {
+      return fail("BST violation below element %lld", f.node);
+    }
+    Frame small{child(f.node, SortLayout::kSmall), f.has_lo, true,
+                f.lo_key,  f.lo_idx,              k,        f.node};
+    Frame big{child(f.node, SortLayout::kBig), true, f.has_hi, k, f.node,
+              f.hi_key,  f.hi_idx};
+    stack.push_back(small);
+    stack.push_back(big);
+  }
+  if (visited != n) return fail("tree holds %lld of %lld elements", visited, n);
+
+  // 2. Sizes are true subtree sizes (phase 2), computed bottom-up here.
+  {
+    std::vector<std::int64_t> true_size(layout.n, -1);
+    struct SFrame {
+      pram::Word node;
+      std::uint8_t stage;
+    };
+    std::vector<SFrame> st{{root, 0}};
+    while (!st.empty()) {
+      SFrame f = st.back();
+      st.pop_back();
+      if (f.node == pram::kEmpty) continue;
+      if (f.stage == 0) {
+        st.push_back({f.node, 1});
+        st.push_back({child(f.node, 0), 0});
+        st.push_back({child(f.node, 1), 0});
+      } else {
+        const auto sz = [&](pram::Word c) {
+          return c == pram::kEmpty ? 0 : true_size[static_cast<std::size_t>(c)];
+        };
+        true_size[static_cast<std::size_t>(f.node)] =
+            sz(child(f.node, 0)) + sz(child(f.node, 1)) + 1;
+      }
+    }
+    for (std::int64_t i = 0; i < n; ++i) {
+      const pram::Word recorded = m.mem().peek(layout.size_addr(i));
+      if (recorded != true_size[static_cast<std::size_t>(i)]) {
+        return fail("size of element %lld is %lld, disagrees with the tree", i, recorded);
+      }
+    }
+  }
+
+  // 3. Places = in-order ranks, a permutation of 1..N (phase 3).
+  {
+    std::vector<int> used(layout.n + 1, 0);
+    // In-order traversal assigning expected ranks.
+    struct PFrame {
+      pram::Word node;
+      bool expanded;
+    };
+    std::vector<PFrame> st{{root, false}};
+    std::int64_t rank = 0;
+    while (!st.empty()) {
+      PFrame f = st.back();
+      st.pop_back();
+      if (f.node == pram::kEmpty) continue;
+      if (!f.expanded) {
+        st.push_back({child(f.node, SortLayout::kBig), false});
+        st.push_back({f.node, true});
+        st.push_back({child(f.node, SortLayout::kSmall), false});
+      } else {
+        ++rank;
+        const pram::Word pl = m.mem().peek(layout.place_addr(f.node));
+        if (pl != rank) return fail("place of element %lld is %lld, not its rank", f.node, pl);
+        if (pl < 1 || pl > n || used[static_cast<std::size_t>(pl)]++ != 0) {
+          return fail("place %lld duplicated or out of range", pl);
+        }
+      }
+    }
+  }
+
+  // 4. Output = sorted input.
+  return validate_output_only(m, layout);
+}
+
+}  // namespace wfsort::sim

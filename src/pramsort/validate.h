@@ -1,0 +1,36 @@
+// Post-run structural validation of a simulated sort.
+//
+// Checks the whole chain of invariants the correctness argument rests on —
+// not just "output is sorted" but that the intermediate structures are what
+// the lemmas say they are:
+//   * the pivot tree is a valid BST on (key, index) containing every
+//     element exactly once (Lemma 2.5);
+//   * every size equals the true subtree size (phase 2);
+//   * places form the permutation given by in-order rank (phase 3);
+//   * the output array equals the input multiset in sorted order.
+// Used by tests and available to experiment harnesses.
+#pragma once
+
+#include <string>
+
+#include "pram/machine.h"
+#include "pramsort/layout.h"
+
+namespace wfsort::sim {
+
+struct ValidationReport {
+  bool ok = true;
+  std::string error;  // first violated invariant, human-readable
+
+  explicit operator bool() const { return ok; }
+};
+
+// Validate all invariants for a deterministic-layout run rooted at `root`.
+ValidationReport validate_sort_run(const pram::Machine& m, const SortLayout& layout,
+                                   pram::Word root);
+
+// Weaker check usable for the LC layout too (where the tree's top levels
+// are derived rather than stored): output is a sorted permutation of keys.
+ValidationReport validate_output_only(const pram::Machine& m, const SortLayout& layout);
+
+}  // namespace wfsort::sim

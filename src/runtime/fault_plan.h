@@ -1,0 +1,90 @@
+// Cooperative fault injection for native worker threads.
+//
+// A real crash cannot be injected into a std::thread safely, but from the
+// algorithm's point of view a crash is simply "the processor stops taking
+// steps and its half-finished writes stay behind".  Workers therefore call
+// plan.checkpoint(tid) at every step boundary; when a scheduled fault
+// triggers, the worker either returns immediately (kCrash — it never touches
+// shared state again, exactly like a failed processor) or sleeps (kSleep —
+// the paper's page-fault scenario) and then continues.
+//
+// A FaultPlan outlives the workers it governs and is safe to consult from
+// all of them concurrently.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wfsort::runtime {
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint32_t max_threads) : entries_(max_threads) {}
+
+  // Schedule thread `tid` to crash at its `at`-th checkpoint (1-based).
+  void crash_at(std::uint32_t tid, std::uint64_t at) {
+    WFSORT_CHECK(tid < entries_.size());
+    entries_[tid].trigger = at;
+    entries_[tid].kind = Kind::kCrash;
+  }
+
+  // Schedule thread `tid` to sleep `dur` at its `at`-th checkpoint.
+  void sleep_at(std::uint32_t tid, std::uint64_t at, std::chrono::microseconds dur) {
+    WFSORT_CHECK(tid < entries_.size());
+    entries_[tid].trigger = at;
+    entries_[tid].kind = Kind::kSleep;
+    entries_[tid].sleep_dur = dur;
+  }
+
+  // Ask this thread to stop at its next checkpoint (cooperative reaping).
+  void stop_now(std::uint32_t tid) {
+    WFSORT_CHECK(tid < entries_.size());
+    entries_[tid].stop.store(true, std::memory_order_release);
+  }
+
+  // Called by workers.  Returns false when the worker must exit immediately
+  // (simulated crash / reap).
+  bool checkpoint(std::uint32_t tid) {
+    WFSORT_CHECK(tid < entries_.size());
+    Entry& e = entries_[tid];
+    if (e.stop.load(std::memory_order_acquire)) {
+      crashes_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (e.kind == Kind::kNone) return true;
+    const std::uint64_t c = e.count.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (c == e.trigger) {
+      if (e.kind == Kind::kCrash) {
+        crashes_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      std::this_thread::sleep_for(e.sleep_dur);
+    }
+    return true;
+  }
+
+  std::uint32_t crashes() const { return crashes_.load(std::memory_order_relaxed); }
+  std::uint32_t capacity() const { return static_cast<std::uint32_t>(entries_.size()); }
+
+ private:
+  enum class Kind : std::uint8_t { kNone, kCrash, kSleep };
+
+  struct Entry {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<bool> stop{false};
+    std::uint64_t trigger = ~std::uint64_t{0};
+    Kind kind = Kind::kNone;
+    std::chrono::microseconds sleep_dur{0};
+  };
+
+  std::vector<Entry> entries_;
+  std::atomic<std::uint32_t> crashes_{0};
+};
+
+}  // namespace wfsort::runtime

@@ -1,0 +1,114 @@
+// Low-Contention Work Assignment Tree (LC-WAT) — native form.
+//
+// Figure 8 of the paper.  Like a WAT, jobs live at the leaves of a binary
+// tree, but processors *probe uniformly random nodes* instead of walking
+// paths, so no node — in particular not the root — becomes a polling
+// hot-spot.  Completion is announced by the processor that finds both root
+// children DONE: it writes ALLDONE into the root, and ALLDONE then spreads
+// *down* the tree, each quitting processor pushing it one level further.
+// Lemma 3.1: with P processors over P jobs, the tree completes in O(log P)
+// rounds with per-variable contention O(log P / log log P), w.h.p.
+//
+// Unlike the deterministic WAT this structure's termination bound is
+// probabilistic (expected / w.h.p.), which is exactly the trade the paper
+// makes for low contention.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/rng.h"
+
+namespace wfsort {
+
+class LcWat {
+ public:
+  enum class State : std::uint8_t { kEmpty = 0, kDone = 1, kAllDone = 2 };
+  enum class Outcome { kWorking, kQuit };
+
+  explicit LcWat(std::uint64_t jobs)
+      : tree_(next_pow2(jobs)), jobs_(jobs), state_(tree_.nodes()) {
+    reset();
+  }
+
+  std::uint64_t jobs() const { return jobs_; }
+  std::uint64_t nodes() const { return tree_.nodes(); }
+
+  // One iteration of the probe loop.  `func(job)` is invoked when the probe
+  // lands on an unfinished job leaf; it must tolerate concurrent duplicate
+  // execution.  Returns kQuit when this processor has observed the ALLDONE
+  // announcement (and propagated it one level down).
+  template <typename Func>
+  Outcome step(Rng& rng, Func&& func) {
+    const std::uint64_t i = rng.below(tree_.nodes());
+    const State v = get(i);
+    if (v == State::kEmpty) {
+      if (tree_.is_leaf(i)) {
+        const std::uint64_t job = tree_.leaf_rank(i);
+        if (job < jobs_) func(job);
+        // Degenerate 1-job tree: the leaf is the root, so completing it is
+        // also the completion announcement.
+        set(i, tree_.is_root(i) ? State::kAllDone : State::kDone);
+      } else if (get(tree_.left(i)) == State::kDone && get(tree_.right(i)) == State::kDone) {
+        set(i, tree_.is_root(i) ? State::kAllDone : State::kDone);
+      }
+      return Outcome::kWorking;
+    }
+    if (v == State::kAllDone) {
+      if (!tree_.is_leaf(i)) {
+        set(tree_.left(i), State::kAllDone);
+        set(tree_.right(i), State::kAllDone);
+        return Outcome::kQuit;
+      }
+      if (tree_.is_root(i)) return Outcome::kQuit;  // 1-job tree
+    }
+    return Outcome::kWorking;
+  }
+
+  // Probe until this processor quits; returns the number of probes taken.
+  template <typename Func>
+  std::uint64_t solve(Rng& rng, Func&& func) {
+    std::uint64_t probes = 0;
+    while (step(rng, func) == Outcome::kWorking) ++probes;
+    return probes + 1;
+  }
+
+  bool all_done() const {
+    const State v = get(tree_.root());
+    return v == State::kAllDone;
+  }
+
+  State node_state(std::uint64_t i) const { return get(i); }
+
+  void reset() {
+    for (auto& s : state_) s.store(0, std::memory_order_relaxed);
+    for (std::uint64_t k = jobs_; k < tree_.leaves; ++k) {
+      state_[tree_.leaf(k)].store(static_cast<std::uint8_t>(State::kDone),
+                                  std::memory_order_relaxed);
+    }
+    if (jobs_ < tree_.leaves) {
+      for (std::uint64_t n = tree_.leaves - 1; n-- > 0;) {
+        if (get(tree_.left(n)) == State::kDone && get(tree_.right(n)) == State::kDone) {
+          state_[n].store(static_cast<std::uint8_t>(State::kDone), std::memory_order_relaxed);
+        }
+      }
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+ private:
+  State get(std::uint64_t i) const {
+    return static_cast<State>(state_[i].load(std::memory_order_acquire));
+  }
+  void set(std::uint64_t i, State s) {
+    state_[i].store(static_cast<std::uint8_t>(s), std::memory_order_release);
+  }
+
+  HeapTree tree_;
+  std::uint64_t jobs_;
+  std::vector<std::atomic<std::uint8_t>> state_;
+};
+
+}  // namespace wfsort

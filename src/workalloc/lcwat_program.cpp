@@ -1,0 +1,66 @@
+#include "workalloc/lcwat_program.h"
+
+#include "common/check.h"
+
+namespace wfsort::sim {
+
+PramLcWat make_pram_lcwat(pram::Memory& mem, std::string_view name, std::uint64_t jobs) {
+  WFSORT_CHECK(jobs >= 1);
+  PramLcWat wat;
+  wat.jobs = jobs;
+  wat.tree = HeapTree(next_pow2(jobs));
+  wat.region = mem.alloc(name, wat.tree.nodes(), pram::kEmpty);
+  for (std::uint64_t k = jobs; k < wat.tree.leaves; ++k) {
+    mem.poke(wat.node_addr(wat.tree.leaf(k)), pram::kDone);
+  }
+  if (jobs < wat.tree.leaves) {
+    for (std::uint64_t n = wat.tree.leaves - 1; n-- > 0;) {
+      if (mem.peek(wat.node_addr(wat.tree.left(n))) == pram::kDone &&
+          mem.peek(wat.node_addr(wat.tree.right(n))) == pram::kDone) {
+        mem.poke(wat.node_addr(n), pram::kDone);
+      }
+    }
+  }
+  return wat;
+}
+
+pram::SubTask<void> lcwat_skeleton(pram::Ctx& ctx, PramLcWat wat, PramJobFn job) {
+  while (true) {
+    const std::uint64_t i = ctx.rng().below(wat.tree.nodes());
+    const pram::Word v = co_await ctx.read(wat.node_addr(i));
+
+    if (v == pram::kEmpty) {
+      if (wat.tree.is_leaf(i)) {
+        const std::uint64_t j = wat.tree.leaf_rank(i);
+        if (j < wat.jobs) co_await job(ctx, j);
+        // A 1-job tree's leaf is also the root: completing it doubles as the
+        // completion announcement.
+        co_await ctx.write(wat.node_addr(i),
+                           wat.tree.is_root(i) ? pram::kAllDone : pram::kDone);
+      } else {
+        const pram::Word l = co_await ctx.read(wat.node_addr(wat.tree.left(i)));
+        if (l != pram::kDone) continue;
+        const pram::Word r = co_await ctx.read(wat.node_addr(wat.tree.right(i)));
+        if (r != pram::kDone) continue;
+        co_await ctx.write(wat.node_addr(i),
+                           wat.tree.is_root(i) ? pram::kAllDone : pram::kDone);
+      }
+      continue;
+    }
+
+    if (v == pram::kAllDone) {
+      if (!wat.tree.is_leaf(i)) {
+        co_await ctx.write(wat.node_addr(wat.tree.left(i)), pram::kAllDone);
+        co_await ctx.write(wat.node_addr(wat.tree.right(i)), pram::kAllDone);
+        co_return;
+      }
+      if (wat.tree.is_root(i)) co_return;  // 1-job tree
+    }
+  }
+}
+
+pram::Task lcwat_worker(pram::Ctx& ctx, PramLcWat wat, PramJobFn job) {
+  co_await lcwat_skeleton(ctx, wat, std::move(job));
+}
+
+}  // namespace wfsort::sim

@@ -1,0 +1,37 @@
+// LC-WAT low-contention work allocation as a PRAM program (Figure 8).
+//
+// Processors probe uniformly random tree nodes.  A probe on an unfinished
+// leaf performs the leaf's job; a probe on an inner node whose children are
+// both DONE marks it (the root gets ALLDONE instead); a probe on an ALLDONE
+// inner node pushes ALLDONE to both children and the processor quits.
+// Lemma 3.1: under synchronous execution, w.h.p. the tree over P jobs
+// completes in O(log P) rounds with contention O(log P / log log P).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bits.h"
+#include "pram/machine.h"
+#include "pram/subtask.h"
+#include "workalloc/wat_program.h"  // PramJobFn
+
+namespace wfsort::sim {
+
+struct PramLcWat {
+  pram::Region region;
+  std::uint64_t jobs = 0;
+  HeapTree tree{1};
+
+  pram::Addr node_addr(std::uint64_t node) const { return region.base + node; }
+};
+
+PramLcWat make_pram_lcwat(pram::Memory& mem, std::string_view name, std::uint64_t jobs);
+
+// One worker of Figure 8's low_contention_work.  Returns (completes) once
+// this processor has seen the ALLDONE announcement.  The SubTask form
+// composes into larger programs (the LC sort's insertion stage).
+pram::SubTask<void> lcwat_skeleton(pram::Ctx& ctx, PramLcWat wat, PramJobFn job);
+pram::Task lcwat_worker(pram::Ctx& ctx, PramLcWat wat, PramJobFn job);
+
+}  // namespace wfsort::sim

@@ -1,0 +1,95 @@
+#include "workalloc/wat.h"
+
+#include "common/check.h"
+
+namespace wfsort {
+
+Wat::Wat(std::uint64_t jobs)
+    : tree_(next_pow2(jobs)), jobs_(jobs), done_(tree_.nodes()) {
+  WFSORT_CHECK(jobs >= 1);
+  reset();
+}
+
+void Wat::reset() {
+  for (auto& d : done_) d.store(0, std::memory_order_relaxed);
+  // Padding leaves (beyond the real jobs) start life complete, and so do any
+  // inner nodes whose whole subtree is padding, so next_element never hands
+  // them out.
+  for (std::uint64_t k = jobs_; k < tree_.leaves; ++k) {
+    done_[tree_.leaf(k)].store(1, std::memory_order_relaxed);
+  }
+  if (jobs_ < tree_.leaves) {
+    for (std::uint64_t n = tree_.leaves - 1; n-- > 0;) {
+      if (done_[tree_.left(n)].load(std::memory_order_relaxed) != 0 &&
+          done_[tree_.right(n)].load(std::memory_order_relaxed) != 0) {
+        done_[n].store(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+std::int64_t Wat::initial_leaf(std::uint32_t pid, std::uint32_t nprocs) const {
+  WFSORT_CHECK(nprocs > 0);
+  const std::uint64_t job = jobs_ * (pid % nprocs) / nprocs;
+  return leaf_of_job(job);
+}
+
+std::int64_t Wat::leaf_of_job(std::uint64_t j) const {
+  WFSORT_CHECK(j < jobs_);
+  return static_cast<std::int64_t>(tree_.leaf(j));
+}
+
+bool Wat::is_leaf(std::int64_t node) const {
+  return tree_.is_leaf(static_cast<std::uint64_t>(node));
+}
+
+std::uint64_t Wat::job_of(std::int64_t node) const {
+  WFSORT_CHECK(is_leaf(node));
+  return tree_.leaf_rank(static_cast<std::uint64_t>(node));
+}
+
+bool Wat::is_job_leaf(std::int64_t node) const {
+  return is_leaf(node) && job_of(node) < jobs_;
+}
+
+bool Wat::done(std::int64_t node) const { return marked(static_cast<std::uint64_t>(node)); }
+
+bool Wat::all_done() const { return marked(tree_.root()); }
+
+std::int64_t Wat::next_element(std::int64_t node) {
+  WFSORT_CHECK(node >= 0 && static_cast<std::uint64_t>(node) < tree_.nodes());
+  std::uint64_t i = static_cast<std::uint64_t>(node);
+  mark(i);
+  if (tree_.is_root(i)) return kAllJobsDone;
+
+  // Ascent: while the sibling subtree is complete, the parent's subtree is
+  // complete too (this node's subtree is known complete), so mark the parent
+  // and keep climbing.
+  std::uint64_t s = tree_.sibling(i);
+  while (marked(s)) {
+    const std::uint64_t p = tree_.parent(i);
+    mark(p);
+    i = p;
+    if (tree_.is_root(i)) return kAllJobsDone;
+    s = tree_.sibling(i);
+  }
+
+  // Descent into the unfinished sibling subtree.
+  i = s;
+  while (!tree_.is_leaf(i)) {
+    if (!marked(tree_.left(i))) {
+      i = tree_.left(i);
+    } else if (!marked(tree_.right(i))) {
+      i = tree_.right(i);
+    } else {
+      // Stale inner node: both children completed but nobody marked it yet.
+      // Following the paper, return it; the caller feeds it back into
+      // next_element, which marks it and continues the ascent.
+      return static_cast<std::int64_t>(i);
+    }
+  }
+  return static_cast<std::int64_t>(i);
+}
+
+}  // namespace wfsort

@@ -1,0 +1,72 @@
+// Work Assignment Tree (WAT) — native shared-memory form.
+//
+// A WAT solves wait-free work allocation (the write-all problem of
+// Kanellakis & Shvartsman): N jobs sit at the leaves of a binary tree whose
+// inner nodes record completed subtrees.  next_element() follows Figure 1 of
+// the paper (Algorithm X of Buss, Kanellakis, Ragde & Shvartsman): it marks
+// the caller's node DONE, climbs while the sibling subtree is complete —
+// marking parents on the way — and otherwise descends the sibling to an
+// unfinished leaf.  Each call is wait-free and costs O(log N) steps
+// (Lemma 2.1).
+//
+// Guarantees (Corollary 2.2): a call returns a node that no earlier-finished
+// call has returned, or kAllJobsDone once every leaf has been handed out.
+// Two *concurrent* calls may return the same leaf, so jobs must be
+// idempotent / concurrently re-executable — true of every job in the
+// sorting algorithm.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace wfsort {
+
+class Wat {
+ public:
+  // Sentinel returned when the whole tree is complete.
+  static constexpr std::int64_t kAllJobsDone = -1;
+
+  explicit Wat(std::uint64_t jobs);
+
+  std::uint64_t jobs() const { return jobs_; }
+  std::uint64_t nodes() const { return tree_.nodes(); }
+  const HeapTree& shape() const { return tree_; }
+
+  // Figure 2's initial assignment: processor `pid` of `nprocs` starts at the
+  // leaf holding job floor(jobs * pid / nprocs).
+  std::int64_t initial_leaf(std::uint32_t pid, std::uint32_t nprocs) const;
+
+  // Tree-node index of job j's leaf / job index of a leaf node.
+  std::int64_t leaf_of_job(std::uint64_t j) const;
+  bool is_leaf(std::int64_t node) const;
+  std::uint64_t job_of(std::int64_t node) const;
+
+  // True if `node` is a leaf holding a real job (not power-of-two padding).
+  bool is_job_leaf(std::int64_t node) const;
+
+  // Mark `node` complete and locate the next incomplete node (usually a
+  // leaf; occasionally a stale inner node, which the caller simply feeds
+  // back in).  Returns kAllJobsDone when the root gets marked.
+  std::int64_t next_element(std::int64_t node);
+
+  bool done(std::int64_t node) const;
+  bool all_done() const;
+
+  // Forget all progress (single-threaded use only, between runs).
+  void reset();
+
+ private:
+  HeapTree tree_;
+  std::uint64_t jobs_;
+  std::vector<std::atomic<std::uint8_t>> done_;
+
+  void mark(std::uint64_t node) { done_[node].store(1, std::memory_order_release); }
+  bool marked(std::uint64_t node) const {
+    return done_[node].load(std::memory_order_acquire) != 0;
+  }
+};
+
+}  // namespace wfsort

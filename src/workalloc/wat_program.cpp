@@ -1,0 +1,84 @@
+#include "workalloc/wat_program.h"
+
+#include "common/check.h"
+
+namespace wfsort::sim {
+
+PramWat make_pram_wat(pram::Memory& mem, std::string_view name, std::uint64_t jobs) {
+  WFSORT_CHECK(jobs >= 1);
+  PramWat wat;
+  wat.jobs = jobs;
+  wat.tree = HeapTree(next_pow2(jobs));
+  wat.region = mem.alloc(name, wat.tree.nodes(), pram::kEmpty);
+  for (std::uint64_t k = jobs; k < wat.tree.leaves; ++k) {
+    mem.poke(wat.node_addr(wat.tree.leaf(k)), pram::kDone);
+  }
+  if (jobs < wat.tree.leaves) {
+    for (std::uint64_t n = wat.tree.leaves - 1; n-- > 0;) {
+      if (mem.peek(wat.node_addr(wat.tree.left(n))) == pram::kDone &&
+          mem.peek(wat.node_addr(wat.tree.right(n))) == pram::kDone) {
+        mem.poke(wat.node_addr(n), pram::kDone);
+      }
+    }
+  }
+  return wat;
+}
+
+pram::SubTask<pram::Word> next_element(pram::Ctx& ctx, PramWat wat, pram::Word node) {
+  WFSORT_CHECK(node >= 0 && static_cast<std::uint64_t>(node) < wat.tree.nodes());
+  std::uint64_t i = static_cast<std::uint64_t>(node);
+  co_await ctx.write(wat.node_addr(i), pram::kDone);
+  if (wat.tree.is_root(i)) co_return pram::kDone;
+
+  // Ascent (Figure 1 lines 4-12).
+  std::uint64_t s = wat.tree.sibling(i);
+  while (true) {
+    const pram::Word sv = co_await ctx.read(wat.node_addr(s));
+    if (sv != pram::kDone) break;
+    const std::uint64_t p = wat.tree.parent(i);
+    co_await ctx.write(wat.node_addr(p), pram::kDone);
+    i = p;
+    if (wat.tree.is_root(i)) co_return pram::kDone;
+    s = wat.tree.sibling(i);
+  }
+
+  // Descent (Figure 1 lines 14-20).
+  i = s;
+  while (!wat.tree.is_leaf(i)) {
+    const pram::Word lv = co_await ctx.read(wat.node_addr(wat.tree.left(i)));
+    if (lv != pram::kDone) {
+      i = wat.tree.left(i);
+      continue;
+    }
+    const pram::Word rv = co_await ctx.read(wat.node_addr(wat.tree.right(i)));
+    if (rv != pram::kDone) {
+      i = wat.tree.right(i);
+      continue;
+    }
+    // Stale inner node: both children DONE but the node not yet marked.
+    co_return static_cast<pram::Word>(i);
+  }
+  co_return static_cast<pram::Word>(i);
+}
+
+pram::SubTask<void> wat_skeleton(pram::Ctx& ctx, PramWat wat, std::uint32_t nprocs,
+                                 PramJobFn job) {
+  WFSORT_CHECK(nprocs > 0);
+  pram::Word i =
+      static_cast<pram::Word>(wat.tree.leaf(wat.jobs * (ctx.pid() % nprocs) / nprocs));
+  while (true) {
+    const std::uint64_t u = static_cast<std::uint64_t>(i);
+    if (wat.tree.is_leaf(u)) {
+      const std::uint64_t j = wat.tree.leaf_rank(u);
+      if (j < wat.jobs) co_await job(ctx, j);
+    }
+    i = co_await next_element(ctx, wat, i);
+    if (i == pram::kDone) break;
+  }
+}
+
+pram::Task wat_worker(pram::Ctx& ctx, PramWat wat, std::uint32_t nprocs, PramJobFn job) {
+  co_await wat_skeleton(ctx, wat, nprocs, std::move(job));
+}
+
+}  // namespace wfsort::sim

@@ -1,0 +1,47 @@
+// WAT work allocation as PRAM programs (paper Figures 1 and 2).
+//
+// These run on the simulated CRCW PRAM so that round counts and contention
+// match the paper's model exactly.  The WAT occupies a region of 2L-1 words
+// (L = jobs rounded up to a power of two); kEmpty marks incomplete nodes and
+// kDone complete ones.  Padding leaves — and inner nodes whose entire
+// subtree is padding — are pre-marked kDone at creation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "common/bits.h"
+#include "pram/machine.h"
+#include "pram/subtask.h"
+
+namespace wfsort::sim {
+
+struct PramWat {
+  pram::Region region;     // 2 * tree.leaves - 1 words
+  std::uint64_t jobs = 0;  // real jobs (<= tree.leaves)
+  HeapTree tree{1};
+
+  pram::Addr node_addr(std::uint64_t node) const { return region.base + node; }
+};
+
+// Allocate and initialize a WAT over `jobs` leaves.
+PramWat make_pram_wat(pram::Memory& mem, std::string_view name, std::uint64_t jobs);
+
+// Figure 1: mark `node` DONE, climb / descend, return the next incomplete
+// node index, or pram::kDone once the root is marked.
+pram::SubTask<pram::Word> next_element(pram::Ctx& ctx, PramWat wat, pram::Word node);
+
+// A leaf job: coroutine invoked with the job's index in [0, jobs).  Jobs may
+// be executed concurrently by several processors and must be idempotent.
+using PramJobFn = std::function<pram::SubTask<void>(pram::Ctx&, std::uint64_t)>;
+
+// Figure 2: the skeleton wait-free algorithm.  Processor `pid` of `nprocs`
+// starts at leaf floor(jobs * pid / nprocs) and works leaves handed out by
+// next_element until the tree completes.  The SubTask form composes into
+// larger programs (the sorting phases); wat_worker is the standalone root.
+pram::SubTask<void> wat_skeleton(pram::Ctx& ctx, PramWat wat, std::uint32_t nprocs,
+                                 PramJobFn job);
+pram::Task wat_worker(pram::Ctx& ctx, PramWat wat, std::uint32_t nprocs, PramJobFn job);
+
+}  // namespace wfsort::sim

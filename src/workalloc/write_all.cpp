@@ -1,0 +1,59 @@
+#include "workalloc/write_all.h"
+
+#include "workalloc/lcwat_program.h"
+#include "workalloc/wat_program.h"
+
+namespace wfsort::sim {
+
+namespace {
+
+pram::SubTask<void> write_one(pram::Ctx& ctx, pram::Addr base, std::uint64_t j) {
+  co_await ctx.write(base + j, 1);
+}
+
+bool region_all_ones(const pram::Machine& m, const pram::Region& r) {
+  for (pram::Addr i = 0; i < r.size; ++i) {
+    if (m.mem().peek(r.base + i) != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+WriteAllOutcome write_all_wat(pram::Machine& m, std::uint64_t jobs, std::uint32_t procs,
+                              pram::Scheduler& sched) {
+  WriteAllOutcome out;
+  out.output = m.mem().alloc("write-all B", jobs, 0);
+  const PramWat wat = make_pram_wat(m.mem(), "WAT nodes", jobs);
+  const pram::Addr base = out.output.base;
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    m.spawn([wat, procs, base](pram::Ctx& ctx) {
+      return wat_worker(ctx, wat, procs, [base](pram::Ctx& c, std::uint64_t j) {
+        return write_one(c, base, j);
+      });
+    });
+  }
+  out.run = m.run(sched);
+  out.complete = region_all_ones(m, out.output);
+  return out;
+}
+
+WriteAllOutcome write_all_lcwat(pram::Machine& m, std::uint64_t jobs, std::uint32_t procs,
+                                pram::Scheduler& sched) {
+  WriteAllOutcome out;
+  out.output = m.mem().alloc("write-all B", jobs, 0);
+  const PramLcWat wat = make_pram_lcwat(m.mem(), "LC-WAT nodes", jobs);
+  const pram::Addr base = out.output.base;
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    m.spawn([wat, base](pram::Ctx& ctx) {
+      return lcwat_worker(ctx, wat, [base](pram::Ctx& c, std::uint64_t j) {
+        return write_one(c, base, j);
+      });
+    });
+  }
+  out.run = m.run(sched);
+  out.complete = region_all_ones(m, out.output);
+  return out;
+}
+
+}  // namespace wfsort::sim

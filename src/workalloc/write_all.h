@@ -1,0 +1,29 @@
+// Canned write-all solvers on the simulated PRAM.
+//
+// The write-all problem (Kanellakis & Shvartsman): fill every element of an
+// N-cell array with 1 using P fault-prone processors.  It is the canonical
+// benchmark for wait-free work allocation, and experiments E1/E5 measure the
+// paper's two allocation schemes through these helpers.
+#pragma once
+
+#include <cstdint>
+
+#include "pram/machine.h"
+
+namespace wfsort::sim {
+
+struct WriteAllOutcome {
+  pram::RunResult run;
+  pram::Region output;     // the array B
+  bool complete = false;   // true iff every cell of B holds 1
+};
+
+// Deterministic WAT allocation (Figures 1-2).
+WriteAllOutcome write_all_wat(pram::Machine& m, std::uint64_t jobs, std::uint32_t procs,
+                              pram::Scheduler& sched);
+
+// Randomized LC-WAT allocation (Figure 8).
+WriteAllOutcome write_all_lcwat(pram::Machine& m, std::uint64_t jobs, std::uint32_t procs,
+                                pram::Scheduler& sched);
+
+}  // namespace wfsort::sim

@@ -1,0 +1,189 @@
+// Tests for the comparison baselines: sequential quicksort, the lock-based
+// parallel quicksort (including its failure modes — the behaviours wait-
+// freedom rules out), the bitonic network, and the analytic cost models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/bitonic.h"
+#include "baselines/cost_model.h"
+#include "baselines/lock_parallel_quicksort.h"
+#include "baselines/parallel_mergesort.h"
+#include "baselines/sequential.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace wfsort::baselines;
+using wfsort::Rng;
+
+std::vector<std::uint64_t> random_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.below(1000);
+  return v;
+}
+
+void expect_sorted_permutation(std::vector<std::uint64_t> original,
+                               const std::vector<std::uint64_t>& result) {
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(original, result);
+}
+
+// ------------------------------------------------------------ sequential
+
+TEST(Sequential, InsertionSortSmall) {
+  std::vector<std::uint64_t> v{5, 2, 9, 1, 7, 7, 0};
+  auto orig = v;
+  insertion_sort(std::span<std::uint64_t>(v));
+  expect_sorted_permutation(orig, v);
+}
+
+TEST(Sequential, QuicksortVariousSizesAndShapes) {
+  for (std::size_t n : {0u, 1u, 2u, 23u, 24u, 25u, 100u, 1000u, 10000u}) {
+    auto v = random_data(n, n + 1);
+    auto orig = v;
+    quicksort(std::span<std::uint64_t>(v));
+    expect_sorted_permutation(orig, v);
+  }
+  // Adversarial shapes for median-of-three.
+  for (int shape = 0; shape < 3; ++shape) {
+    std::vector<std::uint64_t> v(2000);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = shape == 0 ? i : shape == 1 ? v.size() - i : 42;
+    }
+    auto orig = v;
+    quicksort(std::span<std::uint64_t>(v));
+    expect_sorted_permutation(orig, v);
+  }
+}
+
+// ------------------------------------------------------------ lock-based
+
+TEST(LockQuicksort, SortsAcrossThreadCounts) {
+  for (std::uint32_t t : {1u, 2u, 4u, 8u}) {
+    auto v = random_data(20000, t);
+    auto orig = v;
+    auto r = lock_parallel_quicksort(std::span<std::uint64_t>(v), t);
+    EXPECT_TRUE(r.completed);
+    expect_sorted_permutation(orig, v);
+  }
+}
+
+TEST(LockQuicksort, TinyInputs) {
+  for (std::size_t n : {0u, 1u, 2u, 5u}) {
+    auto v = random_data(n, 77 + n);
+    auto orig = v;
+    auto r = lock_parallel_quicksort(std::span<std::uint64_t>(v), 4);
+    EXPECT_TRUE(r.completed);
+    expect_sorted_permutation(orig, v);
+  }
+}
+
+TEST(LockQuicksort, CrashedWorkerStrandsWork) {
+  // The contrast with the wait-free sorter: kill workers mid-sort and the
+  // lock-based pool CAN end incomplete (a popped range dies with its owner).
+  // Crashes land at task-pop checkpoints, so whether work is stranded is
+  // timing-dependent; what must NEVER happen is completed == true with an
+  // unsorted array.
+  int stranded = 0;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    auto v = random_data(60000, 1000 + attempt);
+    wfsort::runtime::FaultPlan plan(4);
+    for (std::uint32_t t = 0; t < 4; ++t) plan.crash_at(t, 2 + attempt + t);
+    auto r = lock_parallel_quicksort(std::span<std::uint64_t>(v), 4, &plan);
+    if (!r.completed) {
+      ++stranded;
+      EXPECT_GT(r.crashed, 0u);
+    } else {
+      EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+    }
+  }
+  // With every worker scheduled to crash early, at least one run of ten
+  // should strand work (this is the expected, not just possible, outcome).
+  EXPECT_GT(stranded, 0);
+}
+
+// ------------------------------------------------------------ mergesort
+
+TEST(ParallelMergesort, SortsAcrossSizesAndThreads) {
+  for (std::size_t n : {0u, 1u, 2u, 3u, 17u, 1000u, 4096u, 10001u}) {
+    for (std::uint32_t t : {1u, 2u, 4u}) {
+      auto v = random_data(n, 31 * t + n);
+      auto orig = v;
+      parallel_mergesort(std::span<std::uint64_t>(v), t);
+      expect_sorted_permutation(orig, v);
+    }
+  }
+}
+
+TEST(ParallelMergesort, AlreadySortedAndReversed) {
+  std::vector<std::uint64_t> up(5000), down(5000);
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    up[i] = i;
+    down[i] = up.size() - i;
+  }
+  parallel_mergesort(std::span<std::uint64_t>(up), 4);
+  parallel_mergesort(std::span<std::uint64_t>(down), 4);
+  EXPECT_TRUE(std::is_sorted(up.begin(), up.end()));
+  EXPECT_TRUE(std::is_sorted(down.begin(), down.end()));
+}
+
+// ------------------------------------------------------------ bitonic
+
+TEST(Bitonic, StageCountFormula) {
+  EXPECT_EQ(bitonic_stage_count(2), 1u);
+  EXPECT_EQ(bitonic_stage_count(4), 3u);
+  EXPECT_EQ(bitonic_stage_count(8), 6u);
+  EXPECT_EQ(bitonic_stage_count(1024), 55u);
+  EXPECT_EQ(bitonic_stage_count(1000), 55u);  // pads to 1024
+}
+
+TEST(Bitonic, SerialSortsIncludingNonPowerOfTwo) {
+  for (std::size_t n : {0u, 1u, 2u, 7u, 8u, 9u, 100u, 1024u, 1500u}) {
+    auto v = random_data(n, 5 + n);
+    auto orig = v;
+    bitonic_serial_sort(std::span<std::uint64_t>(v));
+    expect_sorted_permutation(orig, v);
+  }
+}
+
+TEST(Bitonic, ThreadedMatchesSerial) {
+  for (std::uint32_t t : {2u, 3u, 4u}) {
+    auto v = random_data(4096, 17 * t);
+    auto orig = v;
+    bitonic_threaded_sort(std::span<std::uint64_t>(v), t);
+    expect_sorted_permutation(orig, v);
+  }
+}
+
+// ------------------------------------------------------------ cost models
+
+TEST(CostModels, ShapesAreOrdered) {
+  std::size_t count = 0;
+  const CostModel* models = cost_models(&count);
+  ASSERT_GE(count, 5u);
+  // At N = 2^20: log < log^2 < log^3.
+  const double n = 1 << 20;
+  EXPECT_LT(steps_this_paper(n), steps_bitonic_direct(n));
+  EXPECT_LT(steps_bitonic_direct(n), steps_wait_free_transform(n));
+  EXPECT_DOUBLE_EQ(steps_this_paper(n), 20.0);
+  EXPECT_DOUBLE_EQ(steps_wait_free_transform(n), 8000.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_GT(models[i].steps(n), 0.0);
+  }
+}
+
+TEST(CostModels, CrossoverOfTransformedVsOurs) {
+  // The wait-free transform's log^3 N exceeds our log N for every N >= 4;
+  // the interesting crossover is against the SEQUENTIAL cost N log N / P:
+  // with few processors sequential wins; with P = N our sort wins.
+  for (double n : {1e3, 1e6}) {
+    EXPECT_GT(steps_wait_free_transform(n) / steps_this_paper(n),
+              std::pow(std::log2(n), 1.9));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Tests for the command-line flag parser.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/cli.h"
+
+namespace {
+
+using wfsort::CliFlags;
+
+CliFlags make_flags() {
+  CliFlags f("test program");
+  f.add_u64("count", 10, "a number");
+  f.add_string("name", "default", "a string");
+  f.add_bool("verbose", false, "a toggle");
+  f.add_bool("color", true, "an on-by-default toggle");
+  return f;
+}
+
+bool parse(CliFlags& f, const std::vector<const char*>& args) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size() + 1);
+  argv.push_back("prog");
+  for (const char* a : args) argv.push_back(a);
+  return f.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsSurviveEmptyArgv) {
+  auto f = make_flags();
+  ASSERT_TRUE(parse(f, {}));
+  EXPECT_EQ(f.u64("count"), 10u);
+  EXPECT_EQ(f.str("name"), "default");
+  EXPECT_FALSE(f.flag("verbose"));
+  EXPECT_TRUE(f.flag("color"));
+}
+
+TEST(Cli, EqualsAndSpaceSyntax) {
+  auto f = make_flags();
+  ASSERT_TRUE(parse(f, {"--count=42", "--name", "zed"}));
+  EXPECT_EQ(f.u64("count"), 42u);
+  EXPECT_EQ(f.str("name"), "zed");
+}
+
+TEST(Cli, BoolForms) {
+  auto f = make_flags();
+  ASSERT_TRUE(parse(f, {"--verbose", "--no-color"}));
+  EXPECT_TRUE(f.flag("verbose"));
+  EXPECT_FALSE(f.flag("color"));
+
+  auto g = make_flags();
+  ASSERT_TRUE(parse(g, {"--verbose=true", "--color=false"}));
+  EXPECT_TRUE(g.flag("verbose"));
+  EXPECT_FALSE(g.flag("color"));
+}
+
+TEST(Cli, PositionalArgumentsPreserved) {
+  auto f = make_flags();
+  ASSERT_TRUE(parse(f, {"mode", "--count=1", "input.txt"}));
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "mode");
+  EXPECT_EQ(f.positional()[1], "input.txt");
+}
+
+TEST(Cli, Errors) {
+  auto f = make_flags();
+  EXPECT_FALSE(parse(f, {"--bogus=1"}));
+  EXPECT_NE(f.error().find("unknown flag"), std::string::npos);
+
+  auto g = make_flags();
+  EXPECT_FALSE(parse(g, {"--count=abc"}));
+  EXPECT_NE(g.error().find("unsigned integer"), std::string::npos);
+
+  auto h = make_flags();
+  EXPECT_FALSE(parse(h, {"--name"}));
+  EXPECT_NE(h.error().find("needs a value"), std::string::npos);
+
+  auto i = make_flags();
+  EXPECT_FALSE(parse(i, {"--verbose=banana"}));
+}
+
+TEST(Cli, HelpRequested) {
+  auto f = make_flags();
+  ASSERT_TRUE(parse(f, {"--help"}));
+  EXPECT_TRUE(f.help_requested());
+  const std::string help = f.help_text();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("--no-color"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,224 @@
+// Unit tests for src/common: RNG, bit utilities, statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace wfsort {
+namespace {
+
+// ---------------------------------------------------------------- bits
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+  EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+}
+
+TEST(Bits, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(4), 2u);
+  EXPECT_EQ(log2_floor(1023), 9u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+}
+
+TEST(Bits, Log2Ceil) {
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(4), 2u);
+  EXPECT_EQ(log2_ceil(5), 3u);
+}
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Bits, Isqrt) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(3), 1u);
+  EXPECT_EQ(isqrt(4), 2u);
+  EXPECT_EQ(isqrt(15), 3u);
+  EXPECT_EQ(isqrt(16), 4u);
+  EXPECT_EQ(isqrt(1ULL << 40), 1ULL << 20);
+  for (std::uint64_t x = 0; x < 2000; ++x) {
+    const std::uint64_t r = isqrt(x);
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+  }
+}
+
+TEST(HeapTree, Structure) {
+  HeapTree t(8);
+  EXPECT_EQ(t.nodes(), 15u);
+  EXPECT_EQ(t.depth(), 3u);
+  EXPECT_TRUE(t.is_root(0));
+  EXPECT_FALSE(t.is_leaf(0));
+  EXPECT_TRUE(t.is_leaf(t.leaf(0)));
+  EXPECT_TRUE(t.is_leaf(t.leaf(7)));
+  EXPECT_EQ(t.leaf(0), 7u);
+  EXPECT_EQ(t.leaf_rank(t.leaf(5)), 5u);
+  EXPECT_EQ(t.parent(t.left(3)), 3u);
+  EXPECT_EQ(t.parent(t.right(3)), 3u);
+  EXPECT_EQ(t.sibling(t.left(3)), t.right(3));
+  EXPECT_EQ(t.sibling(t.right(3)), t.left(3));
+  EXPECT_EQ(t.node_depth(0), 0u);
+  EXPECT_EQ(t.node_depth(1), 1u);
+  EXPECT_EQ(t.node_depth(t.leaf(0)), 3u);
+}
+
+TEST(HeapTree, EveryNodeReachableFromRoot) {
+  HeapTree t(16);
+  std::vector<bool> seen(t.nodes(), false);
+  std::vector<std::uint64_t> stack{t.root()};
+  while (!stack.empty()) {
+    const std::uint64_t n = stack.back();
+    stack.pop_back();
+    ASSERT_LT(n, t.nodes());
+    seen[n] = true;
+    if (!t.is_leaf(n)) {
+      stack.push_back(t.left(n));
+      stack.push_back(t.right(n));
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t x = a.next();
+    EXPECT_EQ(x, b.next());
+  }
+  // Different seeds should diverge immediately (overwhelmingly likely).
+  EXPECT_NE(Rng(42).next(), c.next());
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Rng rng(7);
+  constexpr std::uint64_t kBound = 10;
+  std::vector<int> counts(kBound, 0);
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    const std::uint64_t v = rng.below(kBound);
+    ASSERT_LT(v, kBound);
+    ++counts[v];
+  }
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kTrials / static_cast<int>(kBound), 600);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng base(99);
+  Rng f0 = base.fork(0);
+  Rng f1 = base.fork(1);
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (f0.next() == f1.next()) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(std::span<int>(v));
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, Empty) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, AddAndQuantile) {
+  Histogram h(16);
+  for (std::size_t i = 0; i < 10; ++i) h.add(1);
+  for (std::size_t i = 0; i < 10; ++i) h.add(3);
+  EXPECT_EQ(h.total(), 20u);
+  EXPECT_EQ(h.count(1), 10u);
+  EXPECT_EQ(h.count(3), 10u);
+  EXPECT_EQ(h.max_nonzero(), 3u);
+  EXPECT_EQ(h.quantile(0.25), 1u);
+  EXPECT_EQ(h.quantile(1.0), 3u);
+}
+
+TEST(Histogram, ClampsOverflowIntoLastBucket) {
+  Histogram h(4);
+  h.add(1000);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.max_nonzero(), 3u);
+}
+
+TEST(Fitting, PowerLawRecoversExponent) {
+  std::vector<double> x, y;
+  for (double v : {16.0, 32.0, 64.0, 128.0, 256.0, 1024.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 0.5));
+  }
+  EXPECT_NEAR(fit_power_law(x, y), 0.5, 1e-9);
+}
+
+TEST(Fitting, LogFitRecoversSlope) {
+  std::vector<double> x, y;
+  for (double v : {16.0, 32.0, 64.0, 128.0, 256.0}) {
+    x.push_back(v);
+    y.push_back(7.0 + 2.5 * std::log2(v));
+  }
+  EXPECT_NEAR(fit_log(x, y), 2.5, 1e-9);
+}
+
+TEST(Fitting, R2PerfectLine) {
+  std::vector<double> x{1, 2, 3, 4}, y{2, 4, 6, 8};
+  EXPECT_NEAR(linear_r2(x, y), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace wfsort

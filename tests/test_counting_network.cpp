@@ -1,0 +1,83 @@
+// Tests for the bitonic counting network: structure, the counting property
+// (sequential and concurrent-quiescent), and wait-free step bounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/bits.h"
+#include "lowcontention/counting_network.h"
+
+namespace {
+
+using wfsort::BitonicCountingNetwork;
+
+TEST(CountingNetwork, StructureMatchesBatcherDepth) {
+  for (std::uint32_t w : {2u, 4u, 8u, 16u}) {
+    BitonicCountingNetwork net(w);
+    const std::uint32_t k = wfsort::log2_floor(w);
+    EXPECT_EQ(net.depth(), k * (k + 1) / 2) << "w=" << w;
+    // Each stage has w/2 balancers.
+    EXPECT_EQ(net.balancer_count(), static_cast<std::size_t>(net.depth()) * (w / 2));
+  }
+}
+
+TEST(CountingNetwork, SequentialTokensCountContiguously) {
+  for (std::uint32_t w : {2u, 4u, 8u, 16u}) {
+    BitonicCountingNetwork net(w);
+    const std::uint64_t tokens = 5 * w + 3;
+    std::set<std::uint64_t> values;
+    for (std::uint64_t t = 0; t < tokens; ++t) {
+      values.insert(net.next(static_cast<std::uint32_t>(t % w)));
+    }
+    ASSERT_EQ(values.size(), tokens) << "w=" << w;
+    EXPECT_EQ(*values.begin(), 0u);
+    EXPECT_EQ(*values.rbegin(), tokens - 1);
+  }
+}
+
+TEST(CountingNetwork, SequentialSingleInputWire) {
+  // All tokens entering on one wire must still count correctly (balancers,
+  // not the entry choice, provide the spreading).
+  BitonicCountingNetwork net(8);
+  std::set<std::uint64_t> values;
+  for (int t = 0; t < 50; ++t) values.insert(net.next(3));
+  ASSERT_EQ(values.size(), 50u);
+  EXPECT_EQ(*values.rbegin(), 49u);
+}
+
+TEST(CountingNetwork, ConcurrentQuiescentCount) {
+  constexpr std::uint32_t kWidth = 8;
+  constexpr unsigned kThreads = 8;
+  constexpr int kPerThread = 400;
+  BitonicCountingNetwork net(kWidth);
+
+  std::vector<std::vector<std::uint64_t>> got(kThreads);
+  {
+    std::vector<std::jthread> crew;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      crew.emplace_back([&net, &got, t] {
+        got[t].reserve(kPerThread);
+        for (int i = 0; i < kPerThread; ++i) got[t].push_back(net.next(t));
+      });
+    }
+  }
+
+  // Quiescent check: all values distinct and exactly covering the range.
+  std::vector<std::uint64_t> all;
+  for (auto& v : got) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i], i) << "hole or duplicate at " << i;
+  }
+  // Per-thread values are monotonically increasing (each next() is a later
+  // linearized increment than the thread's previous one is NOT guaranteed by
+  // counting networks in general, so we do not assert it; distinctness and
+  // coverage above are the counting property).
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// White-box unit tests of the native engine's building blocks: TreeState,
+// build_from/build_one, tree_sum, find_place_emit and the LC probing phases
+// — exercised directly on small hand-built trees, where every expected
+// value can be stated explicitly.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/detail/build_phase.h"
+#include "core/detail/lc_phase.h"
+#include "core/detail/sum_place_phase.h"
+#include "core/detail/tree_state.h"
+
+namespace {
+
+using wfsort::detail::kBig;
+using wfsort::detail::kNoIdx;
+using wfsort::detail::kSmall;
+using wfsort::detail::LcMarks;
+
+using State = wfsort::detail::TreeState<std::uint64_t, std::less<std::uint64_t>>;
+
+constexpr auto kKeepGoing = [] { return true; };
+
+// TreeState views its keys (non-owning span), so the fixture must own them
+// for the state's lifetime.
+struct BuiltTree {
+  std::vector<std::uint64_t> keys;
+  std::unique_ptr<State> state;
+  State* operator->() { return state.get(); }
+  State& operator*() { return *state; }
+};
+
+// Build the tree sequentially via build_one.
+BuiltTree build_sequential(std::vector<std::uint64_t> keys) {
+  BuiltTree t{std::move(keys), nullptr};
+  t.state = std::make_unique<State>(
+      std::span<const std::uint64_t>(t.keys.data(), t.keys.size()),
+      std::less<std::uint64_t>{});
+  for (std::int64_t i = 0; i < t.state->n(); ++i) {
+    wfsort::detail::build_one(*t.state, i);
+  }
+  return t;
+}
+
+TEST(TreeStateDetail, LessBreaksTiesByIndex) {
+  std::vector<std::uint64_t> keys{5, 5, 3};
+  State st(std::span<const std::uint64_t>(keys), {});
+  EXPECT_TRUE(st.less(0, 1));   // equal keys: index 0 < 1
+  EXPECT_FALSE(st.less(1, 0));
+  EXPECT_TRUE(st.less(2, 0));   // 3 < 5
+  EXPECT_FALSE(st.less(0, 2));
+}
+
+TEST(TreeStateDetail, BuildOneShapesKnownTree) {
+  // keys: 50, 30, 70, 30(dup).  Root = 0; 30 -> small of root; 70 -> big;
+  // the duplicate 30 (index 3) ties-breaks AFTER index 1 -> big child of 1.
+  auto st = build_sequential({50, 30, 70, 30});
+  EXPECT_EQ(st->child_of(0, kSmall), 1);
+  EXPECT_EQ(st->child_of(0, kBig), 2);
+  EXPECT_EQ(st->child_of(1, kBig), 3);
+  EXPECT_EQ(st->child_of(1, kSmall), kNoIdx);
+  EXPECT_EQ(st->measure_depth(), 3u);
+}
+
+TEST(TreeStateDetail, BuildFromInsertsBelowGivenParent) {
+  std::vector<std::uint64_t> keys{50, 30, 70, 60};
+  State st(std::span<const std::uint64_t>(keys), {});
+  wfsort::detail::build_one(st, 1);
+  wfsort::detail::build_one(st, 2);
+  // Insert 60 starting at element 2 (the fat-tree handoff path).
+  auto r = wfsort::detail::build_from(st, 3, 2);
+  EXPECT_GE(r.iterations, 1u);
+  EXPECT_EQ(st.child_of(2, kSmall), 3);
+}
+
+TEST(TreeStateDetail, BuildOneIsIdempotentForDuplicateWork) {
+  auto st = build_sequential({50, 30, 70});
+  // Re-running build_one (duplicate worker) must not change the tree.
+  const auto before_small = st->child_of(0, kSmall);
+  auto r = wfsort::detail::build_one(*st, 1);
+  EXPECT_EQ(st->child_of(0, kSmall), before_small);
+  EXPECT_EQ(r.iterations, 1u);  // finds itself installed at the first slot
+}
+
+TEST(TreeStateDetail, TreeSumComputesExactSizes) {
+  auto st = build_sequential({50, 30, 70, 20, 40});
+  ASSERT_TRUE(wfsort::detail::tree_sum(*st, /*pid=*/0, kKeepGoing));
+  EXPECT_EQ(st->size_of(0), 5);  // root
+  EXPECT_EQ(st->size_of(1), 3);  // 30 with children 20, 40
+  EXPECT_EQ(st->size_of(2), 1);  // 70
+  EXPECT_EQ(st->size_of(3), 1);
+  EXPECT_EQ(st->size_of(4), 1);
+}
+
+TEST(TreeStateDetail, TreeSumSkipsSummedSubtrees) {
+  auto st = build_sequential({50, 30, 70});
+  // Pre-poison subtree 1 with a WRONG size: tree_sum must trust it (the
+  // skip is the whole point) and produce root size consistent with it.
+  st->size[1].store(41, std::memory_order_relaxed);
+  ASSERT_TRUE(wfsort::detail::tree_sum(*st, 0, kKeepGoing));
+  EXPECT_EQ(st->size_of(0), 41 + 1 + 1);
+}
+
+TEST(TreeStateDetail, FindPlaceEmitProducesRanksAndOutput) {
+  std::vector<std::uint64_t> keys{50, 30, 70, 20, 40};
+  auto st = build_sequential(keys);
+  ASSERT_TRUE(wfsort::detail::tree_sum(*st, 0, kKeepGoing));
+  for (auto prune : {wfsort::PrunePlaced::kNo, wfsort::PrunePlaced::kYes,
+                     wfsort::PrunePlaced::kDone}) {
+    auto st2 = build_sequential(keys);
+    ASSERT_TRUE(wfsort::detail::tree_sum(*st2, 0, kKeepGoing));
+    ASSERT_TRUE(wfsort::detail::find_place_emit(*st2, 0, prune, kKeepGoing));
+    EXPECT_EQ(st2->place_of(0), 4);  // 50 is 4th of {20,30,40,50,70}
+    EXPECT_EQ(st2->place_of(1), 2);
+    EXPECT_EQ(st2->place_of(2), 5);
+    EXPECT_EQ(st2->place_of(3), 1);
+    EXPECT_EQ(st2->place_of(4), 3);
+    const std::uint64_t expected[] = {20, 30, 40, 50, 70};
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(st2->out[static_cast<std::size_t>(i)].load(), expected[i]);
+    }
+  }
+}
+
+TEST(TreeStateDetail, FindPlaceDoneSetsCompletionFlagsBottomUp) {
+  auto st = build_sequential({50, 30, 70});
+  ASSERT_TRUE(wfsort::detail::tree_sum(*st, 0, kKeepGoing));
+  ASSERT_TRUE(
+      wfsort::detail::find_place_emit(*st, 0, wfsort::PrunePlaced::kDone, kKeepGoing));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(st->place_done[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+  // A second worker prunes at the root immediately (1 flag read, no writes).
+  std::uint64_t checks = 0;
+  ASSERT_TRUE(wfsort::detail::find_place_emit(*st, 1, wfsort::PrunePlaced::kDone,
+                                              [&checks] {
+                                                ++checks;
+                                                return true;
+                                              }));
+  EXPECT_EQ(checks, 1u);
+}
+
+TEST(TreeStateDetail, AbortedTraversalsReturnFalse) {
+  auto st = build_sequential({5, 3, 7, 1, 4, 6, 9});
+  int budget = 3;
+  auto limited = [&budget] { return budget-- > 0; };
+  EXPECT_FALSE(wfsort::detail::tree_sum(*st, 0, limited));
+  budget = 2;
+  EXPECT_FALSE(
+      wfsort::detail::find_place_emit(*st, 0, wfsort::PrunePlaced::kNo, limited));
+}
+
+TEST(TreeStateDetail, LcPhasesCompleteOnHandBuiltTree) {
+  std::vector<std::uint64_t> keys{50, 30, 70, 20, 40, 60, 80};
+  auto st = build_sequential(keys);
+  LcMarks sum_marks(keys.size());
+  LcMarks place_marks(keys.size());
+  wfsort::Rng rng(5);
+  ASSERT_TRUE(wfsort::detail::lc_tree_sum(*st, sum_marks, rng, kKeepGoing));
+  EXPECT_EQ(st->size_of(0), 7);
+  ASSERT_TRUE(wfsort::detail::lc_find_place_emit(*st, place_marks, rng, kKeepGoing));
+  const std::uint64_t expected[] = {20, 30, 40, 50, 60, 70, 80};
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(st->out[static_cast<std::size_t>(i)].load(), expected[i]);
+  }
+}
+
+TEST(TreeStateDetail, LcPhasesSingleElement) {
+  std::vector<std::uint64_t> keys{42};
+  State st(std::span<const std::uint64_t>(keys), {});
+  LcMarks sum_marks(1), place_marks(1);
+  wfsort::Rng rng(1);
+  ASSERT_TRUE(wfsort::detail::lc_tree_sum(st, sum_marks, rng, kKeepGoing));
+  EXPECT_EQ(st.size_of(0), 1);
+  ASSERT_TRUE(wfsort::detail::lc_find_place_emit(st, place_marks, rng, kKeepGoing));
+  EXPECT_EQ(st.place_of(0), 1);
+}
+
+TEST(TreeStateDetail, SpreadSideIsBalancedAcrossPids) {
+  // The hashed spread should split ~half/half at every depth.
+  for (std::uint32_t depth : {0u, 5u, 17u, 31u, 63u}) {
+    int small = 0;
+    for (std::uint32_t pid = 0; pid < 1000; ++pid) {
+      if (wfsort::detail::spread_side(pid, depth) == kSmall) ++small;
+    }
+    EXPECT_GT(small, 400) << depth;
+    EXPECT_LT(small, 600) << depth;
+  }
+}
+
+TEST(TreeStateDetail, AllPlacedAndMeasureDepth) {
+  auto st = build_sequential({3, 1, 2});
+  EXPECT_FALSE(st->all_placed());
+  ASSERT_TRUE(wfsort::detail::tree_sum(*st, 0, kKeepGoing));
+  ASSERT_TRUE(
+      wfsort::detail::find_place_emit(*st, 0, wfsort::PrunePlaced::kNo, kKeepGoing));
+  EXPECT_TRUE(st->all_placed());
+  EXPECT_EQ(st->measure_depth(), 3u);  // 3 -> 1 -> 2 chain
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Tests for the experiment harness utilities: table rendering, series
+// fitting, workload generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "exp/table.h"
+#include "exp/workloads.h"
+
+namespace {
+
+using wfsort::exp::Dist;
+using wfsort::exp::Series;
+using wfsort::exp::Table;
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t("demo", {"name", "value"});
+  t.add_row({std::string("alpha"), std::int64_t{42}});
+  t.add_row({std::string("beta"), 2.5});
+  std::ostringstream os;
+  t.render(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FormatsExtremeDoublesInScientific) {
+  Table t("fmt", {"x"});
+  t.add_row({1.0e9});
+  std::ostringstream os;
+  t.render(os);
+  EXPECT_NE(os.str().find("e+09"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table t("csv", {"name", "value"});
+  t.add_row({std::string("plain"), std::int64_t{1}});
+  t.add_row({std::string("with,comma"), std::int64_t{2}});
+  t.add_row({std::string("with\"quote"), std::int64_t{3}});
+  std::ostringstream os;
+  t.render_csv(os);
+  EXPECT_EQ(os.str(),
+            "name,value\n"
+            "plain,1\n"
+            "\"with,comma\",2\n"
+            "\"with\"\"quote\",3\n");
+}
+
+TEST(Series, FitsKnownCurves) {
+  Series sqrtish, logish;
+  for (double x : {16.0, 64.0, 256.0, 1024.0}) {
+    sqrtish.add(x, 3.0 * std::sqrt(x));
+    logish.add(x, 5.0 + 2.0 * std::log2(x));
+  }
+  EXPECT_NEAR(sqrtish.power_law_exponent(), 0.5, 1e-9);
+  EXPECT_NEAR(sqrtish.loglog_r2(), 1.0, 1e-9);
+  EXPECT_NEAR(logish.log_slope(), 2.0, 1e-9);
+}
+
+TEST(Verdict, MatchesAndDeviates) {
+  EXPECT_NE(wfsort::exp::verdict_exponent(0.52, 0.5, 0.1).find("MATCH"),
+            std::string::npos);
+  EXPECT_NE(wfsort::exp::verdict_exponent(0.9, 0.5, 0.1).find("DEVIATES"),
+            std::string::npos);
+}
+
+TEST(Workloads, ShapesAreAsNamed) {
+  const std::size_t n = 512;
+  auto sorted = wfsort::exp::make_u64_keys(n, Dist::kSorted, 1);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+
+  auto reversed = wfsort::exp::make_u64_keys(n, Dist::kReversed, 1);
+  EXPECT_TRUE(std::is_sorted(reversed.rbegin(), reversed.rend()));
+
+  auto shuffled = wfsort::exp::make_word_keys(n, Dist::kShuffled, 1);
+  auto copy = shuffled;
+  std::sort(copy.begin(), copy.end());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(copy[i], static_cast<std::int64_t>(i));
+  EXPECT_FALSE(std::is_sorted(shuffled.begin(), shuffled.end()));
+
+  auto few = wfsort::exp::make_u64_keys(n, Dist::kFewDistinct, 1);
+  std::set<std::uint64_t> distinct(few.begin(), few.end());
+  EXPECT_LE(distinct.size(), 8u);
+
+  auto pipe = wfsort::exp::make_u64_keys(n, Dist::kOrganPipe, 1);
+  EXPECT_TRUE(std::is_sorted(pipe.begin(), pipe.begin() + n / 2));
+  EXPECT_TRUE(std::is_sorted(pipe.begin() + n / 2, pipe.end(), std::greater<>{}));
+}
+
+TEST(Workloads, DeterministicPerSeed) {
+  auto a = wfsort::exp::make_u64_keys(100, Dist::kUniform, 9);
+  auto b = wfsort::exp::make_u64_keys(100, Dist::kUniform, 9);
+  auto c = wfsort::exp::make_u64_keys(100, Dist::kUniform, 10);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace

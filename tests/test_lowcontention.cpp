@@ -1,0 +1,189 @@
+// Tests for the native low-contention building blocks: winner-selection
+// tournament (Figure 9) and the replicated fat tree with write-most fill.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "lowcontention/fat_tree.h"
+#include "lowcontention/winner_tree.h"
+
+namespace {
+
+using wfsort::FatTree;
+using wfsort::Rng;
+using wfsort::WinnerTree;
+
+// ------------------------------------------------------------ WinnerTree
+
+TEST(WinnerTree, SingleCompetitorWins) {
+  WinnerTree wt(1, /*wait_unit=*/0);
+  Rng rng(1);
+  EXPECT_EQ(wt.compete(0, 7, rng), 7);
+  EXPECT_EQ(wt.winner(), 7);
+}
+
+TEST(WinnerTree, SequentialCompetitorsAgreeOnFirstDecision) {
+  WinnerTree wt(8, /*wait_unit=*/0);
+  Rng rng(2);
+  const std::int64_t first = wt.compete(3, 30, rng);
+  EXPECT_EQ(first, 30);
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(wt.compete(s, 100 + s, rng), 30) << "slot " << s;
+  }
+}
+
+TEST(WinnerTree, ConcurrentCompetitorsAllLearnSameWinner) {
+  constexpr unsigned kThreads = 8;
+  for (int round = 0; round < 10; ++round) {
+    WinnerTree wt(kThreads, /*wait_unit=*/1);
+    std::vector<std::int64_t> results(kThreads, -1);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(round * 100 + t);
+        results[t] = wt.compete(t, static_cast<std::int64_t>(t), rng);
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (unsigned t = 1; t < kThreads; ++t) EXPECT_EQ(results[t], results[0]);
+    EXPECT_GE(results[0], 0);
+    EXPECT_LT(results[0], static_cast<std::int64_t>(kThreads));
+    EXPECT_EQ(wt.winner(), results[0]);
+  }
+}
+
+TEST(WinnerTree, ResetAllowsNewTournament) {
+  WinnerTree wt(4, 0);
+  Rng rng(5);
+  EXPECT_EQ(wt.compete(0, 11, rng), 11);
+  wt.reset();
+  EXPECT_EQ(wt.winner(), WinnerTree::kUndecided);
+  EXPECT_EQ(wt.compete(2, 22, rng), 22);
+}
+
+TEST(WinnerTree, NonPowerOfTwoSlots) {
+  WinnerTree wt(5, 0);
+  Rng rng(6);
+  EXPECT_EQ(wt.compete(4, 44, rng), 44);
+  EXPECT_EQ(wt.compete(0, 1, rng), 44);
+}
+
+// ------------------------------------------------------------ FatTree
+
+TEST(FatTree, RankMappingIsInOrderTraversal) {
+  // In-order traversal of the heap-layout complete BST must produce ranks
+  // 0..S-1 in order.
+  for (std::uint32_t levels : {1u, 2u, 3u, 4u, 6u}) {
+    FatTree ft(levels, 1);
+    const std::uint64_t s = ft.node_count();
+    std::vector<std::uint64_t> rank_to_node(s);
+    for (std::uint64_t f = 0; f < s; ++f) {
+      const std::uint64_t r = ft.rank_of(f);
+      ASSERT_LT(r, s);
+      rank_to_node[r] = f;
+    }
+    // In-order walk.
+    std::vector<std::uint64_t> inorder;
+    std::vector<std::pair<std::uint64_t, bool>> stack{{0, false}};
+    while (!stack.empty()) {
+      auto [f, expanded] = stack.back();
+      stack.pop_back();
+      if (f >= s) continue;
+      if (expanded) {
+        inorder.push_back(f);
+      } else {
+        stack.emplace_back(ft.right(f), false);
+        stack.emplace_back(f, true);
+        stack.emplace_back(ft.left(f), false);
+      }
+    }
+    for (std::uint64_t r = 0; r < s; ++r) {
+      EXPECT_EQ(inorder[r], rank_to_node[r]) << "levels=" << levels << " rank=" << r;
+    }
+  }
+}
+
+TEST(FatTree, NodeOfRankIsInverse) {
+  for (std::uint32_t levels : {1u, 2u, 5u, 8u}) {
+    const std::uint64_t s = (std::uint64_t{1} << levels) - 1;
+    for (std::uint64_t f = 0; f < s; ++f) {
+      EXPECT_EQ(FatTree::node_of_rank(levels, FatTree::rank_of_node(levels, f)), f);
+    }
+  }
+}
+
+TEST(FatTree, WriteCellAndReadBack) {
+  FatTree ft(3, 4);  // 7 nodes x 4 copies
+  std::vector<std::int64_t> slice{10, 11, 12, 13, 14, 15, 16};
+  Rng rng(1);
+  ft.write_cell(0, 2, slice[ft.rank_of(0)]);
+  // All reads of node 0 return the root's slice value: either the written
+  // copy or the fallback.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ft.read(0, slice, rng), slice[ft.rank_of(0)]);
+  }
+}
+
+TEST(FatTree, FallbackCountsMisses) {
+  FatTree ft(2, 8);
+  std::vector<std::int64_t> slice{100, 101, 102};
+  Rng rng(3);
+  std::uint64_t misses = 0;
+  const std::int64_t v = ft.read(1, slice, rng, &misses);  // nothing written yet
+  EXPECT_EQ(v, slice[ft.rank_of(1)]);
+  EXPECT_EQ(misses, 1u);
+}
+
+TEST(FatTree, WriteMostFillsMostCells) {
+  FatTree ft(4, 8);  // 15 nodes x 8 copies = 120 cells
+  std::vector<std::int64_t> slice(15);
+  for (int i = 0; i < 15; ++i) slice[i] = 1000 + i;
+  // 64 writers with the paper's log P quota.
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    Rng rng(500 + p);
+    ft.write_random_cells(slice, ft.fill_quota(64), rng);
+  }
+  EXPECT_GT(ft.fill_fraction(), 0.9);
+  // Every filled read agrees with the authoritative slice value.
+  Rng rng(9);
+  for (std::uint64_t f = 0; f < ft.node_count(); ++f) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(ft.read(f, slice, rng), slice[ft.rank_of(f)]);
+    }
+  }
+}
+
+TEST(FatTree, ResetEmptiesAllCells) {
+  FatTree ft(2, 2);
+  std::vector<std::int64_t> slice{5, 6, 7};
+  ft.write_cell(0, 0, slice[ft.rank_of(0)]);
+  ft.write_cell(0, 1, slice[ft.rank_of(0)]);
+  EXPECT_GT(ft.fill_fraction(), 0.0);
+  ft.reset();
+  EXPECT_EQ(ft.fill_fraction(), 0.0);
+}
+
+TEST(FatTree, ConcurrentWriteMostAndReaders) {
+  FatTree ft(3, 4);
+  std::vector<std::int64_t> slice{0, 1, 2, 3, 4, 5, 6};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t);
+      for (int i = 0; i < 200; ++i) {
+        ft.write_random_cells(slice, 2, rng);
+        const std::uint64_t f = rng.below(ft.node_count());
+        if (ft.read(f, slice, rng) != slice[ft.rank_of(f)]) bad.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(bad.load());
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Edge-case and interaction tests for the PRAM machine and the low-
+// contention structures: resumable runs with failures, stall-model x
+// scheduler combinations, spawn-after-finish, fat-tree quota effects,
+// winner-tree wave spans.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "lowcontention/fat_tree.h"
+#include "lowcontention/winner_tree.h"
+#include "pram/machine.h"
+#include "pram/primitives.h"
+#include "pram/scheduler.h"
+#include "pram/subtask.h"
+
+namespace {
+
+using pram::Addr;
+using pram::Ctx;
+using pram::Machine;
+using pram::MachineOptions;
+using pram::MemoryModel;
+using pram::Task;
+using pram::Word;
+
+Task poke_n(Ctx& ctx, Addr base, int n) {
+  for (int i = 0; i < n; ++i) co_await ctx.write(base + static_cast<Addr>(i % 4), i);
+}
+
+Task hit_one(Ctx& ctx, Addr cell, int n) {
+  for (int i = 0; i < n; ++i) co_await ctx.write(cell, i);
+}
+
+TEST(MachineEdge, ResumableRunAcrossKillAndSpawn) {
+  Machine m;
+  auto cells = m.mem().alloc("c", 8, 0);
+  const auto victim = m.spawn([&](Ctx& ctx) { return poke_n(ctx, cells.base, 1000); });
+  auto r1 = m.run_synchronous([](const Machine& mm) { return mm.current_round() >= 5; });
+  EXPECT_TRUE(r1.predicate_hit);
+  m.kill(victim);
+  m.spawn([&](Ctx& ctx) { return poke_n(ctx, cells.base + 4, 6); });
+  auto r2 = m.run_synchronous();
+  EXPECT_TRUE(r2.all_finished);
+  EXPECT_EQ(m.mem().peek(cells.base + 4 + 1), 5);  // second program finished
+}
+
+TEST(MachineEdge, StallModelUnderSerialSchedulerIsJustSerial) {
+  // With one processor stepping per round there is never a collision, so
+  // the stall model must behave exactly like CRCW: zero stalls.
+  Machine m(MachineOptions{.memory_model = MemoryModel::kStall});
+  auto cell = m.mem().alloc("c", 1, 0);
+  for (int p = 0; p < 4; ++p) {
+    m.spawn([&](Ctx& ctx) { return hit_one(ctx, cell.base, 3); });
+  }
+  pram::RoundRobinScheduler serial(1);
+  auto r = m.run(serial);
+  EXPECT_TRUE(r.all_finished);
+  EXPECT_EQ(m.metrics().stalls(), 0u);
+  EXPECT_EQ(r.rounds, 12u);
+}
+
+TEST(MachineEdge, StallModelWithRandomSubsetStillCompletes) {
+  Machine m(MachineOptions{.memory_model = MemoryModel::kStall});
+  auto cell = m.mem().alloc("hot", 1, 0);
+  for (int p = 0; p < 8; ++p) {
+    m.spawn([&](Ctx& ctx) { return hit_one(ctx, cell.base, 4); });
+  }
+  pram::RandomSubsetScheduler sched(0.6, 9);
+  auto r = m.run(sched);
+  EXPECT_TRUE(r.all_finished);
+}
+
+TEST(MachineEdge, BarrierDeadlockHitsRoundCapNotInfiniteLoop) {
+  Machine m(MachineOptions{.max_rounds = 200});
+  auto barrier = pram::make_barrier(m.mem(), "b", 3);
+  for (int p = 0; p < 2; ++p) {  // only 2 of 3 parties ever arrive
+    m.spawn([barrier](Ctx& ctx) -> Task {
+      return [](Ctx& c, pram::PramBarrier b) -> Task {
+        co_await pram::barrier_wait(c, b);
+      }(ctx, barrier);
+    });
+  }
+  auto r = m.run_synchronous();
+  EXPECT_TRUE(r.hit_round_cap);
+  EXPECT_FALSE(r.all_finished);
+}
+
+TEST(MachineEdge, SuspendedEverybodyWithoutHookStopsCleanly) {
+  Machine m;
+  auto cell = m.mem().alloc("c", 1, 0);
+  const auto p = m.spawn([&](Ctx& ctx) { return hit_one(ctx, cell.base, 100); });
+  auto r1 = m.run_synchronous([](const Machine& mm) { return mm.current_round() >= 2; });
+  EXPECT_TRUE(r1.predicate_hit);
+  m.suspend(p);
+  auto r2 = m.run_synchronous();  // nothing can make progress, no hook
+  EXPECT_FALSE(r2.all_finished);
+  EXPECT_FALSE(r2.hit_round_cap);  // detected as stuck, not spun to the cap
+  m.awaken(p);
+  auto r3 = m.run_synchronous();
+  EXPECT_TRUE(r3.all_finished);
+}
+
+// ------------------------------------------------------------ structures
+
+TEST(FatTreeEdge, HigherQuotaFillsMore) {
+  // With the same writer count, doubling the per-writer quota cannot fill
+  // fewer cells (same RNG streams prefix).
+  double fills[2];
+  for (int q = 0; q < 2; ++q) {
+    wfsort::FatTree ft(4, 8);
+    std::vector<std::int64_t> slice(15);
+    for (int i = 0; i < 15; ++i) slice[i] = i;
+    for (std::uint32_t w = 0; w < 8; ++w) {
+      wfsort::Rng rng(w + 1);
+      ft.write_random_cells(slice, q == 0 ? 2 : 12, rng);
+    }
+    fills[q] = ft.fill_fraction();
+  }
+  EXPECT_GE(fills[1], fills[0]);
+  EXPECT_GT(fills[1], 0.45);
+}
+
+TEST(WinnerTreeEdge, WaveSpanIsBoundedByKLogP) {
+  // With wait_unit = K, the pre-wait is at most K * log2(P') yields; the
+  // tournament must therefore decide within a small multiple of that when
+  // run single-threaded.
+  wfsort::WinnerTree wt(64, /*wait_unit=*/3);
+  wfsort::Rng rng(4);
+  const auto winner = wt.compete(17, 1234, rng);
+  EXPECT_EQ(winner, 1234);  // alone, own candidate must win
+  EXPECT_EQ(wt.winner(), 1234);
+}
+
+TEST(WinnerTreeEdge, LateArrivalsAfterDecisionLearnIt) {
+  wfsort::WinnerTree wt(16, 0);
+  wfsort::Rng rng(5);
+  ASSERT_EQ(wt.compete(0, 7, rng), 7);
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    EXPECT_EQ(wt.compete(s, 1000 + s, rng), 7) << s;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,419 @@
+// Tests for the native wait-free sorter: correctness across workloads,
+// thread counts and variants; statistics invariants (Lemma 2.4); behaviour
+// under injected crashes and page-fault sleeps (wait-freedom, E9's basis).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/sort.h"
+
+namespace {
+
+using wfsort::Options;
+using wfsort::PrunePlaced;
+using wfsort::Rng;
+using wfsort::SortStats;
+using wfsort::Variant;
+
+// ------------------------------------------------------------ workloads
+
+enum class Workload { kRandom, kSorted, kReversed, kAllEqual, kFewDistinct, kOrganPipe, kRuns };
+
+const char* workload_name(Workload w) {
+  switch (w) {
+    case Workload::kRandom: return "random";
+    case Workload::kSorted: return "sorted";
+    case Workload::kReversed: return "reversed";
+    case Workload::kAllEqual: return "all_equal";
+    case Workload::kFewDistinct: return "few_distinct";
+    case Workload::kOrganPipe: return "organ_pipe";
+    case Workload::kRuns: return "runs";
+  }
+  return "?";
+}
+
+std::vector<std::uint64_t> make_workload(Workload w, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  switch (w) {
+    case Workload::kRandom:
+      for (auto& x : v) x = rng.next();
+      break;
+    case Workload::kSorted:
+      for (std::size_t i = 0; i < n; ++i) v[i] = i * 3;
+      break;
+    case Workload::kReversed:
+      for (std::size_t i = 0; i < n; ++i) v[i] = (n - i) * 3;
+      break;
+    case Workload::kAllEqual:
+      for (auto& x : v) x = 42;
+      break;
+    case Workload::kFewDistinct:
+      for (auto& x : v) x = rng.below(8);
+      break;
+    case Workload::kOrganPipe:
+      for (std::size_t i = 0; i < n; ++i) v[i] = i < n / 2 ? i : n - i;
+      break;
+    case Workload::kRuns:
+      for (std::size_t i = 0; i < n; ++i) v[i] = (i % 64) + 1000 * (i / 64 % 7);
+      break;
+  }
+  return v;
+}
+
+void expect_sorted_permutation(const std::vector<std::uint64_t>& original,
+                               const std::vector<std::uint64_t>& result,
+                               const std::string& label) {
+  ASSERT_EQ(original.size(), result.size()) << label;
+  EXPECT_TRUE(std::is_sorted(result.begin(), result.end())) << label;
+  std::vector<std::uint64_t> expected = original;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(expected, result) << label;
+}
+
+// ------------------------------------------------------------ basics
+
+TEST(SortNative, EmptyAndTiny) {
+  for (std::size_t n : {0u, 1u, 2u, 3u}) {
+    auto v = make_workload(Workload::kRandom, n, 9 + n);
+    auto orig = v;
+    wfsort::sort(std::span<std::uint64_t>(v), Options{.threads = 2});
+    expect_sorted_permutation(orig, v, "n=" + std::to_string(n));
+  }
+}
+
+TEST(SortNative, SingleThreadRandom) {
+  auto v = make_workload(Workload::kRandom, 1000, 1);
+  auto orig = v;
+  wfsort::sort(std::span<std::uint64_t>(v), Options{.threads = 1});
+  expect_sorted_permutation(orig, v, "single-thread");
+}
+
+TEST(SortNative, CustomComparatorDescending) {
+  auto v = make_workload(Workload::kRandom, 500, 2);
+  wfsort::sort(std::span<std::uint64_t>(v), Options{.threads = 2}, nullptr,
+               std::greater<std::uint64_t>{});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<std::uint64_t>{}));
+}
+
+TEST(SortNative, TrivialStructKeyByField) {
+  struct Pair {
+    std::uint32_t key;
+    std::uint32_t payload;
+  };
+  Rng rng(77);
+  std::vector<Pair> v(300);
+  for (std::uint32_t i = 0; i < v.size(); ++i) {
+    v[i] = {static_cast<std::uint32_t>(rng.below(50)), i};
+  }
+  auto by_key = [](const Pair& a, const Pair& b) { return a.key < b.key; };
+  wfsort::sort(std::span<Pair>(v), Options{.threads = 3}, nullptr, by_key);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), by_key));
+  // Every payload still present exactly once (permutation check).
+  std::vector<bool> seen(v.size(), false);
+  for (const Pair& p : v) {
+    ASSERT_LT(p.payload, v.size());
+    EXPECT_FALSE(seen[p.payload]);
+    seen[p.payload] = true;
+  }
+}
+
+TEST(SortNative, SorterObjectReuse) {
+  wfsort::Sorter<std::uint64_t> sorter(Options{.threads = 2});
+  for (int round = 0; round < 3; ++round) {
+    auto v = make_workload(Workload::kRandom, 200 + 50 * round, 10 + round);
+    auto orig = v;
+    sorter(std::span<std::uint64_t>(v));
+    expect_sorted_permutation(orig, v, "round " + std::to_string(round));
+    EXPECT_EQ(sorter.last_stats().n, orig.size());
+  }
+}
+
+TEST(SortNative, PhaseTimingsAreRecorded) {
+  auto v = make_workload(Workload::kRandom, 60000, 71);
+  SortStats stats;
+  wfsort::sort(std::span<std::uint64_t>(v), Options{.threads = 2}, &stats);
+  ASSERT_TRUE(std::is_sorted(v.begin(), v.end()));
+  // All phases did measurable work for this size.
+  EXPECT_GT(stats.phase1_ms, 0.0);
+  EXPECT_GT(stats.phase2_ms, 0.0);
+  EXPECT_GT(stats.phase3_ms, 0.0);
+}
+
+TEST(SortNative, SortPermutationLeavesDataUntouched) {
+  auto v = make_workload(Workload::kRandom, 1500, 44);
+  const auto orig = v;
+  const auto perm = wfsort::sort_permutation(
+      std::span<const std::uint64_t>(v), Options{.threads = 3});
+  EXPECT_EQ(v, orig);  // data untouched
+  ASSERT_EQ(perm.size(), v.size());
+  // perm is a permutation and orders the data.
+  std::vector<bool> seen(v.size(), false);
+  for (std::size_t r = 0; r < perm.size(); ++r) {
+    ASSERT_LT(perm[r], v.size());
+    EXPECT_FALSE(seen[perm[r]]);
+    seen[perm[r]] = true;
+    if (r > 0) {
+      EXPECT_LE(v[perm[r - 1]], v[perm[r]]);
+    }
+  }
+}
+
+TEST(SortNative, SortPermutationTiesBreakByIndex) {
+  std::vector<std::uint64_t> v(100, 7);  // all equal
+  const auto perm = wfsort::sort_permutation(std::span<const std::uint64_t>(v));
+  for (std::uint32_t r = 0; r < perm.size(); ++r) EXPECT_EQ(perm[r], r);
+}
+
+TEST(SortNative, SortPermutationEmptyAndSingle) {
+  std::vector<std::uint64_t> empty;
+  EXPECT_TRUE(wfsort::sort_permutation(std::span<const std::uint64_t>(empty)).empty());
+  std::vector<std::uint64_t> one{9};
+  auto perm = wfsort::sort_permutation(std::span<const std::uint64_t>(one));
+  ASSERT_EQ(perm.size(), 1u);
+  EXPECT_EQ(perm[0], 0u);
+}
+
+// ------------------------------------------------------------ property sweep
+
+struct SweepParam {
+  Workload workload;
+  std::size_t n;
+  std::uint32_t threads;
+  Variant variant;
+};
+
+std::string param_label(const SweepParam& p) {
+  return std::string(workload_name(p.workload)) + "_n" + std::to_string(p.n) + "_t" +
+         std::to_string(p.threads) +
+         (p.variant == Variant::kDeterministic ? "_det" : "_lc");
+}
+
+std::string sweep_name(const testing::TestParamInfo<SweepParam>& info) {
+  return param_label(info.param);
+}
+
+class SortSweep : public testing::TestWithParam<SweepParam> {};
+
+TEST_P(SortSweep, SortsToPermutation) {
+  const SweepParam p = GetParam();
+  auto v = make_workload(p.workload, p.n, 1234 + p.n);
+  auto orig = v;
+  SortStats stats;
+  wfsort::sort(std::span<std::uint64_t>(v),
+               Options{.threads = p.threads, .variant = p.variant}, &stats);
+  expect_sorted_permutation(orig, v, param_label(p));
+
+  if (p.n >= 2) {
+    // Lemma 2.4: no build_tree call loops more than N-1 times.
+    EXPECT_LE(stats.max_build_iters, p.n - 1);
+    EXPECT_GE(stats.tree_depth, 1u);
+    EXPECT_LE(stats.tree_depth, p.n);
+    EXPECT_EQ(stats.completed_workers, p.threads);
+    EXPECT_EQ(stats.crashed_workers, 0u);
+  }
+}
+
+std::vector<SweepParam> make_sweep() {
+  std::vector<SweepParam> out;
+  const Workload workloads[] = {Workload::kRandom,      Workload::kSorted,
+                                Workload::kReversed,    Workload::kAllEqual,
+                                Workload::kFewDistinct, Workload::kOrganPipe,
+                                Workload::kRuns};
+  for (Workload w : workloads) {
+    for (std::size_t n : {37u, 256u, 1024u}) {
+      for (std::uint32_t t : {1u, 4u}) {
+        out.push_back({w, n, t, Variant::kDeterministic});
+      }
+    }
+    // The LC variant is slower per element (randomized probing); keep sizes
+    // moderate but above its fallback threshold.
+    out.push_back({w, 300, 4, Variant::kLowContention});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SortSweep, testing::ValuesIn(make_sweep()),
+                         sweep_name);
+
+// ------------------------------------------------------------ variants
+
+TEST(SortNative, LowContentionFallsBackBelowThreshold) {
+  std::vector<std::uint64_t> v = make_workload(Workload::kRandom, 32, 5);
+  wfsort::detail::Engine<std::uint64_t, std::less<std::uint64_t>> engine(
+      std::span<std::uint64_t>(v), {}, Options{.variant = Variant::kLowContention});
+  EXPECT_EQ(engine.effective_variant(), Variant::kDeterministic);
+}
+
+TEST(SortNative, LowContentionLargerArray) {
+  auto v = make_workload(Workload::kRandom, 5000, 21);
+  auto orig = v;
+  SortStats stats;
+  wfsort::sort(std::span<std::uint64_t>(v),
+               Options{.threads = 4, .variant = Variant::kLowContention}, &stats);
+  expect_sorted_permutation(orig, v, "lc-5000");
+  EXPECT_EQ(stats.completed_workers, 4u);
+}
+
+TEST(SortNative, LowContentionAdversarialSortedInput) {
+  // Sorted input is the deterministic variant's worst case (depth N); the LC
+  // variant's random insertion order must keep the tree shallow.
+  auto v = make_workload(Workload::kSorted, 4096, 0);
+  auto orig = v;
+  SortStats stats;
+  wfsort::sort(std::span<std::uint64_t>(v),
+               Options{.threads = 2, .variant = Variant::kLowContention}, &stats);
+  expect_sorted_permutation(orig, v, "lc-sorted");
+  // Random-order insertion: depth O(log N) w.h.p.  4096 -> log2 = 12; allow
+  // a generous constant.  (The deterministic variant would produce ~sqrt or
+  // worse here; see fig_e2.)
+  EXPECT_LE(stats.tree_depth, 12u * 6u);
+}
+
+TEST(SortNative, LowContentionCopiesKnob) {
+  for (std::uint32_t copies : {1u, 3u, 16u}) {
+    auto v = make_workload(Workload::kRandom, 2000, 500 + copies);
+    auto orig = v;
+    wfsort::sort(std::span<std::uint64_t>(v),
+                 Options{.threads = 3,
+                         .variant = Variant::kLowContention,
+                         .lc_copies = copies});
+    expect_sorted_permutation(orig, v, "copies=" + std::to_string(copies));
+  }
+}
+
+TEST(SortNative, PrunePlacedYesFaultlessIsCorrect) {
+  for (std::uint32_t t : {1u, 4u}) {
+    auto v = make_workload(Workload::kRandom, 2048, 33);
+    auto orig = v;
+    wfsort::sort(std::span<std::uint64_t>(v),
+                 Options{.threads = t, .prune = PrunePlaced::kYes});
+    expect_sorted_permutation(orig, v, "prune t=" + std::to_string(t));
+  }
+}
+
+TEST(SortNative, DeterministicVariantDepthNOnSortedInputStillSorts) {
+  // Deterministic + sorted input degenerates the pivot tree into a path;
+  // the sort must still complete correctly (just not in optimal time).
+  auto v = make_workload(Workload::kSorted, 2000, 0);
+  auto orig = v;
+  SortStats stats;
+  // One thread inserts in index order, so the pivot tree degenerates into a
+  // single chain of BIG children (with more threads the chains started at
+  // each WAT leaf merge and the depth shrinks).
+  wfsort::sort(std::span<std::uint64_t>(v), Options{.threads = 1}, &stats);
+  expect_sorted_permutation(orig, v, "det-sorted");
+  EXPECT_EQ(stats.tree_depth, 2000u);  // a chain: depth == N
+}
+
+// ------------------------------------------------------------ fault injection
+
+TEST(SortFaults, CrashAllButOneWorkerStillSorts) {
+  for (std::uint64_t crash_point : {1ULL, 10ULL, 100ULL, 1000ULL}) {
+    auto v = make_workload(Workload::kRandom, 2048, crash_point);
+    auto orig = v;
+    constexpr std::uint32_t kThreads = 4;
+    wfsort::runtime::FaultPlan plan(kThreads);
+    for (std::uint32_t t = 1; t < kThreads; ++t) plan.crash_at(t, crash_point);
+    SortStats stats;
+    const bool ok = wfsort::sort_with_faults(std::span<std::uint64_t>(v),
+                                             Options{.threads = kThreads}, plan, &stats);
+    ASSERT_TRUE(ok) << "crash_point=" << crash_point;
+    expect_sorted_permutation(orig, v, "crash@" + std::to_string(crash_point));
+    // On a single-CPU host a worker may finish before the others even start,
+    // in which case late workers complete trivially before reaching their
+    // crash trigger; only the lower bound of one completer is guaranteed.
+    EXPECT_LE(stats.crashed_workers, kThreads - 1);
+    EXPECT_GE(stats.completed_workers, 1u);
+    if (crash_point == 1) {
+      EXPECT_EQ(stats.crashed_workers, kThreads - 1);
+    }
+  }
+}
+
+TEST(SortFaults, CrashAllWorkersReportsFailureAndLeavesDataIntact) {
+  auto v = make_workload(Workload::kRandom, 512, 7);
+  auto orig = v;
+  constexpr std::uint32_t kThreads = 3;
+  wfsort::runtime::FaultPlan plan(kThreads);
+  for (std::uint32_t t = 0; t < kThreads; ++t) plan.crash_at(t, 5);
+  const bool ok =
+      wfsort::sort_with_faults(std::span<std::uint64_t>(v), Options{.threads = kThreads}, plan);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(v, orig);  // untouched on failure
+}
+
+TEST(SortFaults, StaggeredCrashesAcrossPhases) {
+  // Crash workers at wildly different points so failures land in different
+  // phases; the survivor must finish regardless.
+  auto v = make_workload(Workload::kRandom, 4096, 99);
+  auto orig = v;
+  constexpr std::uint32_t kThreads = 6;
+  wfsort::runtime::FaultPlan plan(kThreads);
+  plan.crash_at(1, 3);
+  plan.crash_at(2, 50);
+  plan.crash_at(3, 500);
+  plan.crash_at(4, 5000);
+  plan.crash_at(5, 20000);
+  const bool ok =
+      wfsort::sort_with_faults(std::span<std::uint64_t>(v), Options{.threads = kThreads}, plan);
+  ASSERT_TRUE(ok);
+  expect_sorted_permutation(orig, v, "staggered");
+}
+
+TEST(SortFaults, PageFaultSleepsDoNotBlockOthers) {
+  auto v = make_workload(Workload::kRandom, 2048, 11);
+  auto orig = v;
+  constexpr std::uint32_t kThreads = 4;
+  wfsort::runtime::FaultPlan plan(kThreads);
+  plan.sleep_at(0, 10, std::chrono::microseconds(20000));
+  plan.sleep_at(1, 100, std::chrono::microseconds(10000));
+  const bool ok =
+      wfsort::sort_with_faults(std::span<std::uint64_t>(v), Options{.threads = kThreads}, plan);
+  ASSERT_TRUE(ok);
+  expect_sorted_permutation(orig, v, "sleeps");
+}
+
+TEST(SortFaults, CrashesWithLowContentionVariant) {
+  for (std::uint64_t crash_point : {5ULL, 200ULL, 3000ULL}) {
+    auto v = make_workload(Workload::kRandom, 1024, crash_point * 3);
+    auto orig = v;
+    constexpr std::uint32_t kThreads = 4;
+    wfsort::runtime::FaultPlan plan(kThreads);
+    for (std::uint32_t t = 1; t < kThreads; ++t) plan.crash_at(t, crash_point);
+    const bool ok = wfsort::sort_with_faults(
+        std::span<std::uint64_t>(v),
+        Options{.threads = kThreads, .variant = Variant::kLowContention}, plan);
+    ASSERT_TRUE(ok) << crash_point;
+    expect_sorted_permutation(orig, v, "lc-crash@" + std::to_string(crash_point));
+  }
+}
+
+TEST(SortFaults, PrunePlacedYesWithCrashesCanLoseWork) {
+  // Documentation-by-test of the design note: with PrunePlaced::kYes the
+  // survivor may (depending on timing) observe a placed-but-unfinished
+  // subtree.  We do not assert failure — the race is timing-dependent — but
+  // we DO assert that the default policy (kNo) never fails in 20 attempts
+  // with the same aggressive crash pattern.
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    auto v = make_workload(Workload::kRandom, 1024, 1000 + attempt);
+    auto orig = v;
+    constexpr std::uint32_t kThreads = 4;
+    wfsort::runtime::FaultPlan plan(kThreads);
+    for (std::uint32_t t = 1; t < kThreads; ++t) {
+      plan.crash_at(t, 1500 + 37 * attempt);  // mid phase-3 territory
+    }
+    const bool ok = wfsort::sort_with_faults(
+        std::span<std::uint64_t>(v),
+        Options{.threads = kThreads, .prune = PrunePlaced::kNo}, plan);
+    ASSERT_TRUE(ok);
+    expect_sorted_permutation(orig, v, "kNo attempt " + std::to_string(attempt));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Tests for the wait-free universal construction (the Section-1.1 strawman):
+// exactly-once application, dense linearization order, completion under
+// concurrency, and the derived universal-object sort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "baselines/universal.h"
+#include "common/rng.h"
+
+namespace {
+
+using wfsort::baselines::UniversalLog;
+
+TEST(UniversalLog, SingleThreadSequentialPositions) {
+  UniversalLog<int> log(1, 64);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(log.apply(0, 100 + i), i);
+  }
+  std::vector<int> seen;
+  log.replay([&seen](const int& op) { seen.push_back(op); });
+  ASSERT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(seen[i], 100 + i);
+  EXPECT_EQ(log.decided_slots(), 10u);
+}
+
+TEST(UniversalLog, ConcurrentAppliersEveryOpExactlyOnce) {
+  constexpr std::uint32_t kThreads = 8;
+  constexpr int kOpsPerThread = 500;
+  UniversalLog<std::uint64_t> log(kThreads, 4 * kThreads * kOpsPerThread);
+
+  {
+    std::vector<std::jthread> crew;
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      crew.emplace_back([&log, t] {
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          const std::int64_t pos =
+              log.apply(t, (static_cast<std::uint64_t>(t) << 32) | static_cast<std::uint32_t>(i));
+          ASSERT_GE(pos, 0);
+        }
+      });
+    }
+  }
+
+  // Exactly-once: every (thread, i) op appears once in the replay.
+  std::vector<int> counts(kThreads * kOpsPerThread, 0);
+  std::size_t total = 0;
+  log.replay([&](const std::uint64_t& op) {
+    const std::uint32_t t = static_cast<std::uint32_t>(op >> 32);
+    const std::uint32_t i = static_cast<std::uint32_t>(op & 0xffffffffu);
+    ASSERT_LT(t, kThreads);
+    ASSERT_LT(i, static_cast<std::uint32_t>(kOpsPerThread));
+    ++counts[t * kOpsPerThread + i];
+    ++total;
+  });
+  EXPECT_EQ(total, static_cast<std::size_t>(kThreads) * kOpsPerThread);
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(UniversalLog, PerThreadOrderIsPreserved) {
+  // Operations by the same thread must linearize in program order (each
+  // apply returns before the next starts).
+  constexpr std::uint32_t kThreads = 4;
+  constexpr int kOps = 200;
+  UniversalLog<std::uint64_t> log(kThreads, 8 * kThreads * kOps);
+  std::vector<std::vector<std::int64_t>> positions(kThreads);
+  {
+    std::vector<std::jthread> crew;
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      crew.emplace_back([&, t] {
+        for (int i = 0; i < kOps; ++i) {
+          positions[t].push_back(log.apply(t, t * 1000 + static_cast<std::uint64_t>(i)));
+        }
+      });
+    }
+  }
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(std::is_sorted(positions[t].begin(), positions[t].end()));
+  }
+}
+
+TEST(UniversalObjectSort, SortsCorrectly) {
+  wfsort::Rng rng(12);
+  for (std::uint32_t threads : {1u, 4u}) {
+    std::vector<std::uint64_t> in(3000);
+    for (auto& x : in) x = rng.below(500);
+    std::vector<std::uint64_t> out;
+    std::size_t slots = 0;
+    wfsort::baselines::universal_object_sort(in, out, threads, &slots);
+    auto expected = in;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(out, expected);
+    EXPECT_GE(slots, in.size());  // at least one slot per op
+  }
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Deterministic fuzzer: random configurations, random fault plans, full
+// validation.  Not a libFuzzer target (the environment is offline); a
+// seeded loop that shakes the whole stack:
+//
+//   * native sorter: random (n, threads, variant, prune, distribution,
+//     crash/sleep plan); result must be the sorted permutation whenever at
+//     least one worker survives, and untouched otherwise;
+//   * simulator sorter: random (n, procs, variant, scheduler, memory
+//     model); deterministic runs get full structural validation.
+//
+//   fuzz_sort --iters=200 --seed=1
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "core/sort.h"
+#include "exp/workloads.h"
+#include "pram/machine.h"
+#include "pram/scheduler.h"
+#include "pramsort/driver.h"
+#include "pramsort/validate.h"
+
+namespace {
+
+using wfsort::Rng;
+
+wfsort::exp::Dist random_dist(Rng& rng) {
+  constexpr wfsort::exp::Dist kAll[] = {
+      wfsort::exp::Dist::kShuffled,    wfsort::exp::Dist::kUniform,
+      wfsort::exp::Dist::kSorted,      wfsort::exp::Dist::kReversed,
+      wfsort::exp::Dist::kFewDistinct, wfsort::exp::Dist::kOrganPipe};
+  return kAll[rng.below(6)];
+}
+
+bool fuzz_native_once(Rng& rng, std::uint64_t iter) {
+  const std::size_t n = 2 + rng.below(4000);
+  const auto threads = static_cast<std::uint32_t>(1 + rng.below(6));
+  wfsort::Options opts;
+  opts.threads = threads;
+  opts.variant = rng.coin() ? wfsort::Variant::kDeterministic
+                            : wfsort::Variant::kLowContention;
+  const std::uint64_t pr = rng.below(3);
+  opts.prune = pr == 0   ? wfsort::PrunePlaced::kNo
+               : pr == 1 ? wfsort::PrunePlaced::kYes
+                         : wfsort::PrunePlaced::kDone;
+  opts.seed = rng.next();
+
+  auto data = wfsort::exp::make_u64_keys(n, random_dist(rng), rng.next());
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+
+  // PrunePlaced::kYes is only sound without faults (documented); fuzz it
+  // faultlessly and fuzz the sound policies with hostile plans.
+  const bool with_faults = opts.prune != wfsort::PrunePlaced::kYes && rng.coin();
+  bool ok;
+  if (with_faults) {
+    wfsort::runtime::FaultPlan plan(threads);
+    const auto kills = static_cast<std::uint32_t>(rng.below(threads));  // keep >= 1 alive
+    for (std::uint32_t k = 0; k < kills; ++k) {
+      plan.crash_at(threads - 1 - k, 1 + rng.below(5000));
+    }
+    if (rng.coin()) plan.sleep_at(0, 1 + rng.below(100), std::chrono::microseconds(500));
+    ok = wfsort::sort_with_faults(std::span<std::uint64_t>(data), opts, plan);
+    if (!ok) {
+      std::printf("iter %llu: no survivor completed (unexpected: %u kills of %u)\n",
+                  static_cast<unsigned long long>(iter), kills, threads);
+      return false;
+    }
+  } else {
+    wfsort::sort(std::span<std::uint64_t>(data), opts);
+    ok = true;
+  }
+  if (data != expected) {
+    std::printf("iter %llu: NATIVE SORT WRONG (n=%zu threads=%u variant=%d prune=%llu)\n",
+                static_cast<unsigned long long>(iter), n, threads,
+                static_cast<int>(opts.variant), static_cast<unsigned long long>(pr));
+    return false;
+  }
+  return true;
+}
+
+bool fuzz_sim_once(Rng& rng, std::uint64_t iter) {
+  const std::size_t n = 4 + rng.below(160);
+  const auto procs = static_cast<std::uint32_t>(1 + rng.below(n));
+  auto keys = wfsort::exp::make_word_keys(n, random_dist(rng), rng.next());
+
+  pram::MachineOptions mopts;
+  mopts.seed = rng.next();
+  if (rng.below(4) == 0) mopts.memory_model = pram::MemoryModel::kStall;
+  pram::Machine m(mopts);
+
+  std::unique_ptr<pram::Scheduler> sched;
+  switch (rng.below(4)) {
+    case 0: sched = std::make_unique<pram::SynchronousScheduler>(); break;
+    case 1: sched = std::make_unique<pram::RoundRobinScheduler>(
+                 static_cast<std::uint32_t>(1 + rng.below(procs)));
+      break;
+    case 2: sched = std::make_unique<pram::RandomSubsetScheduler>(
+                 0.2 + 0.7 * rng.uniform01(), rng.next());
+      break;
+    default: sched = std::make_unique<pram::HalfFreezeScheduler>(1 + rng.below(16)); break;
+  }
+
+  if (rng.coin()) {
+    wfsort::sim::DetSortConfig cfg;
+    const std::uint64_t pr = rng.below(3);
+    cfg.prune = pr == 0   ? wfsort::sim::PlacePrune::kNone
+                : pr == 1 ? wfsort::sim::PlacePrune::kPlaced
+                          : wfsort::sim::PlacePrune::kCompleted;
+    cfg.random_first = rng.coin();
+    auto res = wfsort::sim::run_det_sort(m, keys, procs, *sched, cfg);
+    if (!res.sorted) {
+      std::printf("iter %llu: SIM DET SORT WRONG (n=%zu procs=%u)\n",
+                  static_cast<unsigned long long>(iter), n, procs);
+      return false;
+    }
+    auto report = wfsort::sim::validate_sort_run(m, res.layout, 0);
+    if (!report.ok) {
+      std::printf("iter %llu: SIM DET VALIDATION: %s\n",
+                  static_cast<unsigned long long>(iter), report.error.c_str());
+      return false;
+    }
+  } else {
+    auto res = wfsort::sim::run_lc_sort(m, keys, procs, *sched);
+    if (!res.sorted) {
+      std::printf("iter %llu: SIM LC SORT WRONG (n=%zu procs=%u)\n",
+                  static_cast<unsigned long long>(iter), n, procs);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wfsort::CliFlags flags("fuzz_sort — randomized full-stack validation loop");
+  flags.add_u64("iters", 100, "fuzz iterations (half native, half simulator)");
+  flags.add_u64("seed", 12345, "master seed");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::fputs(flags.help_text().c_str(), stderr);
+    return 0;
+  }
+
+  Rng rng(flags.u64("seed"));
+  const std::uint64_t iters = flags.u64("iters");
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const bool ok = (i % 2 == 0) ? fuzz_native_once(rng, i) : fuzz_sim_once(rng, i);
+    if (!ok) {
+      std::printf("FUZZ FAILURE at iteration %llu (seed %llu)\n",
+                  static_cast<unsigned long long>(i),
+                  static_cast<unsigned long long>(flags.u64("seed")));
+      return 1;
+    }
+    if ((i + 1) % 50 == 0) {
+      std::printf("  %llu/%llu ok\n", static_cast<unsigned long long>(i + 1),
+                  static_cast<unsigned long long>(iters));
+    }
+  }
+  std::printf("fuzz: %llu iterations, all validated\n",
+              static_cast<unsigned long long>(iters));
+  return 0;
+}

@@ -1,0 +1,183 @@
+// wfsort — command-line driver for the library.
+//
+//   wfsort sort --n=1000000 --threads=8 --variant=lc --dist=uniform
+//   wfsort sort file.txt                 # sort whitespace-separated integers
+//   wfsort sim  --n=256 --procs=256 --variant=det --schedule=serial --trace=20
+//
+// `sort` runs the native wait-free sorter (reads integers from positional
+// files, or generates --n keys); `sim` runs the chosen variant on the CRCW
+// PRAM simulator and prints rounds, contention and (optionally) the tail of
+// the execution trace.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "core/sort.h"
+#include "exp/workloads.h"
+#include "pram/machine.h"
+#include "pram/scheduler.h"
+#include "pram/trace.h"
+#include "pramsort/driver.h"
+#include "pramsort/validate.h"
+
+namespace {
+
+wfsort::exp::Dist parse_dist(const std::string& s) {
+  if (s == "uniform") return wfsort::exp::Dist::kUniform;
+  if (s == "shuffled") return wfsort::exp::Dist::kShuffled;
+  if (s == "sorted") return wfsort::exp::Dist::kSorted;
+  if (s == "reversed") return wfsort::exp::Dist::kReversed;
+  if (s == "few") return wfsort::exp::Dist::kFewDistinct;
+  if (s == "pipe") return wfsort::exp::Dist::kOrganPipe;
+  std::fprintf(stderr, "unknown --dist '%s' (uniform|shuffled|sorted|reversed|few|pipe)\n",
+               s.c_str());
+  std::exit(2);
+}
+
+int run_sort(const wfsort::CliFlags& flags) {
+  std::vector<std::uint64_t> data;
+  if (!flags.positional().empty()) {
+    for (std::size_t i = 1; i < flags.positional().size(); ++i) {
+      std::ifstream in(flags.positional()[i]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", flags.positional()[i].c_str());
+        return 2;
+      }
+      std::uint64_t x;
+      while (in >> x) data.push_back(x);
+    }
+  }
+  if (data.empty()) {
+    data = wfsort::exp::make_u64_keys(flags.u64("n"), parse_dist(flags.str("dist")),
+                                      flags.u64("seed"));
+  }
+
+  wfsort::Options opts;
+  opts.threads = static_cast<std::uint32_t>(flags.u64("threads"));
+  opts.variant = flags.str("variant") == "lc" ? wfsort::Variant::kLowContention
+                                              : wfsort::Variant::kDeterministic;
+  wfsort::SortStats stats;
+  wfsort::sort(std::span<std::uint64_t>(data), opts, &stats);
+
+  bool ok = true;
+  for (std::size_t i = 1; i < data.size(); ++i) ok &= data[i - 1] <= data[i];
+  std::fprintf(stderr,
+               "sorted %zu keys: %s  (depth=%u, max build iters=%llu, workers=%u)\n",
+               data.size(), ok ? "ok" : "BROKEN", stats.tree_depth,
+               static_cast<unsigned long long>(stats.max_build_iters), stats.workers);
+  if (flags.flag("print")) {
+    for (std::uint64_t x : data) std::printf("%llu\n", static_cast<unsigned long long>(x));
+  }
+  return ok ? 0 : 1;
+}
+
+int run_sim(const wfsort::CliFlags& flags) {
+  const std::size_t n = flags.u64("n");
+  const auto procs = static_cast<std::uint32_t>(flags.u64("procs"));
+  auto keys = wfsort::exp::make_word_keys(n, parse_dist(flags.str("dist")),
+                                          flags.u64("seed"));
+
+  pram::MachineOptions mopts;
+  if (flags.str("memory") == "stall") mopts.memory_model = pram::MemoryModel::kStall;
+  pram::Machine m(mopts);
+
+  pram::RingTracer tracer(flags.u64("trace"));
+  if (flags.u64("trace") > 0) m.set_tracer(&tracer);
+
+  std::unique_ptr<pram::Scheduler> sched;
+  const std::string s = flags.str("schedule");
+  if (s == "sync") {
+    sched = std::make_unique<pram::SynchronousScheduler>();
+  } else if (s == "serial") {
+    sched = std::make_unique<pram::RoundRobinScheduler>(1);
+  } else if (s == "subset") {
+    sched = std::make_unique<pram::RandomSubsetScheduler>(0.5, flags.u64("seed"));
+  } else if (s == "freeze") {
+    sched = std::make_unique<pram::HalfFreezeScheduler>(8);
+  } else {
+    std::fprintf(stderr, "unknown --schedule '%s' (sync|serial|subset|freeze)\n",
+                 s.c_str());
+    return 2;
+  }
+
+  bool sorted = false;
+  std::uint64_t rounds = 0;
+  if (flags.str("variant") == "lc") {
+    auto res = wfsort::sim::run_lc_sort(m, keys, procs, *sched);
+    sorted = res.sorted;
+    rounds = res.run.rounds;
+  } else if (flags.str("variant") == "classic") {
+    auto res = wfsort::sim::run_classic_sort(m, keys, procs, *sched);
+    sorted = res.sorted;
+    rounds = res.run.rounds;
+    if (res.run.hit_round_cap) std::printf("classic sort hit the round cap (deadlock?)\n");
+  } else {
+    auto res = wfsort::sim::run_det_sort(m, keys, procs, *sched);
+    sorted = res.sorted;
+    rounds = res.run.rounds;
+    auto report = wfsort::sim::validate_sort_run(m, res.layout, 0);
+    if (!report.ok) {
+      std::fprintf(stderr, "VALIDATION FAILED: %s\n", report.error.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("n=%zu procs=%u schedule=%s variant=%s\n", n, procs, s.c_str(),
+              flags.str("variant").c_str());
+  std::printf("rounds=%llu total_ops=%llu qrqw_time=%llu stalls=%llu\n",
+              static_cast<unsigned long long>(rounds),
+              static_cast<unsigned long long>(m.metrics().total_ops()),
+              static_cast<unsigned long long>(m.metrics().qrqw_time()),
+              static_cast<unsigned long long>(m.metrics().stalls()));
+  std::printf("max contention=%zu  max steps/proc=%llu  sorted=%s\n",
+              m.metrics().max_cell_contention(),
+              static_cast<unsigned long long>(m.metrics().max_proc_ops()),
+              sorted ? "yes" : "NO");
+  for (const auto& [name, c] : m.metrics().region_contention()) {
+    std::printf("  region %-28s max contention %zu\n", name.c_str(), c);
+  }
+  if (flags.u64("trace") > 0) {
+    std::printf("last %zu trace events:\n", tracer.events().size());
+    for (const auto& e : tracer.events()) {
+      std::printf("  %s\n", pram::format_event(e, &m.mem()).c_str());
+    }
+  }
+  return sorted ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wfsort::CliFlags flags(
+      "wfsort — wait-free sorting (Shavit/Upfal/Zemach PODC'97)\n"
+      "usage: wfsort <sort|sim> [flags] [files...]");
+  flags.add_u64("n", 100000, "number of keys to generate when no input file is given");
+  flags.add_u64("threads", 4, "native worker threads (sort mode)");
+  flags.add_u64("procs", 256, "virtual processors (sim mode)");
+  flags.add_u64("seed", 1, "workload / randomized-variant seed");
+  flags.add_u64("trace", 0, "sim: keep and print the last K trace events");
+  flags.add_string("variant", "det", "det | lc | classic (sim only)");
+  flags.add_string("dist", "uniform", "uniform|shuffled|sorted|reversed|few|pipe");
+  flags.add_string("schedule", "sync", "sim: sync|serial|subset|freeze");
+  flags.add_string("memory", "crcw", "sim: crcw | stall");
+  flags.add_bool("print", false, "sort: print the sorted keys to stdout");
+
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 2;
+  }
+  if (flags.help_requested() || flags.positional().empty()) {
+    std::fputs(flags.help_text().c_str(), stderr);
+    return flags.help_requested() ? 0 : 2;
+  }
+
+  const std::string& mode = flags.positional().front();
+  if (mode == "sort") return run_sort(flags);
+  if (mode == "sim") return run_sim(flags);
+  std::fprintf(stderr, "unknown mode '%s' (sort|sim)\n", mode.c_str());
+  return 2;
+}
