@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_native.dir/bench_e11_native.cpp.o"
+  "CMakeFiles/bench_e11_native.dir/bench_e11_native.cpp.o.d"
+  "bench_e11_native"
+  "bench_e11_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

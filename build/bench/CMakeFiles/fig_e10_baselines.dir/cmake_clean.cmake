@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_e10_baselines.dir/fig_e10_baselines.cpp.o"
+  "CMakeFiles/fig_e10_baselines.dir/fig_e10_baselines.cpp.o.d"
+  "fig_e10_baselines"
+  "fig_e10_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_e10_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

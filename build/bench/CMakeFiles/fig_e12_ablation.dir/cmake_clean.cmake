@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_e12_ablation.dir/fig_e12_ablation.cpp.o"
+  "CMakeFiles/fig_e12_ablation.dir/fig_e12_ablation.cpp.o.d"
+  "fig_e12_ablation"
+  "fig_e12_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_e12_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

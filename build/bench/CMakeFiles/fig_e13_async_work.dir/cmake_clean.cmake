@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_e13_async_work.dir/fig_e13_async_work.cpp.o"
+  "CMakeFiles/fig_e13_async_work.dir/fig_e13_async_work.cpp.o.d"
+  "fig_e13_async_work"
+  "fig_e13_async_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_e13_async_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

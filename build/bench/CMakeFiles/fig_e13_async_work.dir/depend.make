@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_e13_async_work.
+# This may be replaced when dependencies are built.

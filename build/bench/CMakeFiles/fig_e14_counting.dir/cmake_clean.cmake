@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_e14_counting.dir/fig_e14_counting.cpp.o"
+  "CMakeFiles/fig_e14_counting.dir/fig_e14_counting.cpp.o.d"
+  "fig_e14_counting"
+  "fig_e14_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_e14_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_e15_price_of_waitfreedom.dir/fig_e15_price_of_waitfreedom.cpp.o"
+  "CMakeFiles/fig_e15_price_of_waitfreedom.dir/fig_e15_price_of_waitfreedom.cpp.o.d"
+  "fig_e15_price_of_waitfreedom"
+  "fig_e15_price_of_waitfreedom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_e15_price_of_waitfreedom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_e15_price_of_waitfreedom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_e1_wat_writeall.dir/fig_e1_wat_writeall.cpp.o"
+  "CMakeFiles/fig_e1_wat_writeall.dir/fig_e1_wat_writeall.cpp.o.d"
+  "fig_e1_wat_writeall"
+  "fig_e1_wat_writeall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_e1_wat_writeall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_e1_wat_writeall.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_e1_wat_writeall.
+# This may be replaced when dependencies are built.

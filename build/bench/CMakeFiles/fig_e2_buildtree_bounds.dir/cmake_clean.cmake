@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_e2_buildtree_bounds.dir/fig_e2_buildtree_bounds.cpp.o"
+  "CMakeFiles/fig_e2_buildtree_bounds.dir/fig_e2_buildtree_bounds.cpp.o.d"
+  "fig_e2_buildtree_bounds"
+  "fig_e2_buildtree_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_e2_buildtree_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

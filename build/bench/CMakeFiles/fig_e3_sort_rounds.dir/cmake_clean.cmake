@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_e3_sort_rounds.dir/fig_e3_sort_rounds.cpp.o"
+  "CMakeFiles/fig_e3_sort_rounds.dir/fig_e3_sort_rounds.cpp.o.d"
+  "fig_e3_sort_rounds"
+  "fig_e3_sort_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_e3_sort_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_e4_contention_det.dir/fig_e4_contention_det.cpp.o"
+  "CMakeFiles/fig_e4_contention_det.dir/fig_e4_contention_det.cpp.o.d"
+  "fig_e4_contention_det"
+  "fig_e4_contention_det.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_e4_contention_det.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

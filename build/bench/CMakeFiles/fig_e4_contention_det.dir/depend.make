@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_e4_contention_det.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_e5_lcwat.dir/fig_e5_lcwat.cpp.o"
+  "CMakeFiles/fig_e5_lcwat.dir/fig_e5_lcwat.cpp.o.d"
+  "fig_e5_lcwat"
+  "fig_e5_lcwat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_e5_lcwat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_e6_winner.dir/fig_e6_winner.cpp.o"
+  "CMakeFiles/fig_e6_winner.dir/fig_e6_winner.cpp.o.d"
+  "fig_e6_winner"
+  "fig_e6_winner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_e6_winner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

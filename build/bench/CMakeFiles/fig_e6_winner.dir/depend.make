@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_e6_winner.
+# This may be replaced when dependencies are built.

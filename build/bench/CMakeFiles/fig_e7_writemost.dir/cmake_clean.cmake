@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_e7_writemost.dir/fig_e7_writemost.cpp.o"
+  "CMakeFiles/fig_e7_writemost.dir/fig_e7_writemost.cpp.o.d"
+  "fig_e7_writemost"
+  "fig_e7_writemost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_e7_writemost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

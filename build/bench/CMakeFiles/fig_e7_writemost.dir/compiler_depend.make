@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_e7_writemost.
+# This may be replaced when dependencies are built.

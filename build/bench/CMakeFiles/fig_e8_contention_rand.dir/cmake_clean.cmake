@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_e8_contention_rand.dir/fig_e8_contention_rand.cpp.o"
+  "CMakeFiles/fig_e8_contention_rand.dir/fig_e8_contention_rand.cpp.o.d"
+  "fig_e8_contention_rand"
+  "fig_e8_contention_rand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_e8_contention_rand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

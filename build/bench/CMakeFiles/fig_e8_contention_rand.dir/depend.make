@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_e8_contention_rand.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig_e9_failures.cpp" "bench/CMakeFiles/fig_e9_failures.dir/fig_e9_failures.cpp.o" "gcc" "bench/CMakeFiles/fig_e9_failures.dir/fig_e9_failures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/wfsort_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pramsort/CMakeFiles/wfsort_pramsort.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/wfsort_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workalloc/CMakeFiles/wfsort_workalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/wfsort_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowcontention/CMakeFiles/wfsort_lowcontention.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wfsort_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

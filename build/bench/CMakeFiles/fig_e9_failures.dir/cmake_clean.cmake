@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_e9_failures.dir/fig_e9_failures.cpp.o"
+  "CMakeFiles/fig_e9_failures.dir/fig_e9_failures.cpp.o.d"
+  "fig_e9_failures"
+  "fig_e9_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_e9_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

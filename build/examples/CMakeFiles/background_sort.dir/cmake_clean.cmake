@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_sort.dir/background_sort.cpp.o"
+  "CMakeFiles/background_sort.dir/background_sort.cpp.o.d"
+  "background_sort"
+  "background_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

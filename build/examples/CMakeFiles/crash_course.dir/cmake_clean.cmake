@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_course.dir/crash_course.cpp.o"
+  "CMakeFiles/crash_course.dir/crash_course.cpp.o.d"
+  "crash_course"
+  "crash_course.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_course.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

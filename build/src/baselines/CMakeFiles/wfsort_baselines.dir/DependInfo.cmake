@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bitonic.cpp" "src/baselines/CMakeFiles/wfsort_baselines.dir/bitonic.cpp.o" "gcc" "src/baselines/CMakeFiles/wfsort_baselines.dir/bitonic.cpp.o.d"
+  "/root/repo/src/baselines/cost_model.cpp" "src/baselines/CMakeFiles/wfsort_baselines.dir/cost_model.cpp.o" "gcc" "src/baselines/CMakeFiles/wfsort_baselines.dir/cost_model.cpp.o.d"
+  "/root/repo/src/baselines/lock_parallel_quicksort.cpp" "src/baselines/CMakeFiles/wfsort_baselines.dir/lock_parallel_quicksort.cpp.o" "gcc" "src/baselines/CMakeFiles/wfsort_baselines.dir/lock_parallel_quicksort.cpp.o.d"
+  "/root/repo/src/baselines/parallel_mergesort.cpp" "src/baselines/CMakeFiles/wfsort_baselines.dir/parallel_mergesort.cpp.o" "gcc" "src/baselines/CMakeFiles/wfsort_baselines.dir/parallel_mergesort.cpp.o.d"
+  "/root/repo/src/baselines/sequential.cpp" "src/baselines/CMakeFiles/wfsort_baselines.dir/sequential.cpp.o" "gcc" "src/baselines/CMakeFiles/wfsort_baselines.dir/sequential.cpp.o.d"
+  "/root/repo/src/baselines/universal.cpp" "src/baselines/CMakeFiles/wfsort_baselines.dir/universal.cpp.o" "gcc" "src/baselines/CMakeFiles/wfsort_baselines.dir/universal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wfsort_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfsort_baselines.dir/bitonic.cpp.o"
+  "CMakeFiles/wfsort_baselines.dir/bitonic.cpp.o.d"
+  "CMakeFiles/wfsort_baselines.dir/cost_model.cpp.o"
+  "CMakeFiles/wfsort_baselines.dir/cost_model.cpp.o.d"
+  "CMakeFiles/wfsort_baselines.dir/lock_parallel_quicksort.cpp.o"
+  "CMakeFiles/wfsort_baselines.dir/lock_parallel_quicksort.cpp.o.d"
+  "CMakeFiles/wfsort_baselines.dir/parallel_mergesort.cpp.o"
+  "CMakeFiles/wfsort_baselines.dir/parallel_mergesort.cpp.o.d"
+  "CMakeFiles/wfsort_baselines.dir/sequential.cpp.o"
+  "CMakeFiles/wfsort_baselines.dir/sequential.cpp.o.d"
+  "CMakeFiles/wfsort_baselines.dir/universal.cpp.o"
+  "CMakeFiles/wfsort_baselines.dir/universal.cpp.o.d"
+  "libwfsort_baselines.a"
+  "libwfsort_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfsort_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

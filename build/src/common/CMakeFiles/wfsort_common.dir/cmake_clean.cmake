@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfsort_common.dir/cli.cpp.o"
+  "CMakeFiles/wfsort_common.dir/cli.cpp.o.d"
+  "CMakeFiles/wfsort_common.dir/rng.cpp.o"
+  "CMakeFiles/wfsort_common.dir/rng.cpp.o.d"
+  "CMakeFiles/wfsort_common.dir/stats.cpp.o"
+  "CMakeFiles/wfsort_common.dir/stats.cpp.o.d"
+  "libwfsort_common.a"
+  "libwfsort_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfsort_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfsort_exp.dir/table.cpp.o"
+  "CMakeFiles/wfsort_exp.dir/table.cpp.o.d"
+  "CMakeFiles/wfsort_exp.dir/workloads.cpp.o"
+  "CMakeFiles/wfsort_exp.dir/workloads.cpp.o.d"
+  "libwfsort_exp.a"
+  "libwfsort_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfsort_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

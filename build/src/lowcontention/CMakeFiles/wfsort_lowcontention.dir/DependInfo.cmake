@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lowcontention/counting_network.cpp" "src/lowcontention/CMakeFiles/wfsort_lowcontention.dir/counting_network.cpp.o" "gcc" "src/lowcontention/CMakeFiles/wfsort_lowcontention.dir/counting_network.cpp.o.d"
+  "/root/repo/src/lowcontention/fat_tree.cpp" "src/lowcontention/CMakeFiles/wfsort_lowcontention.dir/fat_tree.cpp.o" "gcc" "src/lowcontention/CMakeFiles/wfsort_lowcontention.dir/fat_tree.cpp.o.d"
+  "/root/repo/src/lowcontention/winner_tree.cpp" "src/lowcontention/CMakeFiles/wfsort_lowcontention.dir/winner_tree.cpp.o" "gcc" "src/lowcontention/CMakeFiles/wfsort_lowcontention.dir/winner_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wfsort_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

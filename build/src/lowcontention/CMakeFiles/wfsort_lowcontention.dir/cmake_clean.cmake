@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfsort_lowcontention.dir/counting_network.cpp.o"
+  "CMakeFiles/wfsort_lowcontention.dir/counting_network.cpp.o.d"
+  "CMakeFiles/wfsort_lowcontention.dir/fat_tree.cpp.o"
+  "CMakeFiles/wfsort_lowcontention.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/wfsort_lowcontention.dir/winner_tree.cpp.o"
+  "CMakeFiles/wfsort_lowcontention.dir/winner_tree.cpp.o.d"
+  "libwfsort_lowcontention.a"
+  "libwfsort_lowcontention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfsort_lowcontention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

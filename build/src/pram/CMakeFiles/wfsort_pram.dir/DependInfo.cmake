@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pram/machine.cpp" "src/pram/CMakeFiles/wfsort_pram.dir/machine.cpp.o" "gcc" "src/pram/CMakeFiles/wfsort_pram.dir/machine.cpp.o.d"
+  "/root/repo/src/pram/memory.cpp" "src/pram/CMakeFiles/wfsort_pram.dir/memory.cpp.o" "gcc" "src/pram/CMakeFiles/wfsort_pram.dir/memory.cpp.o.d"
+  "/root/repo/src/pram/metrics.cpp" "src/pram/CMakeFiles/wfsort_pram.dir/metrics.cpp.o" "gcc" "src/pram/CMakeFiles/wfsort_pram.dir/metrics.cpp.o.d"
+  "/root/repo/src/pram/primitives.cpp" "src/pram/CMakeFiles/wfsort_pram.dir/primitives.cpp.o" "gcc" "src/pram/CMakeFiles/wfsort_pram.dir/primitives.cpp.o.d"
+  "/root/repo/src/pram/scheduler.cpp" "src/pram/CMakeFiles/wfsort_pram.dir/scheduler.cpp.o" "gcc" "src/pram/CMakeFiles/wfsort_pram.dir/scheduler.cpp.o.d"
+  "/root/repo/src/pram/trace.cpp" "src/pram/CMakeFiles/wfsort_pram.dir/trace.cpp.o" "gcc" "src/pram/CMakeFiles/wfsort_pram.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wfsort_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfsort_pram.dir/machine.cpp.o"
+  "CMakeFiles/wfsort_pram.dir/machine.cpp.o.d"
+  "CMakeFiles/wfsort_pram.dir/memory.cpp.o"
+  "CMakeFiles/wfsort_pram.dir/memory.cpp.o.d"
+  "CMakeFiles/wfsort_pram.dir/metrics.cpp.o"
+  "CMakeFiles/wfsort_pram.dir/metrics.cpp.o.d"
+  "CMakeFiles/wfsort_pram.dir/primitives.cpp.o"
+  "CMakeFiles/wfsort_pram.dir/primitives.cpp.o.d"
+  "CMakeFiles/wfsort_pram.dir/scheduler.cpp.o"
+  "CMakeFiles/wfsort_pram.dir/scheduler.cpp.o.d"
+  "CMakeFiles/wfsort_pram.dir/trace.cpp.o"
+  "CMakeFiles/wfsort_pram.dir/trace.cpp.o.d"
+  "libwfsort_pram.a"
+  "libwfsort_pram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfsort_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

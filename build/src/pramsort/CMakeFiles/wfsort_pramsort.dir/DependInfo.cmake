@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pramsort/classic_programs.cpp" "src/pramsort/CMakeFiles/wfsort_pramsort.dir/classic_programs.cpp.o" "gcc" "src/pramsort/CMakeFiles/wfsort_pramsort.dir/classic_programs.cpp.o.d"
+  "/root/repo/src/pramsort/det_programs.cpp" "src/pramsort/CMakeFiles/wfsort_pramsort.dir/det_programs.cpp.o" "gcc" "src/pramsort/CMakeFiles/wfsort_pramsort.dir/det_programs.cpp.o.d"
+  "/root/repo/src/pramsort/driver.cpp" "src/pramsort/CMakeFiles/wfsort_pramsort.dir/driver.cpp.o" "gcc" "src/pramsort/CMakeFiles/wfsort_pramsort.dir/driver.cpp.o.d"
+  "/root/repo/src/pramsort/layout.cpp" "src/pramsort/CMakeFiles/wfsort_pramsort.dir/layout.cpp.o" "gcc" "src/pramsort/CMakeFiles/wfsort_pramsort.dir/layout.cpp.o.d"
+  "/root/repo/src/pramsort/lc_layout.cpp" "src/pramsort/CMakeFiles/wfsort_pramsort.dir/lc_layout.cpp.o" "gcc" "src/pramsort/CMakeFiles/wfsort_pramsort.dir/lc_layout.cpp.o.d"
+  "/root/repo/src/pramsort/lc_programs.cpp" "src/pramsort/CMakeFiles/wfsort_pramsort.dir/lc_programs.cpp.o" "gcc" "src/pramsort/CMakeFiles/wfsort_pramsort.dir/lc_programs.cpp.o.d"
+  "/root/repo/src/pramsort/validate.cpp" "src/pramsort/CMakeFiles/wfsort_pramsort.dir/validate.cpp.o" "gcc" "src/pramsort/CMakeFiles/wfsort_pramsort.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wfsort_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/wfsort_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/workalloc/CMakeFiles/wfsort_workalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowcontention/CMakeFiles/wfsort_lowcontention.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfsort_pramsort.dir/classic_programs.cpp.o"
+  "CMakeFiles/wfsort_pramsort.dir/classic_programs.cpp.o.d"
+  "CMakeFiles/wfsort_pramsort.dir/det_programs.cpp.o"
+  "CMakeFiles/wfsort_pramsort.dir/det_programs.cpp.o.d"
+  "CMakeFiles/wfsort_pramsort.dir/driver.cpp.o"
+  "CMakeFiles/wfsort_pramsort.dir/driver.cpp.o.d"
+  "CMakeFiles/wfsort_pramsort.dir/layout.cpp.o"
+  "CMakeFiles/wfsort_pramsort.dir/layout.cpp.o.d"
+  "CMakeFiles/wfsort_pramsort.dir/lc_layout.cpp.o"
+  "CMakeFiles/wfsort_pramsort.dir/lc_layout.cpp.o.d"
+  "CMakeFiles/wfsort_pramsort.dir/lc_programs.cpp.o"
+  "CMakeFiles/wfsort_pramsort.dir/lc_programs.cpp.o.d"
+  "CMakeFiles/wfsort_pramsort.dir/validate.cpp.o"
+  "CMakeFiles/wfsort_pramsort.dir/validate.cpp.o.d"
+  "libwfsort_pramsort.a"
+  "libwfsort_pramsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfsort_pramsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

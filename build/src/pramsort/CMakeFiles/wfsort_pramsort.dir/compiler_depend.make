@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wfsort_pramsort.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workalloc/lcwat_program.cpp" "src/workalloc/CMakeFiles/wfsort_workalloc.dir/lcwat_program.cpp.o" "gcc" "src/workalloc/CMakeFiles/wfsort_workalloc.dir/lcwat_program.cpp.o.d"
+  "/root/repo/src/workalloc/wat.cpp" "src/workalloc/CMakeFiles/wfsort_workalloc.dir/wat.cpp.o" "gcc" "src/workalloc/CMakeFiles/wfsort_workalloc.dir/wat.cpp.o.d"
+  "/root/repo/src/workalloc/wat_program.cpp" "src/workalloc/CMakeFiles/wfsort_workalloc.dir/wat_program.cpp.o" "gcc" "src/workalloc/CMakeFiles/wfsort_workalloc.dir/wat_program.cpp.o.d"
+  "/root/repo/src/workalloc/write_all.cpp" "src/workalloc/CMakeFiles/wfsort_workalloc.dir/write_all.cpp.o" "gcc" "src/workalloc/CMakeFiles/wfsort_workalloc.dir/write_all.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wfsort_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/wfsort_pram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfsort_workalloc.dir/lcwat_program.cpp.o"
+  "CMakeFiles/wfsort_workalloc.dir/lcwat_program.cpp.o.d"
+  "CMakeFiles/wfsort_workalloc.dir/wat.cpp.o"
+  "CMakeFiles/wfsort_workalloc.dir/wat.cpp.o.d"
+  "CMakeFiles/wfsort_workalloc.dir/wat_program.cpp.o"
+  "CMakeFiles/wfsort_workalloc.dir/wat_program.cpp.o.d"
+  "CMakeFiles/wfsort_workalloc.dir/write_all.cpp.o"
+  "CMakeFiles/wfsort_workalloc.dir/write_all.cpp.o.d"
+  "libwfsort_workalloc.a"
+  "libwfsort_workalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfsort_workalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

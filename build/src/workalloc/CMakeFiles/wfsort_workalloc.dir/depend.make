@@ -1,0 +1,2 @@
+# Empty dependencies file for wfsort_workalloc.
+# This may be replaced when dependencies are built.

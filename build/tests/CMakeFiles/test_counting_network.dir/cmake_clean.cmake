@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counting_network.dir/test_counting_network.cpp.o"
+  "CMakeFiles/test_counting_network.dir/test_counting_network.cpp.o.d"
+  "test_counting_network"
+  "test_counting_network.pdb"
+  "test_counting_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counting_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_detail.dir/test_engine_detail.cpp.o"
+  "CMakeFiles/test_engine_detail.dir/test_engine_detail.cpp.o.d"
+  "test_engine_detail"
+  "test_engine_detail.pdb"
+  "test_engine_detail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lowcontention.dir/test_lowcontention.cpp.o"
+  "CMakeFiles/test_lowcontention.dir/test_lowcontention.cpp.o.d"
+  "test_lowcontention"
+  "test_lowcontention.pdb"
+  "test_lowcontention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lowcontention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pramsort.dir/test_pramsort.cpp.o"
+  "CMakeFiles/test_pramsort.dir/test_pramsort.cpp.o.d"
+  "test_pramsort"
+  "test_pramsort.pdb"
+  "test_pramsort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pramsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sort_native.dir/test_sort_native.cpp.o"
+  "CMakeFiles/test_sort_native.dir/test_sort_native.cpp.o.d"
+  "test_sort_native"
+  "test_sort_native.pdb"
+  "test_sort_native[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sort_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workalloc.dir/test_workalloc.cpp.o"
+  "CMakeFiles/test_workalloc.dir/test_workalloc.cpp.o.d"
+  "test_workalloc"
+  "test_workalloc.pdb"
+  "test_workalloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

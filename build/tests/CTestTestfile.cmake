@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_pram[1]_include.cmake")
+include("/root/repo/build/tests/test_workalloc[1]_include.cmake")
+include("/root/repo/build/tests/test_sort_native[1]_include.cmake")
+include("/root/repo/build/tests/test_lowcontention[1]_include.cmake")
+include("/root/repo/build/tests/test_pramsort[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_session[1]_include.cmake")
+include("/root/repo/build/tests/test_exp[1]_include.cmake")
+include("/root/repo/build/tests/test_universal[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_counting_network[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_detail[1]_include.cmake")
+include("/root/repo/build/tests/test_machine_edge[1]_include.cmake")

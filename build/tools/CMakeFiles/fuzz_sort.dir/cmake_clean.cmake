@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_sort.dir/fuzz_sort.cpp.o"
+  "CMakeFiles/fuzz_sort.dir/fuzz_sort.cpp.o.d"
+  "fuzz_sort"
+  "fuzz_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

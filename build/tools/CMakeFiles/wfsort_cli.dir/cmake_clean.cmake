@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfsort_cli.dir/wfsort_cli.cpp.o"
+  "CMakeFiles/wfsort_cli.dir/wfsort_cli.cpp.o.d"
+  "wfsort"
+  "wfsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfsort_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

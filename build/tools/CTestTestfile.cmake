@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli_sort_smoke]=] "/root/repo/build/tools/wfsort" "sort" "--n=5000" "--threads=2")
+set_tests_properties([=[cli_sort_smoke]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_sim_smoke]=] "/root/repo/build/tools/wfsort" "sim" "--n=64" "--procs=64" "--trace=4")
+set_tests_properties([=[cli_sim_smoke]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_sim_classic_smoke]=] "/root/repo/build/tools/wfsort" "sim" "--n=64" "--procs=16" "--variant=classic")
+set_tests_properties([=[cli_sim_classic_smoke]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_sim_lc_serial_smoke]=] "/root/repo/build/tools/wfsort" "sim" "--n=16" "--procs=4" "--variant=lc" "--schedule=serial")
+set_tests_properties([=[cli_sim_lc_serial_smoke]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[fuzz_smoke]=] "/root/repo/build/tools/fuzz_sort" "--iters=20" "--seed=99")
+set_tests_properties([=[fuzz_smoke]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
