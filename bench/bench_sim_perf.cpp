@@ -55,8 +55,8 @@ void BM_SimLcSort(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(BM_SimWriteAllWat)->Arg(1 << 10)->Arg(1 << 13)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_SimDetSort)->Arg(1 << 8)->Arg(1 << 10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimWriteAllWat)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimDetSort)->Arg(1 << 8)->Arg(1 << 10)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimLcSort)->Arg(1 << 8)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

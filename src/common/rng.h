@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <span>
 
+#include "common/check.h"
+
 namespace wfsort {
 
 // SplitMix64: used to expand a single 64-bit seed into generator state, and
@@ -66,8 +68,24 @@ class Rng {
   static constexpr std::uint64_t min() { return 0; }
   static constexpr std::uint64_t max() { return ~std::uint64_t{0}; }
 
-  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
-  std::uint64_t below(std::uint64_t bound);
+  // Uniform integer in [0, bound) without modulo bias (Lemire's nearly-
+  // divisionless method).  Inline: this sits under the simulator's per-round
+  // arbitration shuffle.
+  std::uint64_t below(std::uint64_t bound) {
+    WFSORT_DCHECK(bound > 0);
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low < bound) [[unlikely]] {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   // Uniform integer in [lo, hi] inclusive.
   std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {

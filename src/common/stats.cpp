@@ -23,13 +23,6 @@ double Summary::variance() const {
 
 double Summary::stddev() const { return std::sqrt(variance()); }
 
-void Histogram::add(std::size_t value, std::uint64_t weight) {
-  WFSORT_CHECK(!counts_.empty());
-  const std::size_t bucket = std::min(value, counts_.size() - 1);
-  counts_[bucket] += weight;
-  total_ += weight;
-}
-
 std::size_t Histogram::max_nonzero() const {
   for (std::size_t i = counts_.size(); i > 0; --i) {
     if (counts_[i - 1] != 0) return i - 1;

@@ -9,6 +9,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/check.h"
+
 namespace wfsort {
 
 // Streaming summary of a sample set (Welford's algorithm for the variance).
@@ -37,7 +39,13 @@ class Histogram {
  public:
   explicit Histogram(std::size_t buckets) : counts_(buckets, 0) {}
 
-  void add(std::size_t value, std::uint64_t weight = 1);
+  // Inline: called once per (cell, round) pair on the simulator hot path.
+  void add(std::size_t value, std::uint64_t weight = 1) {
+    WFSORT_DCHECK(!counts_.empty());
+    const std::size_t bucket = value < counts_.size() ? value : counts_.size() - 1;
+    counts_[bucket] += weight;
+    total_ += weight;
+  }
 
   std::uint64_t count(std::size_t bucket) const { return counts_.at(bucket); }
   std::size_t buckets() const { return counts_.size(); }

@@ -1,0 +1,70 @@
+// Recycling allocator for coroutine frames.
+//
+// Simulator programs create short-lived subroutine coroutines at a high rate
+// (one next_element frame per WAT step, one build_tree frame per insertion,
+// ...).  Frame sizes cluster around a handful of values — one per coroutine
+// function — so a size-bucketed freelist turns almost every frame allocation
+// into a pop and every destruction into a push, and recycled frames stay hot
+// in cache.  The pool is thread-local: a Machine and all its processor
+// coroutines live on one thread, and separate threads (the native engine's
+// workers, concurrent tests) get independent pools.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace pram::detail {
+
+class FramePool {
+ public:
+  static void* allocate(std::size_t n) {
+    const std::size_t cls = size_class(n);
+    if (cls < kClasses) {
+      auto& bin = bins_.bin[cls];
+      if (!bin.empty()) {
+        void* p = bin.back();
+        bin.pop_back();
+        return p;
+      }
+      // Allocate the rounded class size so the block is reusable for any
+      // request in the same class.
+      return ::operator new(cls * kGranularity);
+    }
+    return ::operator new(n);
+  }
+
+  static void deallocate(void* p, std::size_t n) noexcept {
+    const std::size_t cls = size_class(n);
+    if (cls < kClasses) {
+      try {
+        bins_.bin[cls].push_back(p);
+        return;
+      } catch (...) {
+        // Freelist growth failed; fall through to a plain delete.
+      }
+    }
+    ::operator delete(p);
+  }
+
+ private:
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kClasses = 64;  // frames up to 4 KiB are pooled
+
+  static std::size_t size_class(std::size_t n) {
+    return (n + kGranularity - 1) / kGranularity;
+  }
+
+  struct Bins {
+    std::vector<void*> bin[kClasses];
+    ~Bins() {
+      for (auto& b : bin) {
+        for (void* p : b) ::operator delete(p);
+      }
+    }
+  };
+
+  static inline thread_local Bins bins_;
+};
+
+}  // namespace pram::detail

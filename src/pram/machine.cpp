@@ -13,51 +13,72 @@ Machine::~Machine() = default;
 ProcId Machine::spawn(ProgramFactory factory) {
   const ProcId pid = static_cast<ProcId>(procs_.size());
   wfsort::Rng base(opts_.seed);
-  auto proc = std::make_unique<Proc>(pid, base.fork(pid));
-  proc->factory = std::move(factory);
-  procs_.push_back(std::move(proc));
+  Proc& proc = procs_.emplace_back(pid, base.fork(pid));
+  proc.factory = std::move(factory);
+  eligible_scratch_.push_back(0);  // not eligible until started
+  ++unfinished_live_;
+  metrics_.ensure_procs(procs_.size());
   return pid;
 }
 
 void Machine::kill(ProcId p) {
   WFSORT_CHECK(p < procs_.size());
-  procs_[p]->killed = true;
+  Proc& proc = procs_[p];
+  if (!proc.killed) {
+    proc.killed = true;
+    if (!proc.done_counted) --unfinished_live_;
+    set_eligible(p, false);
+  }
 }
 
 void Machine::suspend(ProcId p) {
   WFSORT_CHECK(p < procs_.size());
-  procs_[p]->suspended = true;
+  Proc& proc = procs_[p];
+  proc.suspended = true;
+  set_eligible(p, false);
 }
 
 void Machine::awaken(ProcId p) {
   WFSORT_CHECK(p < procs_.size());
-  procs_[p]->suspended = false;
+  Proc& proc = procs_[p];
+  proc.suspended = false;
+  set_eligible(p, eligible(proc));
 }
 
 bool Machine::killed(ProcId p) const {
   WFSORT_CHECK(p < procs_.size());
-  return procs_[p]->killed;
+  return procs_[p].killed;
 }
 
 bool Machine::finished(ProcId p) const {
   WFSORT_CHECK(p < procs_.size());
-  const Proc& proc = *procs_[p];
+  const Proc& proc = procs_[p];
   return proc.started && proc.task.valid() && proc.task.done();
 }
 
 std::size_t Machine::live_procs() const {
   std::size_t n = 0;
-  for (const auto& p : procs_) {
-    if (!p->killed) ++n;
+  for (const Proc& p : procs_) {
+    if (!p.killed) ++n;
   }
   return n;
 }
 
 void Machine::advance(Proc& p) {
   // Resume the innermost active coroutine (the root program, or the deepest
-  // SubTask subroutine it is currently inside).
+  // SubTask subroutine it is currently inside).  Completion is read from the
+  // Ctx flag the root's final suspend raises — same cache line as the
+  // request just served — rather than from the cold root frame.
   p.ctx.current().resume();
-  if (p.task.done()) p.task.rethrow_if_failed();
+  const bool done = p.ctx.finished_;
+  if (done && !p.done_counted) {
+    p.done_counted = true;
+    if (!p.killed) --unfinished_live_;
+  }
+  // The counters above are settled before any rethrow so an escaping
+  // program exception leaves the run-loop bookkeeping consistent.
+  set_eligible(p.ctx.pid(), !done && p.started && !p.killed && !p.suspended);
+  if (done) p.task.rethrow_if_failed();
 }
 
 bool Machine::eligible(const Proc& p) const {
@@ -70,24 +91,29 @@ RunResult Machine::run(Scheduler& sched, const StopPredicate& stop) {
     if (round_hook_) round_hook_(*this, round_);
 
     // Start newly-spawned processors; local computation up to the first
-    // shared-memory operation is free in the PRAM cost model.
-    for (auto& p : procs_) {
-      if (!p->started && !p->killed) {
-        p->task = p->factory(p->ctx);
-        WFSORT_CHECK(p->task.valid());
-        p->ctx.set_current(p->task.handle());
-        p->started = true;
-        advance(*p);
+    // shared-memory operation is free in the PRAM cost model.  procs_ is
+    // append-only, so everything below unstarted_head_ stays skippable and
+    // this scan is O(1) once the initial spawns have started.
+    while (unstarted_head_ < procs_.size() &&
+           (procs_[unstarted_head_].started || procs_[unstarted_head_].killed)) {
+      ++unstarted_head_;
+    }
+    for (std::size_t i = unstarted_head_; i < procs_.size(); ++i) {
+      Proc& p = procs_[i];
+      if (!p.started && !p.killed) {
+        p.task = p.factory(p.ctx);
+        WFSORT_CHECK(p.task.valid());
+        p.ctx.set_current(p.task.handle());
+        p.task.set_done_flag(&p.ctx.finished_);
+        p.started = true;
+        advance(p);
       }
     }
 
-    bool all_done = true;
-    bool any_eligible = false;
-    for (const auto& p : procs_) {
-      if (!p->killed && !(p->started && p->task.done())) all_done = false;
-      if (eligible(*p)) any_eligible = true;
-    }
-    if (all_done) {
+    // Termination flags and the eligibility mask are maintained
+    // incrementally at processor state transitions, so each round checks
+    // two counters instead of rescanning every processor.
+    if (unfinished_live_ == 0) {
       res.all_finished = true;
       break;
     }
@@ -99,26 +125,31 @@ RunResult Machine::run(Scheduler& sched, const StopPredicate& stop) {
       res.hit_round_cap = true;
       break;
     }
-    if (!any_eligible && !round_hook_) {
+    if (eligible_count_ == 0 && !round_hook_) {
       // Every unfinished processor is suspended and nothing can wake one up.
       break;
     }
 
-    eligible_scratch_.assign(procs_.size(), false);
-    stepping_scratch_.assign(procs_.size(), false);
-    for (std::size_t p = 0; p < procs_.size(); ++p) eligible_scratch_[p] = eligible(*procs_[p]);
+    // The stepping mask needs an all-zero start for the scheduler.  The
+    // assign lowers to a vectorized memset, so unlike the scalar
+    // mask-crossing scan it replaces, it is cheap even when only a few
+    // stragglers out of thousands of processors are still running.
+    stepping_scratch_.assign(procs_.size(), 0);
     sched.select(round_, eligible_scratch_, stepping_scratch_);
 
+    refresh_eligible_list();
     stepping_list_.clear();
-    for (std::size_t p = 0; p < procs_.size(); ++p) {
+    for (ProcId p : eligible_list_) {
+      // Both masks: tombstoned entries have eligible 0, and a scheduler may
+      // legitimately leave an eligible processor unselected.
       if (stepping_scratch_[p] && eligible_scratch_[p]) {
-        stepping_list_.push_back(static_cast<ProcId>(p));
+        stepping_list_.push_back(p);
       }
     }
 
-    metrics_.begin_round();
+    metrics_.begin_round(mem_);
     serve_round(stepping_list_);
-    metrics_.end_round(mem_);
+    metrics_.end_round();
 
     ++round_;
     ++res.rounds;
@@ -131,54 +162,181 @@ RunResult Machine::run_synchronous(const StopPredicate& stop) {
   return run(sched, stop);
 }
 
+void Machine::refresh_eligible_list() {
+  if (eligible_list_dirty_) {
+    eligible_list_.clear();
+    for (std::size_t p = 0; p < procs_.size(); ++p) {
+      if (eligible_scratch_[p]) eligible_list_.push_back(static_cast<ProcId>(p));
+    }
+    eligible_dead_ = 0;
+    eligible_list_dirty_ = false;
+    return;
+  }
+  // Amortized compaction: drop tombstones once they outnumber live entries.
+  // Filtering by the mask preserves ascending pid order, which the stepping
+  // order (and hence the trace order) depends on.
+  if (eligible_dead_ > eligible_list_.size() / 2) {
+    std::erase_if(eligible_list_, [this](ProcId p) { return !eligible_scratch_[p]; });
+    eligible_dead_ = 0;
+  }
+}
+
+void Machine::finish_op(ProcId pid, Proc& p) {
+  metrics_.record_proc_op(pid);
+  MemRequest& req = p.ctx.pending_;
+  if (tracer_ != nullptr) {
+    tracer_->on_event(TraceEvent{round_, pid, req.kind, req.addr, req.arg0, req.arg1,
+                                 req.result});
+  }
+  req.kind = OpKind::kNone;
+  advance(p);
+}
+
 void Machine::serve_round(const std::vector<ProcId>& stepping) {
-  // Group memory accesses by cell; yields are served unconditionally.
-  by_cell_.clear();
-  std::vector<ProcId> yielders;
-  for (ProcId pid : stepping) {
-    MemRequest& req = procs_[pid]->ctx.pending_;
+  // Flat-array round engine; see the member-block comment in machine.h.
+  // Cold growth: these track memory/processor growth only, so after the
+  // first round at a given size the loop below allocates nothing.
+  if (cell_slots_.size() < mem_.size()) cell_slots_.resize(mem_.size());
+  if (next_in_cell_.size() < procs_.size()) next_in_cell_.resize(procs_.size(), kNoProc);
+
+  // Group memory accesses by cell; yields are served unconditionally.  Cells
+  // are processed in first-touch order (the order in which the scheduler's
+  // stepping list first names each cell), which pins the arbitration-RNG
+  // consumption order and the trace-event order to something well-defined
+  // and engine-independent.
+  ++cell_epoch_;
+  touched_cells_.clear();
+  yielders_.clear();
+  const std::size_t nstep = stepping.size();
+  for (std::size_t si = 0; si < nstep; ++si) {
+    // Two-stage lookahead: the +8 entry's Ctx is staged first; by +4 it has
+    // arrived, so the cell slot its request names can be staged from it.
+    if (si + 8 < nstep) __builtin_prefetch(&procs_[stepping[si + 8]].ctx);
+    if (si + 4 < nstep) {
+      const MemRequest& r4 = procs_[stepping[si + 4]].ctx.pending_;
+      if (r4.addr < cell_slots_.size()) __builtin_prefetch(cell_slots_.data() + r4.addr);
+    }
+    const ProcId pid = stepping[si];
+    MemRequest& req = procs_[pid].ctx.pending_;
     WFSORT_CHECK(req.kind != OpKind::kNone);
     if (req.kind == OpKind::kYield) {
-      yielders.push_back(pid);
-    } else {
-      by_cell_[req.addr].push_back(pid);
-      metrics_.record_access(req.addr);
+      yielders_.push_back(pid);
+      continue;
     }
+    const Addr addr = req.addr;
+    WFSORT_CHECK(addr < mem_.size());
+    next_in_cell_[pid] = kNoProc;
+    CellSlot& slot = cell_slots_[addr];
+    if (slot.stamp != cell_epoch_) {
+      slot.stamp = cell_epoch_;
+      slot.head = pid;
+      touched_cells_.push_back(addr);
+    } else {
+      next_in_cell_[slot.tail] = pid;
+    }
+    slot.tail = pid;
   }
 
-  std::vector<ProcId> served;
-  served.reserve(stepping.size());
-
-  for (auto& [addr, group] : by_cell_) {
+  // Serving and resuming are fused: a processor's coroutine is resumed as
+  // soon as its own operation has its result.  This is safe because programs
+  // touch shared state only through requests — the local computation a
+  // resume runs cannot observe memory, so deferring a cell's store or
+  // another cell's load past a resume changes nothing.  The resulting
+  // trace/advance order (cells in first-touch order, arbitration order
+  // within a cell, yielders last) matches the unfused engine's exactly.
+  const std::size_t ncells = touched_cells_.size();
+  for (std::size_t ci = 0; ci < ncells; ++ci) {
+    // The working set (one Ctx plus one innermost coroutine frame per
+    // processor) outgrows L2 for large crews and the frames are scattered,
+    // so the hardware prefetcher cannot follow the access pattern.  Pull the
+    // upcoming head's Ctx in early, and — one step later, once that Ctx has
+    // arrived — the coroutine frame it points at.
+    if (ci + 16 < ncells) {
+      // The +16 slot itself may be cold; stage it (and its memory cell) so
+      // the closer lookaheads can read .head without a demand miss.
+      const Addr far = touched_cells_[ci + 16];
+      __builtin_prefetch(cell_slots_.data() + far);
+      mem_.prefetch(far);
+    }
+    if (ci + 8 < ncells) {
+      __builtin_prefetch(&procs_[cell_slots_[touched_cells_[ci + 8]].head].ctx);
+    }
+    if (ci + 4 < ncells) {
+      __builtin_prefetch(procs_[cell_slots_[touched_cells_[ci + 4]].head].ctx.current().address());
+    }
+    const Addr addr = touched_cells_[ci];
+    const ProcId head = cell_slots_[addr].head;
     const Word pre = mem_.load(addr);
 
-    if (opts_.memory_model == MemoryModel::kStall && group.size() > 1) {
-      // One access per cell per round; the rest stall and retry next round.
-      const std::size_t winner_index = static_cast<std::size_t>(arb_rng_.below(group.size()));
-      const ProcId winner = group[winner_index];
-      metrics_.record_stall(group.size() - 1);
-      MemRequest& req = procs_[winner]->ctx.pending_;
-      Word cur = pre;
+    if (next_in_cell_[head] == kNoProc) {
+      // Fast path: exactly one requester.  A 1-element arbitration shuffle
+      // draws nothing from the RNG, so skipping it keeps the RNG stream (and
+      // hence every downstream arbitration) identical.
+      metrics_.record_cell(addr, 1, mem_.region_id_of(addr));
+      Proc& hp = procs_[head];
+      MemRequest& req = hp.ctx.pending_;
       switch (req.kind) {
         case OpKind::kRead:
-          req.result = cur;
+          req.result = pre;
           break;
         case OpKind::kWrite:
-          req.result = cur;
+          req.result = pre;
           mem_.store(addr, req.arg0);
           break;
         case OpKind::kCas:
-          req.result = cur;
-          if (cur == req.arg0) mem_.store(addr, req.arg1);
+          req.result = pre;
+          if (pre == req.arg0) mem_.store(addr, req.arg1);
           break;
         case OpKind::kFaa:
-          req.result = cur;
-          mem_.store(addr, cur + req.arg0);
+          req.result = pre;
+          mem_.store(addr, pre + req.arg0);
           break;
         default:
           WFSORT_CHECK(false);
       }
-      served.push_back(winner);
+      finish_op(head, hp);
+      continue;
+    }
+
+    // Materialize the cell's intrusive chain (stepping order) into the
+    // contiguous scratch the arbitration shuffle needs.
+    std::vector<ProcId>& group = group_scratch_;
+    group.clear();
+    for (ProcId p = head; p != kNoProc; p = next_in_cell_[p]) group.push_back(p);
+    // The serialize loop below revisits every member's request in shuffled
+    // order; the loop's own prefetches cover the body, this one covers the
+    // first members before the pattern is established.
+    __builtin_prefetch(&procs_[group[0]].ctx);
+    metrics_.record_cell(addr, static_cast<std::uint32_t>(group.size()),
+                         mem_.region_id_of(addr));
+
+    if (opts_.memory_model == MemoryModel::kStall) {
+      // One access per cell per round; the rest stall and retry next round.
+      const std::size_t winner_index = static_cast<std::size_t>(arb_rng_.below(group.size()));
+      const ProcId winner = group[winner_index];
+      metrics_.record_stall(group.size() - 1);
+      Proc& wp = procs_[winner];
+      MemRequest& req = wp.ctx.pending_;
+      switch (req.kind) {
+        case OpKind::kRead:
+          req.result = pre;
+          break;
+        case OpKind::kWrite:
+          req.result = pre;
+          mem_.store(addr, req.arg0);
+          break;
+        case OpKind::kCas:
+          req.result = pre;
+          if (pre == req.arg0) mem_.store(addr, req.arg1);
+          break;
+        case OpKind::kFaa:
+          req.result = pre;
+          mem_.store(addr, pre + req.arg0);
+          break;
+        default:
+          WFSORT_CHECK(false);
+      }
+      finish_op(winner, wp);
       continue;
     }
 
@@ -187,8 +345,18 @@ void Machine::serve_round(const std::vector<ProcId>& stepping) {
     // round, so exactly one of several colliding CAS(EMPTY -> x) succeeds.
     arb_rng_.shuffle(std::span<ProcId>(group));
     Word cur = pre;
-    for (ProcId pid : group) {
-      MemRequest& req = procs_[pid]->ctx.pending_;
+    const std::size_t gsize = group.size();
+    for (std::size_t gi = 0; gi < gsize; ++gi) {
+      // The shuffle randomizes the processor order, so these accesses have
+      // no locality the hardware can predict; stage the upcoming Ctx and,
+      // one step later, its innermost coroutine frame.
+      if (gi + 4 < gsize) __builtin_prefetch(&procs_[group[gi + 4]].ctx);
+      if (gi + 2 < gsize) {
+        __builtin_prefetch(procs_[group[gi + 2]].ctx.current().address());
+      }
+      const ProcId pid = group[gi];
+      Proc& gp = procs_[pid];
+      MemRequest& req = gp.ctx.pending_;
       switch (req.kind) {
         case OpKind::kRead:
           req.result = pre;
@@ -208,25 +376,15 @@ void Machine::serve_round(const std::vector<ProcId>& stepping) {
         default:
           WFSORT_CHECK(false);
       }
-      served.push_back(pid);
+      finish_op(pid, gp);
     }
     if (cur != pre) mem_.store(addr, cur);
   }
 
-  for (ProcId pid : yielders) {
-    procs_[pid]->ctx.pending_.result = 0;
-    served.push_back(pid);
-  }
-
-  for (ProcId pid : served) {
-    metrics_.record_proc_op(pid);
-    MemRequest& req = procs_[pid]->ctx.pending_;
-    if (tracer_ != nullptr) {
-      tracer_->on_event(TraceEvent{round_, pid, req.kind, req.addr, req.arg0, req.arg1,
-                                   req.result});
-    }
-    req.kind = OpKind::kNone;
-    advance(*procs_[pid]);
+  for (ProcId pid : yielders_) {
+    Proc& yp = procs_[pid];
+    yp.ctx.pending_.result = 0;
+    finish_op(pid, yp);
   }
 }
 

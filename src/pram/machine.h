@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -106,10 +107,15 @@ class Ctx {
   friend class Machine;
   Ctx(ProcId pid, wfsort::Rng rng) : pid_(pid), rng_(rng) {}
 
-  ProcId pid_;
-  wfsort::Rng rng_;
+  // pending_, current_, and finished_ are touched by the machine on every
+  // served operation; they lead the layout so one cache line covers them.
   MemRequest pending_;
   std::coroutine_handle<> current_;
+  ProcId pid_;
+  // Raised by the root Task's final suspend (Task::set_done_flag); lets the
+  // round loop detect completion without reading the cold root frame.
+  bool finished_ = false;
+  wfsort::Rng rng_;
 };
 
 using ProgramFactory = std::function<Task(Ctx&)>;
@@ -185,10 +191,11 @@ class Machine {
   struct Proc {
     Ctx ctx;
     Task task;
-    ProgramFactory factory;  // kept alive for the coroutine's lifetime
     bool started = false;
     bool killed = false;
     bool suspended = false;
+    bool done_counted = false;  // already subtracted from unfinished_live_
+    ProgramFactory factory;     // kept alive for the coroutine's lifetime; cold
 
     Proc(ProcId pid, wfsort::Rng rng) : ctx(pid, rng) {}
   };
@@ -198,21 +205,89 @@ class Machine {
   void advance(Proc& p);
   bool eligible(const Proc& p) const;
   void serve_round(const std::vector<ProcId>& stepping);
+  // Bookkeeping for one served operation: per-proc op count, trace event,
+  // request consumption, then resume the processor's coroutine.  `p` is
+  // procs_[pid], which every caller already has at hand.
+  void finish_op(ProcId pid, Proc& p);
+  // Flip p's bit in the incrementally-maintained eligibility mask and keep
+  // the companion pid list in sync (lazily: turning a processor OFF leaves a
+  // tombstone that iteration skips; turning one ON — rare after start-up —
+  // just marks the list for an O(P) rebuild before the next round).
+  void set_eligible(ProcId p, bool el) {
+    if (eligible_scratch_[p] != static_cast<std::uint8_t>(el)) {
+      eligible_scratch_[p] = el ? 1 : 0;
+      if (el) {
+        ++eligible_count_;
+        eligible_list_dirty_ = true;
+      } else {
+        --eligible_count_;
+        ++eligible_dead_;
+      }
+    }
+  }
+  // Rebuild or compact eligible_list_ so a round's stepping scan touches
+  // O(eligible) entries instead of every processor ever spawned.
+  void refresh_eligible_list();
+
+  static constexpr ProcId kNoProc = static_cast<ProcId>(-1);
 
   MachineOptions opts_;
   Memory mem_;
   Metrics metrics_;
   wfsort::Rng arb_rng_;  // arbitration randomness
-  std::vector<std::unique_ptr<Proc>> procs_;
+  // Deque: contiguous chunks give the per-round pid-order scans spatial
+  // locality, and elements never move, which Ctx address-stability requires.
+  std::deque<Proc> procs_;
   RoundHook round_hook_;
   Tracer* tracer_ = nullptr;
   std::uint64_t round_ = 0;
 
-  // Scratch buffers reused across rounds.
-  std::vector<bool> eligible_scratch_;
-  std::vector<bool> stepping_scratch_;
+  // ---- Flat-array round engine state ----
+  //
+  // All round scratch is member-owned and reused, so serve_round performs
+  // zero heap allocations after warm-up (the only resizes track memory or
+  // processor growth, which happens between rounds).  Grouping accesses by
+  // cell uses an epoch-stamped dense index instead of a hash map: a cell's
+  // chain is valid iff cell_stamp_[a] == cell_epoch_, so nothing is cleared
+  // between rounds, and the per-cell request lists are intrusive chains
+  // threaded through next_in_cell_ (each processor has at most one pending
+  // request, so one ProcId link per processor suffices).  Cells are served
+  // in first-touch order — the order the stepping list first names them —
+  // which fixes the arbitration-RNG consumption order and the trace-event
+  // order independently of any container's iteration order.
+  //
+  // The eligibility mask and the two run-loop counters are maintained
+  // incrementally at every processor state transition (spawn, start, kill,
+  // suspend, awaken, task completion) instead of being recomputed by an
+  // O(P) pointer-chasing scan each round.
+  std::vector<std::uint8_t> eligible_scratch_;
+  std::size_t eligible_count_ = 0;    // # of set bits in eligible_scratch_
+  std::size_t unfinished_live_ = 0;   // # of procs with !killed && !done
+  // Ascending-pid list of eligible processors, maintained lazily (see
+  // set_eligible).  Lets sparse rounds — a few stragglers out of thousands
+  // of finished processors — skip the O(P) mask scan.
+  std::vector<ProcId> eligible_list_;
+  std::size_t eligible_dead_ = 0;     // tombstones in eligible_list_
+  bool eligible_list_dirty_ = true;   // full rebuild needed
+  std::vector<std::uint8_t> stepping_scratch_;
   std::vector<ProcId> stepping_list_;
-  std::unordered_map<Addr, std::vector<ProcId>> by_cell_;
+  // Stamp, chain head, and chain tail for one cell share a 16-byte slot so
+  // grouping a request touches one cache line, not three parallel arrays.
+  struct CellSlot {
+    std::uint64_t stamp = 0;  // epoch of the slot's last access
+    ProcId head = kNoProc;    // first requester this round
+    ProcId tail = kNoProc;    // last requester this round
+  };
+  std::uint64_t cell_epoch_ = 0;      // bumped once per served round
+  std::vector<CellSlot> cell_slots_;  // one per memory cell
+  std::vector<ProcId> next_in_cell_;  // per proc: next requester of same cell
+  std::vector<Addr> touched_cells_;        // cells accessed this round, first-touch order
+  std::vector<ProcId> group_scratch_;      // current cell's requesters, arbitration order
+  std::vector<ProcId> yielders_;
+  // Procs below this index are all started or killed, so run()'s start scan
+  // skips them; procs_ is append-only and kill is permanent, making the
+  // index monotone.
+  std::size_t unstarted_head_ = 0;
 };
 
 }  // namespace pram

@@ -8,29 +8,24 @@ Region Memory::alloc(std::string_view name, Addr size, Word fill) {
   WFSORT_CHECK(size > 0);
   Region r{std::string(name), static_cast<Addr>(cells_.size()), size};
   cells_.resize(cells_.size() + size, fill);
+  region_id_.resize(cells_.size(), static_cast<RegionId>(regions_.size()));
   regions_.push_back(r);
   return r;
 }
 
-Word Memory::peek(Addr a) const { return load(a); }
-
-void Memory::poke(Addr a, Word v) { store(a, v); }
-
-Word Memory::load(Addr a) const {
+Word Memory::peek(Addr a) const {
   WFSORT_CHECK(a < cells_.size());
   return cells_[a];
 }
 
-void Memory::store(Addr a, Word v) {
+void Memory::poke(Addr a, Word v) {
   WFSORT_CHECK(a < cells_.size());
   cells_[a] = v;
 }
 
 const Region* Memory::region_of(Addr a) const {
-  for (const Region& r : regions_) {
-    if (r.contains(a)) return &r;
-  }
-  return nullptr;
+  const RegionId id = region_id_of(a);
+  return id == kNoRegion ? nullptr : &regions_[id];
 }
 
 void Memory::fill_region(const Region& r, const std::vector<Word>& values) {

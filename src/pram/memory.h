@@ -5,12 +5,17 @@
 // ...) so experiment output is readable.  peek/poke bypass the round
 // mechanism and cost model; they are for test setup and result verification
 // only, never for use inside processor programs.
+//
+// Attribution is O(1): alloc() stamps every cell with its region's index
+// (`region_id_`), so the metrics hot path never scans the region list.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/check.h"
 #include "pram/word.h"
 
 namespace pram {
@@ -25,6 +30,10 @@ struct Region {
 
 class Memory {
  public:
+  // Index into regions(); cells outside every region map to kNoRegion.
+  using RegionId = std::uint32_t;
+  static constexpr RegionId kNoRegion = static_cast<RegionId>(-1);
+
   // Allocate `size` words initialized to `fill`; returns the region.
   Region alloc(std::string_view name, Addr size, Word fill = 0);
 
@@ -33,12 +42,26 @@ class Memory {
   Word peek(Addr a) const;
   void poke(Addr a, Word v);
 
-  // Direct cell access for the machine's round loop (bounds-checked).
-  Word load(Addr a) const;
-  void store(Addr a, Word v);
+  // Direct cell access for the machine's round loop.  Inline: one call per
+  // served operation; the round engine has already bounds-checked the
+  // address when it grouped the request by cell.
+  Word load(Addr a) const {
+    WFSORT_DCHECK(a < cells_.size());
+    return cells_[a];
+  }
+  // Hint the cache that cell `a` is about to be served.
+  void prefetch(Addr a) const { __builtin_prefetch(cells_.data() + a); }
+  void store(Addr a, Word v) {
+    WFSORT_DCHECK(a < cells_.size());
+    cells_[a] = v;
+  }
 
   // Region whose range covers `a`; returns nullptr for unattributed cells.
   const Region* region_of(Addr a) const;
+  // Flat-index variant for the metrics hot path: no pointer chase, no scan.
+  RegionId region_id_of(Addr a) const {
+    return a < region_id_.size() ? region_id_[a] : kNoRegion;
+  }
   const std::vector<Region>& regions() const { return regions_; }
 
   // Convenience: copy a span of words in/out of a region.
@@ -48,6 +71,7 @@ class Memory {
  private:
   std::vector<Word> cells_;
   std::vector<Region> regions_;
+  std::vector<RegionId> region_id_;  // per cell, filled at alloc() time
 };
 
 }  // namespace pram

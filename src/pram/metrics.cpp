@@ -4,33 +4,26 @@
 
 namespace pram {
 
-void Metrics::begin_round() { round_counts_.clear(); }
-
-void Metrics::record_access(Addr a) { ++round_counts_[a]; }
-
-void Metrics::record_proc_op(ProcId p) {
-  if (proc_ops_.size() <= p) proc_ops_.resize(p + 1, 0);
-  ++proc_ops_[p];
-  ++total_ops_;
-}
-
-void Metrics::end_round(const Memory& mem) {
-  ++rounds_;
-  std::uint32_t round_max = 1;
-  for (const auto& [addr, count] : round_counts_) {
-    round_max = std::max(round_max, count);
-    contention_hist_.add(count);
-    if (count > max_contention_) {
-      max_contention_ = count;
-      hottest_addr_ = addr;
-      hottest_round_ = rounds_;
-    }
-    if (const Region* r = mem.region_of(addr)) {
-      std::size_t& region_max = region_contention_[r->name];
-      region_max = std::max<std::size_t>(region_max, count);
+void Metrics::begin_round(const Memory& mem) {
+  round_max_ = 1;
+  // Mirror newly-allocated regions into the flat attribution table (alloc
+  // happens between runs or in round hooks; this branch is cold).
+  if (region_max_.size() < mem.regions().size()) {
+    for (std::size_t id = region_max_.size(); id < mem.regions().size(); ++id) {
+      region_names_.push_back(mem.regions()[id].name);
+      region_max_.push_back(0);
     }
   }
-  qrqw_time_ += round_max;
+}
+
+std::map<std::string, std::size_t> Metrics::region_contention() const {
+  std::map<std::string, std::size_t> out;
+  for (std::size_t id = 0; id < region_max_.size(); ++id) {
+    if (region_max_[id] == 0) continue;  // never accessed
+    std::size_t& slot = out[region_names_[id]];
+    slot = std::max(slot, region_max_[id]);
+  }
+  return out;
 }
 
 std::uint64_t Metrics::max_proc_ops() const {

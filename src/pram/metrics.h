@@ -8,12 +8,18 @@
 // counts, per-region maxima for attribution, per-processor step counts (the
 // empirical wait-free bound), and — in the stall memory model — the total
 // number of stalls as defined by Dwork, Herlihy and Waarts.
+//
+// Recording is allocation-free after warm-up, and fused with the machine's
+// round engine: serve_round already groups requests by cell, so it reports
+// each touched cell exactly once per round via record_cell(addr, count,
+// region) — Metrics keeps no per-cell scratch of its own.  Region
+// attribution goes through the memory's O(1) cell -> region-id table into a
+// flat per-region vector; names are mirrored cold in begin_round.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.h"
@@ -28,11 +34,39 @@ class Metrics {
       : contention_hist_(histogram_buckets) {}
 
   // --- recording (driven by the Machine's round loop) ---
-  void begin_round();
-  void record_access(Addr a);
-  void record_proc_op(ProcId p);
+  // begin_round mirrors any newly-allocated regions into the flat
+  // attribution table (alloc happens between runs or in round hooks, never
+  // mid-round, so every RegionId record_cell sees is covered).
+  void begin_round(const Memory& mem);
+  // One call per cell touched this round: `count` processors accessed `a`.
+  void record_cell(Addr a, std::uint32_t count, Memory::RegionId region) {
+    if (count > round_max_) round_max_ = count;
+    contention_hist_.add(count);
+    if (count > max_contention_) {
+      max_contention_ = count;
+      hottest_addr_ = a;
+      hottest_round_ = rounds_ + 1;  // end_round increments rounds_ afterwards
+    }
+    if (region != Memory::kNoRegion && region_max_[region] < count) {
+      region_max_[region] = count;
+    }
+  }
+  void record_proc_op(ProcId p) {
+    if (p >= proc_ops_.size()) ensure_procs(p + 1);  // never taken after spawn preallocates
+    ++proc_ops_[p];
+    ++total_ops_;
+  }
   void record_stall(std::uint64_t n = 1) { stalls_ += n; }
-  void end_round(const Memory& mem);
+  void end_round() {
+    ++rounds_;
+    qrqw_time_ += round_max_;  // rounds with no memory traffic cost 1
+  }
+
+  // Preallocate per-processor counters; called by Machine::spawn so the hot
+  // path never grows proc_ops_ one element at a time.
+  void ensure_procs(std::size_t n) {
+    if (proc_ops_.size() < n) proc_ops_.resize(n, 0);
+  }
 
   // --- queries ---
   std::uint64_t rounds() const { return rounds_; }
@@ -54,10 +88,10 @@ class Metrics {
   // accessed by k processors in some round", counted once per such pair).
   const wfsort::Histogram& contention_histogram() const { return contention_hist_; }
 
-  // Max contention attributed to each named memory region.
-  const std::map<std::string, std::size_t>& region_contention() const {
-    return region_contention_;
-  }
+  // Max contention attributed to each named memory region (regions that were
+  // never accessed are omitted).  Built on demand from the flat per-region
+  // table; call it for reporting, not from hot loops.
+  std::map<std::string, std::size_t> region_contention() const;
 
   // Steps (memory operations incl. yields) executed by each processor; the
   // max over processors is the empirical per-processor wait-free step bound.
@@ -75,10 +109,11 @@ class Metrics {
   std::uint64_t hottest_round_ = 0;
 
   wfsort::Histogram contention_hist_;
-  std::map<std::string, std::size_t> region_contention_;
+  std::vector<std::size_t> region_max_;     // indexed by Memory::RegionId
+  std::vector<std::string> region_names_;   // region id -> name, mirrored in begin_round
   std::vector<std::uint64_t> proc_ops_;
 
-  std::unordered_map<Addr, std::uint32_t> round_counts_;  // scratch, per round
+  std::uint32_t round_max_ = 1;  // max per-cell multiplicity this round
 };
 
 }  // namespace pram

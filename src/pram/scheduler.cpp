@@ -1,13 +1,16 @@
 #include "pram/scheduler.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace pram {
 
-void SynchronousScheduler::select(std::uint64_t /*round*/,
-                                  const std::vector<bool>& eligible,
-                                  std::vector<bool>& stepping) {
-  for (std::size_t p = 0; p < eligible.size(); ++p) stepping[p] = eligible[p];
+void SynchronousScheduler::select(std::uint64_t /*round*/, const StepMask& eligible,
+                                  StepMask& stepping) {
+  // std::copy lowers to memcpy; the element loop it replaces was a scalar
+  // per-processor pass on the per-round hot path.
+  std::copy(eligible.begin(), eligible.end(), stepping.begin());
 }
 
 RandomSubsetScheduler::RandomSubsetScheduler(double p, std::uint64_t seed)
@@ -15,43 +18,41 @@ RandomSubsetScheduler::RandomSubsetScheduler(double p, std::uint64_t seed)
   WFSORT_CHECK(p > 0.0 && p <= 1.0);
 }
 
-void RandomSubsetScheduler::select(std::uint64_t /*round*/,
-                                   const std::vector<bool>& eligible,
-                                   std::vector<bool>& stepping) {
+void RandomSubsetScheduler::select(std::uint64_t /*round*/, const StepMask& eligible,
+                                   StepMask& stepping) {
   bool any = false;
   for (std::size_t p = 0; p < eligible.size(); ++p) {
     if (eligible[p] && rng_.uniform01() < p_) {
-      stepping[p] = true;
+      stepping[p] = 1;
       any = true;
     }
   }
   if (!any) {
     for (std::size_t p = 0; p < eligible.size(); ++p) {
       if (eligible[p]) {
-        stepping[p] = true;
+        stepping[p] = 1;
         break;
       }
     }
   }
 }
 
-void RoundRobinScheduler::select(std::uint64_t /*round*/,
-                                 const std::vector<bool>& eligible,
-                                 std::vector<bool>& stepping) {
+void RoundRobinScheduler::select(std::uint64_t /*round*/, const StepMask& eligible,
+                                 StepMask& stepping) {
   const std::size_t n = eligible.size();
   std::uint32_t picked = 0;
   for (std::size_t scanned = 0; scanned < n && picked < width_; ++scanned) {
     const std::size_t p = (cursor_ + scanned) % n;
     if (eligible[p]) {
-      stepping[p] = true;
+      stepping[p] = 1;
       ++picked;
     }
   }
   cursor_ = (cursor_ + 1) % n;
 }
 
-void HalfFreezeScheduler::select(std::uint64_t round, const std::vector<bool>& eligible,
-                                 std::vector<bool>& stepping) {
+void HalfFreezeScheduler::select(std::uint64_t round, const StepMask& eligible,
+                                 StepMask& stepping) {
   const std::size_t n = eligible.size();
   // Window index decides which half runs; parity alternates the frozen half.
   const bool freeze_low_half = ((round / period_) % 2) == 0;
@@ -60,14 +61,14 @@ void HalfFreezeScheduler::select(std::uint64_t round, const std::vector<bool>& e
     if (!eligible[p]) continue;
     const bool in_low_half = p < n / 2;
     if (in_low_half != freeze_low_half) {
-      stepping[p] = true;
+      stepping[p] = 1;
       any = true;
     }
   }
   if (!any) {  // all eligible processors were in the frozen half
     for (std::size_t p = 0; p < n; ++p) {
       if (eligible[p]) {
-        stepping[p] = true;
+        stepping[p] = 1;
         break;
       }
     }

@@ -17,22 +17,26 @@
 
 namespace pram {
 
+// Per-processor 0/1 flags indexed by ProcId.  Deliberately std::uint8_t, not
+// bool: std::vector<bool> is a bit-packed proxy container whose element
+// accesses cost a shift+mask and defeat memset-style bulk clears on the
+// simulator's per-round hot path.
+using StepMask = std::vector<std::uint8_t>;
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
-  // Set stepping[p] = true for each eligible processor that takes a step in
-  // this round.  stepping is pre-sized to eligible.size() and all-false.
-  virtual void select(std::uint64_t round, const std::vector<bool>& eligible,
-                      std::vector<bool>& stepping) = 0;
+  // Set stepping[p] = 1 for each eligible processor that takes a step in
+  // this round.  stepping is pre-sized to eligible.size() and all-zero.
+  virtual void select(std::uint64_t round, const StepMask& eligible, StepMask& stepping) = 0;
 };
 
 // The faultless synchronous CRCW PRAM: everyone steps every round.  All of
 // the paper's running-time lemmas are stated for this schedule.
 class SynchronousScheduler final : public Scheduler {
  public:
-  void select(std::uint64_t round, const std::vector<bool>& eligible,
-              std::vector<bool>& stepping) override;
+  void select(std::uint64_t round, const StepMask& eligible, StepMask& stepping) override;
 };
 
 // Each eligible processor independently steps with probability `p` per round
@@ -43,8 +47,7 @@ class RandomSubsetScheduler final : public Scheduler {
  public:
   RandomSubsetScheduler(double p, std::uint64_t seed);
 
-  void select(std::uint64_t round, const std::vector<bool>& eligible,
-              std::vector<bool>& stepping) override;
+  void select(std::uint64_t round, const StepMask& eligible, StepMask& stepping) override;
 
  private:
   double p_;
@@ -58,8 +61,7 @@ class RoundRobinScheduler final : public Scheduler {
  public:
   explicit RoundRobinScheduler(std::uint32_t width) : width_(width) {}
 
-  void select(std::uint64_t round, const std::vector<bool>& eligible,
-              std::vector<bool>& stepping) override;
+  void select(std::uint64_t round, const StepMask& eligible, StepMask& stepping) override;
 
  private:
   std::uint32_t width_;
@@ -74,8 +76,7 @@ class HalfFreezeScheduler final : public Scheduler {
  public:
   explicit HalfFreezeScheduler(std::uint64_t period) : period_(period) {}
 
-  void select(std::uint64_t round, const std::vector<bool>& eligible,
-              std::vector<bool>& stepping) override;
+  void select(std::uint64_t round, const StepMask& eligible, StepMask& stepping) override;
 
  private:
   std::uint64_t period_;

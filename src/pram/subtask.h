@@ -31,6 +31,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "pram/frame_pool.h"
 #include "pram/machine.h"
 
 namespace pram {
@@ -43,6 +44,11 @@ class [[nodiscard]] SubTask {
     std::coroutine_handle<> continuation;
     T value{};
     std::exception_ptr exception;
+
+    static void* operator new(std::size_t n) { return detail::FramePool::allocate(n); }
+    static void operator delete(void* p, std::size_t n) noexcept {
+      detail::FramePool::deallocate(p, n);
+    }
 
     template <typename... Args>
     explicit promise_type(Ctx& c, Args&&...) : ctx(&c) {}
@@ -107,6 +113,11 @@ class [[nodiscard]] SubTask<void> {
     Ctx* ctx = nullptr;
     std::coroutine_handle<> continuation;
     std::exception_ptr exception;
+
+    static void* operator new(std::size_t n) { return detail::FramePool::allocate(n); }
+    static void operator delete(void* p, std::size_t n) noexcept {
+      detail::FramePool::deallocate(p, n);
+    }
 
     template <typename... Args>
     explicit promise_type(Ctx& c, Args&&...) : ctx(&c) {}

@@ -13,18 +13,39 @@
 #include <exception>
 #include <utility>
 
+#include "pram/frame_pool.h"
+
 namespace pram {
 
 class Task {
  public:
   struct promise_type {
     std::exception_ptr exception;
+    // Optional completion flag, raised at final suspend.  The Machine points
+    // it at hot per-processor state so its round loop can test "did this
+    // program just finish?" without touching the root coroutine frame (which
+    // is cold while a nested subroutine is doing the work).
+    bool* done_flag = nullptr;
+
+    static void* operator new(std::size_t n) { return detail::FramePool::allocate(n); }
+    static void operator delete(void* p, std::size_t n) noexcept {
+      detail::FramePool::deallocate(p, n);
+    }
 
     Task get_return_object() {
       return Task(std::coroutine_handle<promise_type>::from_promise(*this));
     }
     std::suspend_always initial_suspend() noexcept { return {}; }
-    std::suspend_always final_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) const noexcept {
+        if (bool* f = h.promise().done_flag) *f = true;
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
     void return_void() noexcept {}
     void unhandled_exception() { exception = std::current_exception(); }
   };
@@ -47,6 +68,10 @@ class Task {
   bool valid() const { return handle_ != nullptr; }
   bool done() const { return handle_.done(); }
   std::coroutine_handle<> handle() const { return handle_; }
+
+  // Mirror completion into *f (see promise_type::done_flag).  The flag's
+  // storage must outlive the coroutine.
+  void set_done_flag(bool* f) { handle_.promise().done_flag = f; }
 
   // Run the coroutine until its next suspension point (or completion).
   void resume() { handle_.resume(); }

@@ -52,6 +52,37 @@ class RingTracer final : public Tracer {
   std::uint64_t total_ = 0;
 };
 
+// Folds every event into an order-sensitive 64-bit FNV-1a hash.  Two runs
+// with the same seed must produce the same hash; the determinism suite pins
+// whole executions (every served op, in served order) to one golden number.
+class HashTracer final : public Tracer {
+ public:
+  void on_event(const TraceEvent& event) override {
+    mix(event.round);
+    mix(event.pid);
+    mix(static_cast<std::uint64_t>(event.kind));
+    mix(event.addr);
+    mix(static_cast<std::uint64_t>(event.arg0));
+    mix(static_cast<std::uint64_t>(event.arg1));
+    mix(static_cast<std::uint64_t>(event.result));
+    ++total_;
+  }
+
+  std::uint64_t hash() const { return hash_; }
+  std::uint64_t total_events() const { return total_; }
+
+ private:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ = (hash_ ^ (v & 0xff)) * 0x100000001b3ULL;
+      v >>= 8;
+    }
+  }
+
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  std::uint64_t total_ = 0;
+};
+
 // "r12 p3 CAS qs child pointers[+5] exp=-1 des=7 -> -1"
 std::string format_event(const TraceEvent& event, const Memory* mem = nullptr);
 

@@ -4,7 +4,7 @@
 
 namespace wfsort::sim {
 
-pram::Task classic_sort_worker(pram::Ctx& ctx, SortLayout l, pram::PramBarrier barrier,
+pram::Task classic_sort_worker(pram::Ctx& ctx, const SortLayout& l, pram::PramBarrier barrier,
                                ClassicSortConfig cfg) {
   const pram::Word root = 0;
   const std::uint32_t pid = ctx.pid();

@@ -24,7 +24,7 @@ struct ClassicSortConfig {
   PlacePrune prune = PlacePrune::kCompleted;
 };
 
-pram::Task classic_sort_worker(pram::Ctx& ctx, SortLayout l, pram::PramBarrier barrier,
+pram::Task classic_sort_worker(pram::Ctx& ctx, const SortLayout& l, pram::PramBarrier barrier,
                                ClassicSortConfig cfg);
 
 }  // namespace wfsort::sim

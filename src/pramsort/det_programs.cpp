@@ -23,7 +23,8 @@ int pid_first_side(pram::ProcId pid, std::uint32_t depth, bool raw = false) {
 }
 }  // namespace
 
-pram::SubTask<void> build_tree(pram::Ctx& ctx, SortLayout l, pram::Word i, pram::Word root) {
+pram::SubTask<void> build_tree(pram::Ctx& ctx, const SortLayout& l, pram::Word i,
+                               pram::Word root) {
   if (i == root) co_return;
   const pram::Word ikey = co_await ctx.read(l.key_addr(i));
   pram::Word parent = root;
@@ -38,7 +39,7 @@ pram::SubTask<void> build_tree(pram::Ctx& ctx, SortLayout l, pram::Word i, pram:
   }
 }
 
-pram::SubTask<pram::Word> tree_sum_prog(pram::Ctx& ctx, SortLayout l, pram::Word root) {
+pram::SubTask<pram::Word> tree_sum_prog(pram::Ctx& ctx, const SortLayout& l, pram::Word root) {
   // Iterative Figure 5 (the simulator's coroutines do not recurse; an
   // explicit frame stack is local computation and therefore free).
   struct Frame {
@@ -92,7 +93,7 @@ pram::SubTask<pram::Word> tree_sum_prog(pram::Ctx& ctx, SortLayout l, pram::Word
   co_return ret;
 }
 
-pram::SubTask<void> find_place_prog(pram::Ctx& ctx, SortLayout l, pram::Word root,
+pram::SubTask<void> find_place_prog(pram::Ctx& ctx, const SortLayout& l, pram::Word root,
                                     PlacePrune prune, bool raw_pid_spread) {
   struct Frame {
     pram::Word node;
@@ -154,8 +155,9 @@ pram::SubTask<void> find_place_prog(pram::Ctx& ctx, SortLayout l, pram::Word roo
   }
 }
 
-pram::SubTask<void> random_first_build(pram::Ctx& ctx, SortLayout l, PramWat wat,
-                                       std::uint32_t nprocs, pram::Word root) {
+pram::SubTask<void> random_first_build(pram::Ctx& ctx, const SortLayout& l,
+                                       const PramWat& wat, std::uint32_t nprocs,
+                                       pram::Word root) {
   const std::uint32_t needed_misses = std::max<std::uint32_t>(1, log2_ceil(wat.jobs));
   std::uint32_t misses = 0;
   std::uint64_t last_leaf = wat.tree.leaf(wat.jobs * (ctx.pid() % nprocs) / nprocs);
@@ -193,12 +195,14 @@ pram::SubTask<void> random_first_build(pram::Ctx& ctx, SortLayout l, PramWat wat
   }
 }
 
-pram::Task det_sort_worker(pram::Ctx& ctx, SortLayout l, PramWat wat, DetSortConfig cfg) {
+pram::Task det_sort_worker(pram::Ctx& ctx, const SortLayout& l, const PramWat& wat,
+                           DetSortConfig cfg) {
   const pram::Word root = 0;
   if (cfg.random_first) {
     co_await random_first_build(ctx, l, wat, cfg.procs, root);
   } else {
-    PramJobFn job = [l, root](pram::Ctx& c, std::uint64_t j) {
+    // &l: the layout is factory-owned and outlives this root frame.
+    PramJobFn job = [&l, root](pram::Ctx& c, std::uint64_t j) {
       return build_tree(c, l, static_cast<pram::Word>(j), root);
     };
     co_await wat_skeleton(ctx, wat, cfg.procs, job);

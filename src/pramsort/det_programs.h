@@ -31,26 +31,34 @@ struct DetSortConfig {
   bool raw_pid_spread = false;
 };
 
+// The SubTask subroutines below take the layout by const reference (see the
+// note in workalloc/wat_program.h): the caller's frame owns the referent and
+// outlives the immediately-awaited subroutine, and the frames stay free of
+// Region/std::string copies.
+
 // Figure 4.  Insert element i, descending from `root`.
-pram::SubTask<void> build_tree(pram::Ctx& ctx, SortLayout l, pram::Word i, pram::Word root);
+pram::SubTask<void> build_tree(pram::Ctx& ctx, const SortLayout& l, pram::Word i,
+                               pram::Word root);
 
 // Figure 5.  Sum every subtree reachable from `root`; PID bits spread
 // processors across children.  Returns the root's size.
-pram::SubTask<pram::Word> tree_sum_prog(pram::Ctx& ctx, SortLayout l, pram::Word root);
+pram::SubTask<pram::Word> tree_sum_prog(pram::Ctx& ctx, const SortLayout& l, pram::Word root);
 
 // Figure 6 plus output emission: compute places and write each key to its
 // rank in `out`.
-pram::SubTask<void> find_place_prog(pram::Ctx& ctx, SortLayout l, pram::Word root,
+pram::SubTask<void> find_place_prog(pram::Ctx& ctx, const SortLayout& l, pram::Word root,
                                     PlacePrune prune, bool raw_pid_spread = false);
 
 // Section 2.3's randomized work pickup: insert random un-DONE elements until
 // log2(N) consecutive picks were already DONE, then fall back to
 // next_element.  Ensures the top of the pivot tree is a uniform sample even
 // for adversarial inputs.
-pram::SubTask<void> random_first_build(pram::Ctx& ctx, SortLayout l, PramWat wat,
-                                       std::uint32_t nprocs, pram::Word root);
+pram::SubTask<void> random_first_build(pram::Ctx& ctx, const SortLayout& l,
+                                       const PramWat& wat, std::uint32_t nprocs,
+                                       pram::Word root);
 
 // The complete three-phase worker (Figure 2 skeleton + phases 2 and 3).
-pram::Task det_sort_worker(pram::Ctx& ctx, SortLayout l, PramWat wat, DetSortConfig cfg);
+pram::Task det_sort_worker(pram::Ctx& ctx, const SortLayout& l, const PramWat& wat,
+                           DetSortConfig cfg);
 
 }  // namespace wfsort::sim

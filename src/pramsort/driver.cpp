@@ -1,6 +1,7 @@
 #include "pramsort/driver.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/check.h"
 #include "pramsort/lc_programs.h"
@@ -24,11 +25,12 @@ SimSortResult run_det_sort(pram::Machine& m, std::span<const pram::Word> keys,
   cfg.procs = procs;
   SimSortResult res;
   res.layout = make_sort_layout(m.mem(), keys);
-  const PramWat wat = make_pram_wat(m.mem(), "phase1 WAT", keys.size());
+  // One shared copy of the layout aggregates for the whole crew (see
+  // wat_worker's lifetime note); the factories' shared_ptrs keep it alive.
+  auto l = std::make_shared<const SortLayout>(res.layout);
+  auto wat = std::make_shared<const PramWat>(make_pram_wat(m.mem(), "phase1 WAT", keys.size()));
   for (std::uint32_t p = 0; p < procs; ++p) {
-    m.spawn([l = res.layout, wat, cfg](pram::Ctx& ctx) {
-      return det_sort_worker(ctx, l, wat, cfg);
-    });
+    m.spawn([l, wat, cfg](pram::Ctx& ctx) { return det_sort_worker(ctx, *l, *wat, cfg); });
   }
   res.run = m.run(sched);
   res.output = read_output(m, res.layout);
@@ -47,8 +49,9 @@ LcSimSortResult run_lc_sort(pram::Machine& m, std::span<const pram::Word> keys,
   WFSORT_CHECK(procs >= 1);
   LcSimSortResult res;
   res.layout = make_lc_sort_layout(m, keys, procs);
+  auto l = std::make_shared<const LcSortLayout>(res.layout);
   for (std::uint32_t p = 0; p < procs; ++p) {
-    m.spawn([l = res.layout](pram::Ctx& ctx) { return lc_sort_worker(ctx, l); });
+    m.spawn([l](pram::Ctx& ctx) { return lc_sort_worker(ctx, *l); });
   }
   res.run = m.run(sched);
   res.output = read_output(m, res.layout.main);
@@ -70,10 +73,9 @@ SimSortResult run_classic_sort(pram::Machine& m, std::span<const pram::Word> key
   SimSortResult res;
   res.layout = make_sort_layout(m.mem(), keys);
   const pram::PramBarrier barrier = pram::make_barrier(m.mem(), "phase barrier", procs);
+  auto l = std::make_shared<const SortLayout>(res.layout);
   for (std::uint32_t p = 0; p < procs; ++p) {
-    m.spawn([l = res.layout, barrier, cfg](pram::Ctx& ctx) {
-      return classic_sort_worker(ctx, l, barrier, cfg);
-    });
+    m.spawn([l, barrier, cfg](pram::Ctx& ctx) { return classic_sort_worker(ctx, *l, barrier, cfg); });
   }
   res.run = m.run(sched);
   res.output = read_output(m, res.layout);

@@ -36,7 +36,7 @@ pram::SubTask<void> noop_job(pram::Ctx& ctx) {
 // Group phase 3: like Figure 6 on the group arrays, but emits the *global
 // element index* at each rank into gout — the fat tree and all fallback
 // reads are served from this array.
-pram::SubTask<void> group_find_place_prog(pram::Ctx& ctx, LcSortLayout l, std::uint32_t g) {
+pram::SubTask<void> group_find_place_prog(pram::Ctx& ctx, const LcSortLayout& l, std::uint32_t g) {
   struct Frame {
     pram::Word node;
     pram::Word sub;
@@ -63,7 +63,7 @@ bool fat_is_interior(const LcSortLayout& l, std::uint64_t f) { return 2 * f + 1 
 
 }  // namespace
 
-pram::SubTask<pram::Word> select_winner_prog(pram::Ctx& ctx, LcSortLayout l,
+pram::SubTask<pram::Word> select_winner_prog(pram::Ctx& ctx, const LcSortLayout& l,
                                              pram::Word candidate) {
   const HeapTree t(next_pow2(l.procs));
   const std::uint32_t depth = t.depth();
@@ -93,7 +93,7 @@ pram::SubTask<pram::Word> select_winner_prog(pram::Ctx& ctx, LcSortLayout l,
   co_return v;
 }
 
-pram::SubTask<void> write_most_fat_prog(pram::Ctx& ctx, LcSortLayout l, std::uint32_t w) {
+pram::SubTask<void> write_most_fat_prog(pram::Ctx& ctx, const LcSortLayout& l, std::uint32_t w) {
   const std::uint64_t cells = l.slice * l.copies;
   const std::uint64_t quota = log2_ceil(std::uint64_t{l.procs} + 1) + 1;
   for (std::uint64_t q = 0; q < quota; ++q) {
@@ -105,7 +105,7 @@ pram::SubTask<void> write_most_fat_prog(pram::Ctx& ctx, LcSortLayout l, std::uin
   }
 }
 
-pram::SubTask<Kids> lc_children_prog(pram::Ctx& ctx, LcSortLayout l, pram::Word e,
+pram::SubTask<Kids> lc_children_prog(pram::Ctx& ctx, const LcSortLayout& l, pram::Word e,
                                      std::uint32_t w) {
   Kids k;
   if (l.in_winner_slice(e, w)) {
@@ -125,7 +125,7 @@ pram::SubTask<Kids> lc_children_prog(pram::Ctx& ctx, LcSortLayout l, pram::Word 
   co_return k;
 }
 
-pram::SubTask<void> lc_insert_prog(pram::Ctx& ctx, LcSortLayout l, pram::Word i,
+pram::SubTask<void> lc_insert_prog(pram::Ctx& ctx, const LcSortLayout& l, pram::Word i,
                                    std::uint32_t w) {
   const pram::Word ikey = co_await ctx.read(l.main.key_addr(i));
   std::uint64_t f = 0;
@@ -147,7 +147,7 @@ pram::SubTask<void> lc_insert_prog(pram::Ctx& ctx, LcSortLayout l, pram::Word i,
   co_await build_tree(ctx, l.main, i, handoff);
 }
 
-pram::SubTask<void> lc_sum_prog(pram::Ctx& ctx, LcSortLayout l, std::uint32_t w,
+pram::SubTask<void> lc_sum_prog(pram::Ctx& ctx, const LcSortLayout& l, std::uint32_t w,
                                 pram::Word root) {
   const std::uint64_t n = l.main.n;
   while (true) {
@@ -184,7 +184,7 @@ pram::SubTask<void> lc_sum_prog(pram::Ctx& ctx, LcSortLayout l, std::uint32_t w,
   }
 }
 
-pram::SubTask<void> lc_place_prog(pram::Ctx& ctx, LcSortLayout l, std::uint32_t w,
+pram::SubTask<void> lc_place_prog(pram::Ctx& ctx, const LcSortLayout& l, std::uint32_t w,
                                   pram::Word root) {
   const std::uint64_t n = l.main.n;
   while (true) {
@@ -257,7 +257,7 @@ pram::SubTask<void> lc_place_prog(pram::Ctx& ctx, LcSortLayout l, std::uint32_t 
   }
 }
 
-pram::Task lc_sort_worker(pram::Ctx& ctx, LcSortLayout l) {
+pram::Task lc_sort_worker(pram::Ctx& ctx, const LcSortLayout& l) {
   const std::uint32_t g = l.group_of_proc(ctx.pid());
   const pram::Word groot = static_cast<pram::Word>(g) * static_cast<pram::Word>(l.slice);
   const SortLayout gview = group_view(l);

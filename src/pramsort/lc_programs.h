@@ -34,32 +34,35 @@ inline constexpr pram::Word kMarkEmpty = 0;
 inline constexpr pram::Word kMarkDone = 1;
 inline constexpr pram::Word kMarkAllDone = 2;
 
+// SubTask subroutines take the layout by const reference (see the note in
+// workalloc/wat_program.h); the root lc_sort_worker owns the copy.
+
 // Figure 9: returns the winning candidate (a group id).
-pram::SubTask<pram::Word> select_winner_prog(pram::Ctx& ctx, LcSortLayout l,
+pram::SubTask<pram::Word> select_winner_prog(pram::Ctx& ctx, const LcSortLayout& l,
                                              pram::Word candidate);
 
 // Write-most: copy log P random fat-tree cells from the winner's slice.
-pram::SubTask<void> write_most_fat_prog(pram::Ctx& ctx, LcSortLayout l, std::uint32_t w);
+pram::SubTask<void> write_most_fat_prog(pram::Ctx& ctx, const LcSortLayout& l, std::uint32_t w);
 
 // Structural children of element e (fat-derived for winner-slice elements).
 struct Kids {
   pram::Word small = pram::kEmpty;
   pram::Word big = pram::kEmpty;
 };
-pram::SubTask<Kids> lc_children_prog(pram::Ctx& ctx, LcSortLayout l, pram::Word e,
+pram::SubTask<Kids> lc_children_prog(pram::Ctx& ctx, const LcSortLayout& l, pram::Word e,
                                      std::uint32_t w);
 
 // Fat-tree descent followed by the Figure-4 CAS loop.
-pram::SubTask<void> lc_insert_prog(pram::Ctx& ctx, LcSortLayout l, pram::Word i,
+pram::SubTask<void> lc_insert_prog(pram::Ctx& ctx, const LcSortLayout& l, pram::Word i,
                                    std::uint32_t w);
 
 // Randomized phases 2 and 3 (Section 3.3).
-pram::SubTask<void> lc_sum_prog(pram::Ctx& ctx, LcSortLayout l, std::uint32_t w,
+pram::SubTask<void> lc_sum_prog(pram::Ctx& ctx, const LcSortLayout& l, std::uint32_t w,
                                 pram::Word root);
-pram::SubTask<void> lc_place_prog(pram::Ctx& ctx, LcSortLayout l, std::uint32_t w,
+pram::SubTask<void> lc_place_prog(pram::Ctx& ctx, const LcSortLayout& l, std::uint32_t w,
                                   pram::Word root);
 
 // The complete worker.
-pram::Task lc_sort_worker(pram::Ctx& ctx, LcSortLayout l);
+pram::Task lc_sort_worker(pram::Ctx& ctx, const LcSortLayout& l);
 
 }  // namespace wfsort::sim

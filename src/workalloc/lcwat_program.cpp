@@ -24,7 +24,7 @@ PramLcWat make_pram_lcwat(pram::Memory& mem, std::string_view name, std::uint64_
   return wat;
 }
 
-pram::SubTask<void> lcwat_skeleton(pram::Ctx& ctx, PramLcWat wat, PramJobFn job) {
+pram::SubTask<void> lcwat_skeleton(pram::Ctx& ctx, const PramLcWat& wat, const PramJobFn& job) {
   while (true) {
     const std::uint64_t i = ctx.rng().below(wat.tree.nodes());
     const pram::Word v = co_await ctx.read(wat.node_addr(i));
@@ -59,8 +59,8 @@ pram::SubTask<void> lcwat_skeleton(pram::Ctx& ctx, PramLcWat wat, PramJobFn job)
   }
 }
 
-pram::Task lcwat_worker(pram::Ctx& ctx, PramLcWat wat, PramJobFn job) {
-  co_await lcwat_skeleton(ctx, wat, std::move(job));
+pram::Task lcwat_worker(pram::Ctx& ctx, const PramLcWat& wat, PramJobFn job) {
+  co_await lcwat_skeleton(ctx, wat, job);
 }
 
 }  // namespace wfsort::sim

@@ -31,7 +31,9 @@ PramLcWat make_pram_lcwat(pram::Memory& mem, std::string_view name, std::uint64_
 // One worker of Figure 8's low_contention_work.  Returns (completes) once
 // this processor has seen the ALLDONE announcement.  The SubTask form
 // composes into larger programs (the LC sort's insertion stage).
-pram::SubTask<void> lcwat_skeleton(pram::Ctx& ctx, PramLcWat wat, PramJobFn job);
-pram::Task lcwat_worker(pram::Ctx& ctx, PramLcWat wat, PramJobFn job);
+pram::SubTask<void> lcwat_skeleton(pram::Ctx& ctx, const PramLcWat& wat, const PramJobFn& job);
+// Takes the tree geometry by const reference (see wat_worker's note in
+// wat_program.h for the lifetime contract).
+pram::Task lcwat_worker(pram::Ctx& ctx, const PramLcWat& wat, PramJobFn job);
 
 }  // namespace wfsort::sim

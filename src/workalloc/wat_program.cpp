@@ -24,7 +24,7 @@ PramWat make_pram_wat(pram::Memory& mem, std::string_view name, std::uint64_t jo
   return wat;
 }
 
-pram::SubTask<pram::Word> next_element(pram::Ctx& ctx, PramWat wat, pram::Word node) {
+pram::SubTask<pram::Word> next_element(pram::Ctx& ctx, const PramWat& wat, pram::Word node) {
   WFSORT_CHECK(node >= 0 && static_cast<std::uint64_t>(node) < wat.tree.nodes());
   std::uint64_t i = static_cast<std::uint64_t>(node);
   co_await ctx.write(wat.node_addr(i), pram::kDone);
@@ -61,8 +61,8 @@ pram::SubTask<pram::Word> next_element(pram::Ctx& ctx, PramWat wat, pram::Word n
   co_return static_cast<pram::Word>(i);
 }
 
-pram::SubTask<void> wat_skeleton(pram::Ctx& ctx, PramWat wat, std::uint32_t nprocs,
-                                 PramJobFn job) {
+pram::SubTask<void> wat_skeleton(pram::Ctx& ctx, const PramWat& wat, std::uint32_t nprocs,
+                                 const PramJobFn& job) {
   WFSORT_CHECK(nprocs > 0);
   pram::Word i =
       static_cast<pram::Word>(wat.tree.leaf(wat.jobs * (ctx.pid() % nprocs) / nprocs));
@@ -77,8 +77,8 @@ pram::SubTask<void> wat_skeleton(pram::Ctx& ctx, PramWat wat, std::uint32_t npro
   }
 }
 
-pram::Task wat_worker(pram::Ctx& ctx, PramWat wat, std::uint32_t nprocs, PramJobFn job) {
-  co_await wat_skeleton(ctx, wat, nprocs, std::move(job));
+pram::Task wat_worker(pram::Ctx& ctx, const PramWat& wat, std::uint32_t nprocs, PramJobFn job) {
+  co_await wat_skeleton(ctx, wat, nprocs, job);
 }
 
 }  // namespace wfsort::sim

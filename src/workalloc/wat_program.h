@@ -30,7 +30,15 @@ PramWat make_pram_wat(pram::Memory& mem, std::string_view name, std::uint64_t jo
 
 // Figure 1: mark `node` DONE, climb / descend, return the next incomplete
 // node index, or pram::kDone once the root is marked.
-pram::SubTask<pram::Word> next_element(pram::Ctx& ctx, PramWat wat, pram::Word node);
+//
+// SubTask subroutines take their layout/config aggregates by const reference
+// rather than by value: the caller co_awaits the SubTask immediately, and
+// C++ keeps the full co_await expression's operands (including temporaries)
+// alive in the caller's frame across suspension, so the referent always
+// outlives the subroutine.  This keeps the hot coroutine frames small and
+// free of std::string copies.  Root Task programs (wat_worker et al.) still
+// copy their parameters, since a root outlives its creating expression.
+pram::SubTask<pram::Word> next_element(pram::Ctx& ctx, const PramWat& wat, pram::Word node);
 
 // A leaf job: coroutine invoked with the job's index in [0, jobs).  Jobs may
 // be executed concurrently by several processors and must be idempotent.
@@ -40,8 +48,15 @@ using PramJobFn = std::function<pram::SubTask<void>(pram::Ctx&, std::uint64_t)>;
 // starts at leaf floor(jobs * pid / nprocs) and works leaves handed out by
 // next_element until the tree completes.  The SubTask form composes into
 // larger programs (the sorting phases); wat_worker is the standalone root.
-pram::SubTask<void> wat_skeleton(pram::Ctx& ctx, PramWat wat, std::uint32_t nprocs,
-                                 PramJobFn job);
-pram::Task wat_worker(pram::Ctx& ctx, PramWat wat, std::uint32_t nprocs, PramJobFn job);
+//
+// Root Task workers also take their layout aggregate by const reference —
+// the referent must outlive the run.  Spawn factories satisfy this by
+// capturing one std::shared_ptr<const PramWat> per crew (the machine keeps
+// each factory alive for its processor's lifetime), so a thousand
+// processors share a single cache-resident copy of the tree geometry
+// instead of dragging a thousand scattered copies through every round.
+pram::SubTask<void> wat_skeleton(pram::Ctx& ctx, const PramWat& wat, std::uint32_t nprocs,
+                                 const PramJobFn& job);
+pram::Task wat_worker(pram::Ctx& ctx, const PramWat& wat, std::uint32_t nprocs, PramJobFn job);
 
 }  // namespace wfsort::sim

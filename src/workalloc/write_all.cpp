@@ -1,5 +1,7 @@
 #include "workalloc/write_all.h"
 
+#include <memory>
+
 #include "workalloc/lcwat_program.h"
 #include "workalloc/wat_program.h"
 
@@ -24,11 +26,13 @@ WriteAllOutcome write_all_wat(pram::Machine& m, std::uint64_t jobs, std::uint32_
                               pram::Scheduler& sched) {
   WriteAllOutcome out;
   out.output = m.mem().alloc("write-all B", jobs, 0);
-  const PramWat wat = make_pram_wat(m.mem(), "WAT nodes", jobs);
+  // The crew shares one copy of the tree geometry (wat_worker's lifetime
+  // note); the factories' shared_ptrs keep it alive.
+  auto wat = std::make_shared<const PramWat>(make_pram_wat(m.mem(), "WAT nodes", jobs));
   const pram::Addr base = out.output.base;
   for (std::uint32_t p = 0; p < procs; ++p) {
     m.spawn([wat, procs, base](pram::Ctx& ctx) {
-      return wat_worker(ctx, wat, procs, [base](pram::Ctx& c, std::uint64_t j) {
+      return wat_worker(ctx, *wat, procs, [base](pram::Ctx& c, std::uint64_t j) {
         return write_one(c, base, j);
       });
     });
@@ -42,11 +46,11 @@ WriteAllOutcome write_all_lcwat(pram::Machine& m, std::uint64_t jobs, std::uint3
                                 pram::Scheduler& sched) {
   WriteAllOutcome out;
   out.output = m.mem().alloc("write-all B", jobs, 0);
-  const PramLcWat wat = make_pram_lcwat(m.mem(), "LC-WAT nodes", jobs);
+  auto wat = std::make_shared<const PramLcWat>(make_pram_lcwat(m.mem(), "LC-WAT nodes", jobs));
   const pram::Addr base = out.output.base;
   for (std::uint32_t p = 0; p < procs; ++p) {
     m.spawn([wat, base](pram::Ctx& ctx) {
-      return lcwat_worker(ctx, wat, [base](pram::Ctx& c, std::uint64_t j) {
+      return lcwat_worker(ctx, *wat, [base](pram::Ctx& c, std::uint64_t j) {
         return write_one(c, base, j);
       });
     });

@@ -477,7 +477,7 @@ TEST(Memory, RegionsAndPeekPoke) {
 }
 
 TEST(MachineDeath, OutOfRangeAccessAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   pram::Memory mem;
   mem.alloc("a", 4, 0);
   EXPECT_DEATH((void)mem.peek(99), "CHECK failed");
@@ -485,7 +485,7 @@ TEST(MachineDeath, OutOfRangeAccessAborts) {
 }
 
 TEST(MachineDeath, ProgramTouchingUnmappedMemoryAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   EXPECT_DEATH(
       {
         Machine m;

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Run the simulator-throughput benchmark suite and drop its JSON report at
+# the repo root as BENCH_sim_perf.json, where docs/simulator.md points.
+#
+# Usage:
+#   tools/run_sim_bench.sh [build-dir] [extra benchmark args...]
+#
+# The build directory defaults to ./build and must already contain a
+# configured build; the script builds (only) the bench_sim_perf target in it.
+# Extra arguments are forwarded to the benchmark binary, e.g.:
+#   tools/run_sim_bench.sh build --benchmark_filter='DetSort' --benchmark_min_time=2
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
+  echo "error: '$build_dir' is not a configured CMake build directory" >&2
+  echo "hint: cmake -B \"$build_dir\" -S \"$repo_root\" -DCMAKE_BUILD_TYPE=Release" >&2
+  exit 1
+fi
+
+cmake --build "$build_dir" --target bench_sim_perf -j "$(nproc)"
+
+out="$repo_root/BENCH_sim_perf.json"
+"$build_dir/bench/bench_sim_perf" \
+  --benchmark_format=json \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $out"
