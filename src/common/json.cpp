@@ -1,0 +1,375 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace wfsort {
+
+bool Json::as_bool() const {
+  WFSORT_CHECK(type_ == Type::kBool);
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  WFSORT_CHECK(type_ == Type::kInt);
+  return int_;
+}
+
+std::uint64_t Json::as_u64() const {
+  WFSORT_CHECK(type_ == Type::kInt);
+  return static_cast<std::uint64_t>(int_);
+}
+
+double Json::as_double() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  WFSORT_CHECK(type_ == Type::kDouble);
+  return double_;
+}
+
+const std::string& Json::as_string() const {
+  WFSORT_CHECK(type_ == Type::kString);
+  return str_;
+}
+
+const std::vector<Json>& Json::items() const {
+  WFSORT_CHECK(type_ == Type::kArray);
+  return arr_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  WFSORT_CHECK(type_ == Type::kObject);
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  WFSORT_CHECK(v != nullptr);
+  return *v;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_indent(std::string& out, int n) { out.append(static_cast<std::size_t>(n), ' '); }
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Type::kDouble: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      out += buf;
+      break;
+    }
+    case Type::kString:
+      append_escaped(out, str_);
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        append_indent(out, indent + 2);
+        arr_[i].dump_to(out, indent + 2);
+        if (i + 1 < arr_.size()) out += ',';
+        out += '\n';
+      }
+      append_indent(out, indent);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        append_indent(out, indent + 2);
+        append_escaped(out, obj_[i].first);
+        out += ": ";
+        obj_[i].second.dump_to(out, indent + 2);
+        if (i + 1 < obj_.size()) out += ',';
+        out += '\n';
+      }
+      append_indent(out, indent);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent);
+  if (indent == 0) out += '\n';
+  return out;
+}
+
+// Recursive-descent parser.  Depth is bounded by the schema (artifacts nest
+// three levels), but a hard cap keeps hostile inputs from overflowing the
+// stack.
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  Json run() {
+    Json v = parse_value(0);
+    skip_ws();
+    if (ok() && pos_ != text_.size()) fail("trailing characters after document");
+    return ok() ? v : Json();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool ok() const { return error_->empty(); }
+
+  void fail(const std::string& what) {
+    if (ok()) {
+      *error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t len = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return {};
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return {};
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return Json(parse_string());
+    if (c == 't') {
+      if (literal("true")) return Json(true);
+      fail("bad literal");
+      return {};
+    }
+    if (c == 'f') {
+      if (literal("false")) return Json(false);
+      fail("bad literal");
+      return {};
+    }
+    if (c == 'n') {
+      if (literal("null")) return Json();
+      fail("bad literal");
+      return {};
+    }
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) {
+      fail("expected string");
+      return out;
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return out;
+            }
+            unsigned cp = 0;
+            auto [p, ec] = std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4,
+                                           cp, 16);
+            if (ec != std::errc() || p != text_.data() + pos_ + 4) {
+              fail("bad \\u escape");
+              return out;
+            }
+            pos_ += 4;
+            // Artifacts only ever contain ASCII; encode the BMP code point
+            // as UTF-8 anyway so round-trips are lossless.
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+            return out;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return out;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      fail("expected value");
+      return {};
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc() && p == tok.data() + tok.size()) return Json(v);
+    }
+    try {
+      return Json(std::stod(tok));
+    } catch (...) {
+      fail("bad number '" + tok + "'");
+      return {};
+    }
+  }
+
+  Json parse_array(int depth) {
+    Json arr = Json::array();
+    consume('[');
+    skip_ws();
+    if (consume(']')) return arr;
+    while (ok()) {
+      arr.push_back(parse_value(depth + 1));
+      if (consume(']')) return arr;
+      if (!consume(',')) {
+        fail("expected ',' or ']'");
+        return arr;
+      }
+    }
+    return arr;
+  }
+
+  Json parse_object(int depth) {
+    Json obj = Json::object();
+    consume('{');
+    skip_ws();
+    if (consume('}')) return obj;
+    while (ok()) {
+      skip_ws();
+      std::string key = parse_string();
+      if (!ok()) return obj;
+      if (!consume(':')) {
+        fail("expected ':'");
+        return obj;
+      }
+      obj.set(key, parse_value(depth + 1));
+      if (consume('}')) return obj;
+      if (!consume(',')) {
+        fail("expected ',' or '}'");
+        return obj;
+      }
+    }
+    return obj;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+Json Json::parse(const std::string& text, std::string* error) {
+  error->clear();
+  JsonParser p(text, error);
+  return p.run();
+}
+
+}  // namespace wfsort

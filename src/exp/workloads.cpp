@@ -14,6 +14,17 @@ const char* dist_name(Dist d) {
   return "?";
 }
 
+bool parse_dist(const std::string& name, Dist* out) {
+  if (name == "shuffled") *out = Dist::kShuffled;
+  else if (name == "uniform") *out = Dist::kUniform;
+  else if (name == "sorted") *out = Dist::kSorted;
+  else if (name == "reversed") *out = Dist::kReversed;
+  else if (name == "few-distinct" || name == "few") *out = Dist::kFewDistinct;
+  else if (name == "organ-pipe" || name == "pipe") *out = Dist::kOrganPipe;
+  else return false;
+  return true;
+}
+
 namespace {
 
 template <typename T>

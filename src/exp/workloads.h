@@ -20,6 +20,10 @@ enum class Dist {
 
 const char* dist_name(Dist d);
 
+// Inverse of dist_name; also accepts the CLI's short spellings ("few",
+// "pipe").  Returns false on unknown names.
+bool parse_dist(const std::string& name, Dist* out);
+
 // Signed-word keys for the PRAM simulator.
 std::vector<std::int64_t> make_word_keys(std::size_t n, Dist d, std::uint64_t seed);
 

@@ -74,6 +74,7 @@ void Machine::advance(Proc& p) {
   if (done && !p.done_counted) {
     p.done_counted = true;
     if (!p.killed) --unfinished_live_;
+    metrics_.record_proc_finish(p.ctx.pid());
   }
   // The counters above are settled before any rethrow so an escaping
   // program exception leaves the run-loop bookkeeping consistent.
@@ -88,7 +89,7 @@ bool Machine::eligible(const Proc& p) const {
 RunResult Machine::run(Scheduler& sched, const StopPredicate& stop) {
   RunResult res;
   while (true) {
-    if (round_hook_) round_hook_(*this, round_);
+    for (const RoundHook& hook : round_hooks_) hook(*this, round_);
 
     // Start newly-spawned processors; local computation up to the first
     // shared-memory operation is free in the PRAM cost model.  procs_ is
@@ -125,7 +126,7 @@ RunResult Machine::run(Scheduler& sched, const StopPredicate& stop) {
       res.hit_round_cap = true;
       break;
     }
-    if (eligible_count_ == 0 && !round_hook_) {
+    if (eligible_count_ == 0 && round_hooks_.empty()) {
       // Every unfinished processor is suspended and nothing can wake one up.
       break;
     }

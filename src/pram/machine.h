@@ -167,9 +167,19 @@ class Machine {
   std::size_t live_procs() const;
 
   // Invoked at the start of every round; experiments use it to kill/suspend/
-  // spawn at chosen times.
+  // spawn at chosen times.  set_round_hook replaces all installed hooks
+  // (pass nullptr to clear); add_round_hook appends, letting independent
+  // concerns — a fault script and an invariant oracle, say — compose without
+  // hand-chaining closures.  Hooks run in installation order.
   using RoundHook = std::function<void(Machine&, std::uint64_t round)>;
-  void set_round_hook(RoundHook hook) { round_hook_ = std::move(hook); }
+  void set_round_hook(RoundHook hook) {
+    round_hooks_.clear();
+    if (hook) round_hooks_.push_back(std::move(hook));
+  }
+  void add_round_hook(RoundHook hook) {
+    WFSORT_CHECK(hook);
+    round_hooks_.push_back(std::move(hook));
+  }
 
   // Observe every served memory operation (nullptr disables tracing).  The
   // tracer must outlive the run.
@@ -238,7 +248,7 @@ class Machine {
   // Deque: contiguous chunks give the per-round pid-order scans spatial
   // locality, and elements never move, which Ctx address-stability requires.
   std::deque<Proc> procs_;
-  RoundHook round_hook_;
+  std::vector<RoundHook> round_hooks_;
   Tracer* tracer_ = nullptr;
   std::uint64_t round_ = 0;
 

@@ -32,4 +32,10 @@ std::uint64_t Metrics::max_proc_ops() const {
   return m;
 }
 
+std::uint64_t Metrics::max_finish_steps() const {
+  std::uint64_t m = 0;
+  for (std::uint64_t v : finish_steps_) m = std::max(m, v);
+  return m;
+}
+
 }  // namespace pram

@@ -56,6 +56,13 @@ class Metrics {
     ++proc_ops_[p];
     ++total_ops_;
   }
+  // Called by the machine exactly once, when processor `p`'s program
+  // returns; freezes its own-step count for the wait-freedom certifier.
+  void record_proc_finish(ProcId p) {
+    if (p >= proc_ops_.size()) ensure_procs(p + 1);
+    if (p >= finish_steps_.size()) finish_steps_.resize(proc_ops_.size(), 0);
+    finish_steps_[p] = proc_ops_[p];
+  }
   void record_stall(std::uint64_t n = 1) { stalls_ += n; }
   void end_round() {
     ++rounds_;
@@ -98,6 +105,18 @@ class Metrics {
   const std::vector<std::uint64_t>& proc_ops() const { return proc_ops_; }
   std::uint64_t max_proc_ops() const;
 
+  // Own-step accounting for the bounded-own-steps definition of
+  // wait-freedom: steps processor `p` had taken when its program returned,
+  // or 0 while it is unfinished (entries beyond the vector are unfinished
+  // too).  Wait-freedom demands a bound on these values that holds for
+  // every processor that keeps taking steps, under every schedule and
+  // failure pattern; max_finish_steps() is the run's worst case.
+  const std::vector<std::uint64_t>& finish_steps() const { return finish_steps_; }
+  std::uint64_t finish_steps(ProcId p) const {
+    return p < finish_steps_.size() ? finish_steps_[p] : 0;
+  }
+  std::uint64_t max_finish_steps() const;
+
  private:
   std::uint64_t rounds_ = 0;
   std::uint64_t total_ops_ = 0;
@@ -112,6 +131,7 @@ class Metrics {
   std::vector<std::size_t> region_max_;     // indexed by Memory::RegionId
   std::vector<std::string> region_names_;   // region id -> name, mirrored in begin_round
   std::vector<std::uint64_t> proc_ops_;
+  std::vector<std::uint64_t> finish_steps_;  // own steps at program return; 0 = running
 
   std::uint32_t round_max_ = 1;  // max per-cell multiplicity this round
 };

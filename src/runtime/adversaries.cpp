@@ -1,0 +1,49 @@
+#include "runtime/adversaries.h"
+
+#include "common/check.h"
+
+namespace wfsort::runtime {
+
+FaultScript fail_stop_at_round(std::uint64_t round, std::uint32_t first, std::uint32_t last) {
+  WFSORT_CHECK(first <= last);
+  FaultScript s;
+  for (std::uint32_t p = first; p <= last; ++p) {
+    s.add({FaultAction::kKill, TriggerKind::kRound, p, round, 0});
+  }
+  return s;
+}
+
+FaultScript crash_and_revive(std::uint64_t round, std::uint64_t revive_round,
+                             std::uint32_t first, std::uint32_t last) {
+  WFSORT_CHECK(first <= last);
+  WFSORT_CHECK(revive_round >= round);
+  FaultScript s;
+  for (std::uint32_t p = first; p <= last; ++p) {
+    s.add({FaultAction::kSuspend, TriggerKind::kRound, p, round, 0});
+    s.add({FaultAction::kRevive, TriggerKind::kRound, p, revive_round, 0});
+  }
+  return s;
+}
+
+FaultScript single_survivor(std::uint64_t round, std::uint32_t survivor, std::uint32_t procs) {
+  WFSORT_CHECK(survivor < procs);
+  FaultScript s;
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    if (p == survivor) continue;
+    s.add({FaultAction::kKill, TriggerKind::kRound, p, round, 0});
+  }
+  return s;
+}
+
+FaultScript staggered_kills(std::uint64_t first_round, std::uint64_t stride,
+                            std::uint32_t procs, std::uint32_t survivors) {
+  WFSORT_CHECK(survivors >= 1 && survivors <= procs);
+  FaultScript s;
+  std::uint64_t round = first_round;
+  for (std::uint32_t p = survivors; p < procs; ++p, round += stride) {
+    s.add({FaultAction::kKill, TriggerKind::kRound, p, round, 0});
+  }
+  return s;
+}
+
+}  // namespace wfsort::runtime

@@ -1,0 +1,36 @@
+// Canned adversaries — the standard failure families DESIGN.md names
+// (fail-stop at chosen rounds, crash-and-revive, single-survivor) as
+// reusable FaultScripts instead of hand-rolled round hooks in every test.
+//
+// Each builder returns a concrete, round-keyed script; install it on a
+// simulator with Machine::set_round_hook(make_round_hook(script)) or feed it
+// to the scenario runner, which also serializes it into replay artifacts.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/fault_script.h"
+
+namespace wfsort::runtime {
+
+// Kill processors [first, last] at `round` and never revive them — the
+// classic fail-stop adversary.
+FaultScript fail_stop_at_round(std::uint64_t round, std::uint32_t first, std::uint32_t last);
+
+// Suspend processors [first, last] at `round` and awaken them at
+// `revive_round` — the paper's undetectable stop-and-revive (page fault /
+// preemption) adversary.  Requires revive_round >= round.
+FaultScript crash_and_revive(std::uint64_t round, std::uint64_t revive_round,
+                             std::uint32_t first, std::uint32_t last);
+
+// Kill every processor of a crew of `procs` except `survivor` at `round` —
+// the harshest fail-stop case: one processor must finish the whole job.
+FaultScript single_survivor(std::uint64_t round, std::uint32_t survivor, std::uint32_t procs);
+
+// Kill processors one per `stride` rounds starting at `first_round`, keeping
+// `survivors` alive — a slow-burn adversary that spreads the crashes across
+// every phase instead of concentrating them in one round.
+FaultScript staggered_kills(std::uint64_t first_round, std::uint64_t stride,
+                            std::uint32_t procs, std::uint32_t survivors);
+
+}  // namespace wfsort::runtime

@@ -9,7 +9,12 @@
 // the paper's page-fault scenario) and then continues.
 //
 // A FaultPlan outlives the workers it governs and is safe to consult from
-// all of them concurrently.
+// all of them concurrently.  Scheduling calls (crash_at / sleep_at) are also
+// safe while workers run: the sleep duration and trigger are published
+// before the kind with release ordering, and checkpoint() reads the kind
+// with acquire ordering, so a worker either sees no fault or a fully-formed
+// one — never a torn half-configured entry.  Triggers are 1-based; `at == 0`
+// would silently never fire (checkpoint counts start at 1) and is rejected.
 #pragma once
 
 #include <atomic>
@@ -30,16 +35,20 @@ class FaultPlan {
   // Schedule thread `tid` to crash at its `at`-th checkpoint (1-based).
   void crash_at(std::uint32_t tid, std::uint64_t at) {
     WFSORT_CHECK(tid < entries_.size());
-    entries_[tid].trigger = at;
-    entries_[tid].kind = Kind::kCrash;
+    WFSORT_CHECK(at >= 1);
+    Entry& e = entries_[tid];
+    e.trigger.store(at, std::memory_order_relaxed);
+    e.kind.store(static_cast<std::uint8_t>(Kind::kCrash), std::memory_order_release);
   }
 
   // Schedule thread `tid` to sleep `dur` at its `at`-th checkpoint.
   void sleep_at(std::uint32_t tid, std::uint64_t at, std::chrono::microseconds dur) {
     WFSORT_CHECK(tid < entries_.size());
-    entries_[tid].trigger = at;
-    entries_[tid].kind = Kind::kSleep;
-    entries_[tid].sleep_dur = dur;
+    WFSORT_CHECK(at >= 1);
+    Entry& e = entries_[tid];
+    e.trigger.store(at, std::memory_order_relaxed);
+    e.sleep_us.store(static_cast<std::uint64_t>(dur.count()), std::memory_order_relaxed);
+    e.kind.store(static_cast<std::uint8_t>(Kind::kSleep), std::memory_order_release);
   }
 
   // Ask this thread to stop at its next checkpoint (cooperative reaping).
@@ -53,18 +62,20 @@ class FaultPlan {
   bool checkpoint(std::uint32_t tid) {
     WFSORT_CHECK(tid < entries_.size());
     Entry& e = entries_[tid];
+    const std::uint64_t c = e.count.fetch_add(1, std::memory_order_relaxed) + 1;
     if (e.stop.load(std::memory_order_acquire)) {
       crashes_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    if (e.kind == Kind::kNone) return true;
-    const std::uint64_t c = e.count.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (c == e.trigger) {
-      if (e.kind == Kind::kCrash) {
+    const Kind kind = static_cast<Kind>(e.kind.load(std::memory_order_acquire));
+    if (kind == Kind::kNone) return true;
+    if (c == e.trigger.load(std::memory_order_relaxed)) {
+      if (kind == Kind::kCrash) {
         crashes_.fetch_add(1, std::memory_order_relaxed);
         return false;
       }
-      std::this_thread::sleep_for(e.sleep_dur);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(e.sleep_us.load(std::memory_order_relaxed)));
     }
     return true;
   }
@@ -72,15 +83,23 @@ class FaultPlan {
   std::uint32_t crashes() const { return crashes_.load(std::memory_order_relaxed); }
   std::uint32_t capacity() const { return static_cast<std::uint32_t>(entries_.size()); }
 
+  // Checkpoints taken by thread `tid` so far — its own-step count.  Every
+  // surviving worker's final value is the empirical per-thread step bound
+  // wait-freedom promises to keep finite.
+  std::uint64_t steps(std::uint32_t tid) const {
+    WFSORT_CHECK(tid < entries_.size());
+    return entries_[tid].count.load(std::memory_order_relaxed);
+  }
+
  private:
   enum class Kind : std::uint8_t { kNone, kCrash, kSleep };
 
   struct Entry {
     std::atomic<std::uint64_t> count{0};
     std::atomic<bool> stop{false};
-    std::uint64_t trigger = ~std::uint64_t{0};
-    Kind kind = Kind::kNone;
-    std::chrono::microseconds sleep_dur{0};
+    std::atomic<std::uint64_t> trigger{~std::uint64_t{0}};
+    std::atomic<std::uint8_t> kind{static_cast<std::uint8_t>(Kind::kNone)};
+    std::atomic<std::uint64_t> sleep_us{0};
   };
 
   std::vector<Entry> entries_;

@@ -1,0 +1,220 @@
+#include "runtime/fault_script.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace wfsort::runtime {
+
+bool FaultScript::concrete() const {
+  return std::all_of(events.begin(), events.end(), [](const FaultEvent& e) {
+    return e.trigger == TriggerKind::kRound;
+  });
+}
+
+std::vector<std::uint32_t> FaultScript::killed_targets() const {
+  std::vector<std::uint32_t> out;
+  for (const FaultEvent& e : events) {
+    if (e.action == FaultAction::kKill) out.push_back(e.target);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string FaultScript::validate(std::uint32_t procs) const {
+  for (const FaultEvent& e : events) {
+    if (e.target >= procs) {
+      return "event targets processor " + std::to_string(e.target) + " of a crew of " +
+             std::to_string(procs);
+    }
+    if (e.action == FaultAction::kSleep && e.sleep_for == 0) {
+      return "sleep event with zero duration";
+    }
+  }
+  const auto killed = killed_targets();
+  if (killed.size() >= procs) return "script kills every processor";
+  // A processor left suspended forever stalls termination through no fault
+  // of the algorithm; require a matching revive (or kill) no earlier than
+  // the suspend.  Sleep events revive themselves.
+  for (const FaultEvent& s : events) {
+    if (s.action != FaultAction::kSuspend) continue;
+    const bool resolved = std::any_of(events.begin(), events.end(), [&](const FaultEvent& r) {
+      return r.target == s.target && r.at >= s.at &&
+             (r.action == FaultAction::kRevive || r.action == FaultAction::kKill);
+    });
+    if (!resolved) {
+      return "processor " + std::to_string(s.target) + " is suspended and never revived";
+    }
+  }
+  return {};
+}
+
+const char* fault_action_name(FaultAction a) {
+  switch (a) {
+    case FaultAction::kKill: return "kill";
+    case FaultAction::kSuspend: return "suspend";
+    case FaultAction::kRevive: return "revive";
+    case FaultAction::kSleep: return "sleep";
+  }
+  WFSORT_CHECK(false);
+}
+
+bool parse_fault_action(const std::string& name, FaultAction* out) {
+  if (name == "kill") *out = FaultAction::kKill;
+  else if (name == "suspend") *out = FaultAction::kSuspend;
+  else if (name == "revive") *out = FaultAction::kRevive;
+  else if (name == "sleep") *out = FaultAction::kSleep;
+  else return false;
+  return true;
+}
+
+const char* trigger_kind_name(TriggerKind t) {
+  switch (t) {
+    case TriggerKind::kRound: return "round";
+    case TriggerKind::kPhase2Entry: return "phase2_entry";
+    case TriggerKind::kPhase3Entry: return "phase3_entry";
+    case TriggerKind::kFirstWatClaim: return "first_wat_claim";
+    case TriggerKind::kLastWatClaim: return "last_wat_claim";
+    case TriggerKind::kInstallCas: return "install_cas";
+  }
+  WFSORT_CHECK(false);
+}
+
+bool parse_trigger_kind(const std::string& name, TriggerKind* out) {
+  if (name == "round") *out = TriggerKind::kRound;
+  else if (name == "phase2_entry") *out = TriggerKind::kPhase2Entry;
+  else if (name == "phase3_entry") *out = TriggerKind::kPhase3Entry;
+  else if (name == "first_wat_claim") *out = TriggerKind::kFirstWatClaim;
+  else if (name == "last_wat_claim") *out = TriggerKind::kLastWatClaim;
+  else if (name == "install_cas") *out = TriggerKind::kInstallCas;
+  else return false;
+  return true;
+}
+
+Json script_to_json(const FaultScript& script) {
+  Json events = Json::array();
+  for (const FaultEvent& e : script.events) {
+    Json je = Json::object();
+    je.set("action", fault_action_name(e.action));
+    if (e.trigger != TriggerKind::kRound) je.set("trigger", trigger_kind_name(e.trigger));
+    je.set("target", static_cast<std::int64_t>(e.target));
+    je.set("at", static_cast<std::int64_t>(e.at));
+    if (e.action == FaultAction::kSleep) {
+      je.set("sleep_for", static_cast<std::int64_t>(e.sleep_for));
+    }
+    events.push_back(std::move(je));
+  }
+  Json j = Json::object();
+  j.set("events", std::move(events));
+  return j;
+}
+
+bool script_from_json(const Json& j, FaultScript* out, std::string* error) {
+  out->events.clear();
+  if (j.type() != Json::Type::kObject) {
+    *error = "script is not an object";
+    return false;
+  }
+  const Json* events = j.find("events");
+  if (events == nullptr || events->type() != Json::Type::kArray) {
+    *error = "script has no events array";
+    return false;
+  }
+  for (const Json& je : events->items()) {
+    if (je.type() != Json::Type::kObject) {
+      *error = "script event is not an object";
+      return false;
+    }
+    FaultEvent e;
+    const Json* action = je.find("action");
+    if (action == nullptr || !parse_fault_action(action->as_string(), &e.action)) {
+      *error = "script event has a bad action";
+      return false;
+    }
+    if (const Json* trig = je.find("trigger")) {
+      if (!parse_trigger_kind(trig->as_string(), &e.trigger)) {
+        *error = "script event has a bad trigger kind";
+        return false;
+      }
+    }
+    const Json* target = je.find("target");
+    const Json* at = je.find("at");
+    if (target == nullptr || at == nullptr) {
+      *error = "script event is missing target/at";
+      return false;
+    }
+    e.target = static_cast<std::uint32_t>(target->as_u64());
+    e.at = at->as_u64();
+    if (const Json* sf = je.find("sleep_for")) e.sleep_for = sf->as_u64();
+    out->events.push_back(e);
+  }
+  return true;
+}
+
+pram::Machine::RoundHook make_round_hook(const FaultScript& script) {
+  WFSORT_CHECK(script.concrete());
+  // A sleep is a suspend now plus an awaken sleep_for rounds later; expand
+  // it so the hook only dispatches three primitive actions.  The expanded
+  // list is sorted by round and the hook keeps a cursor, so the per-round
+  // cost is O(events due this round), not O(all events).
+  struct Step {
+    std::uint64_t round;
+    FaultAction action;
+    std::uint32_t target;
+  };
+  auto steps = std::make_shared<std::vector<Step>>();
+  for (const FaultEvent& e : script.events) {
+    if (e.action == FaultAction::kSleep) {
+      steps->push_back({e.at, FaultAction::kSuspend, e.target});
+      steps->push_back({e.at + e.sleep_for, FaultAction::kRevive, e.target});
+    } else {
+      steps->push_back({e.at, e.action, e.target});
+    }
+  }
+  std::stable_sort(steps->begin(), steps->end(),
+                   [](const Step& a, const Step& b) { return a.round < b.round; });
+  auto cursor = std::make_shared<std::size_t>(0);
+  return [steps, cursor](pram::Machine& m, std::uint64_t round) {
+    while (*cursor < steps->size() && (*steps)[*cursor].round <= round) {
+      const Step& s = (*steps)[*cursor];
+      ++*cursor;
+      if (s.target >= m.procs()) continue;  // script outran the crew; ignore
+      switch (s.action) {
+        case FaultAction::kKill:
+          m.kill(s.target);
+          break;
+        case FaultAction::kSuspend:
+          m.suspend(s.target);
+          break;
+        case FaultAction::kRevive:
+          if (!m.killed(s.target)) m.awaken(s.target);
+          break;
+        case FaultAction::kSleep:
+          WFSORT_CHECK(false);  // expanded above
+      }
+    }
+  };
+}
+
+void program_plan(const FaultScript& script, FaultPlan& plan) {
+  WFSORT_CHECK(script.concrete());
+  for (const FaultEvent& e : script.events) {
+    WFSORT_CHECK(e.target < plan.capacity());
+    switch (e.action) {
+      case FaultAction::kKill:
+        plan.crash_at(e.target, std::max<std::uint64_t>(1, e.at));
+        break;
+      case FaultAction::kSleep:
+        plan.sleep_at(e.target, std::max<std::uint64_t>(1, e.at),
+                      std::chrono::microseconds(e.sleep_for));
+        break;
+      case FaultAction::kSuspend:
+      case FaultAction::kRevive:
+        WFSORT_CHECK(false && "suspend/revive have no native equivalent");
+    }
+  }
+}
+
+}  // namespace wfsort::runtime

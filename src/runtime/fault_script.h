@@ -1,0 +1,99 @@
+// Declarative fault scripting, unified across both substrates.
+//
+// A FaultScript is a list of fault events — kill / suspend / revive / sleep,
+// each aimed at one processor and one trigger point.  The same script type
+// drives:
+//
+//   * the PRAM simulator, where triggers are round numbers and the script
+//     compiles into a Machine round hook (kill -> Machine::kill, suspend ->
+//     suspend, revive -> awaken, sleep -> suspend now + awaken after
+//     `sleep_for` rounds);
+//   * the native engine, where triggers are per-thread checkpoint counts and
+//     the script programs a FaultPlan (kill -> crash_at, sleep -> sleep_at;
+//     suspend/revive have no cooperative native equivalent and are rejected).
+//
+// Triggers may also be *symbolic* — phase-2/phase-3 entry, first/last WAT
+// claim, the k-th install-CAS window — which a probe run resolves to
+// concrete rounds (see search.h).  Serialized artifacts always carry
+// concrete, round-keyed scripts so replay needs no probe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "pram/machine.h"
+#include "runtime/fault_plan.h"
+
+namespace wfsort::runtime {
+
+enum class FaultAction : std::uint8_t { kKill, kSuspend, kRevive, kSleep };
+
+enum class TriggerKind : std::uint8_t {
+  kRound,          // `at` is a simulator round / native checkpoint count
+  kPhase2Entry,    // first write into the size region (+ `at` rounds)
+  kPhase3Entry,    // first write into the place region (+ `at` rounds)
+  kFirstWatClaim,  // first done-mark write into the WAT region (+ `at`)
+  kLastWatClaim,   // last done-mark write into the WAT region (+ `at`)
+  kInstallCas,     // the `at`-th successful child-pointer install CAS
+};
+
+struct FaultEvent {
+  FaultAction action = FaultAction::kKill;
+  TriggerKind trigger = TriggerKind::kRound;
+  std::uint32_t target = 0;     // ProcId (sim) / worker tid (native)
+  std::uint64_t at = 0;         // round / checkpoint; offset or index for
+                                // symbolic triggers (see TriggerKind)
+  std::uint64_t sleep_for = 0;  // kSleep: rounds (sim) / microseconds (native)
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+struct FaultScript {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  FaultScript& add(FaultEvent e) {
+    events.push_back(e);
+    return *this;
+  }
+
+  // True iff every trigger is concrete (kRound) — required before the script
+  // can be installed on either substrate or serialized into an artifact.
+  bool concrete() const;
+
+  // Processors named by a kill event (the script's intended casualties).
+  std::vector<std::uint32_t> killed_targets() const;
+
+  // Validate against a crew of `procs` processors: targets in range, every
+  // suspend matched by a later revive or kill of the same target (otherwise
+  // the run can never terminate and "the sort hung" would be the script's
+  // fault, not the algorithm's), and at least one processor is never killed.
+  // Returns a human-readable complaint or empty on success.
+  std::string validate(std::uint32_t procs) const;
+
+  bool operator==(const FaultScript&) const = default;
+};
+
+const char* fault_action_name(FaultAction a);
+bool parse_fault_action(const std::string& name, FaultAction* out);
+const char* trigger_kind_name(TriggerKind t);
+bool parse_trigger_kind(const std::string& name, TriggerKind* out);
+
+Json script_to_json(const FaultScript& script);
+// Returns false and fills *error on schema violations.
+bool script_from_json(const Json& j, FaultScript* out, std::string* error);
+
+// Compile a concrete script into a Machine round hook.  The returned hook
+// owns a copy of the script; install it with Machine::set_round_hook or
+// Machine::add_round_hook.
+pram::Machine::RoundHook make_round_hook(const FaultScript& script);
+
+// Program a FaultPlan from a concrete script (native substrate).  Only kill
+// and sleep events are representable; anything else WFSORT_CHECK-fails.  At
+// most one event per thread (a FaultPlan slot holds one fault).
+void program_plan(const FaultScript& script, FaultPlan& plan);
+
+}  // namespace wfsort::runtime

@@ -1,0 +1,103 @@
+#include "runtime/oracle.h"
+
+#include <cstdio>
+
+namespace wfsort::runtime {
+
+bool SortOracle::fail(const pram::Machine& m, std::string what) {
+  if (error_.empty()) {
+    error_ = std::move(what);
+    violation_round_ = m.current_round();
+  }
+  return false;
+}
+
+bool SortOracle::check(const pram::Machine& m) {
+  if (violated()) return false;
+  ++checks_run_;
+  const pram::Memory& mem = m.mem();
+  const auto n = static_cast<std::int64_t>(layout_.n);
+
+  if (!snapshotted_) {
+    keys0_ = mem.read_region(layout_.keys);
+    child_ = mem.read_region(layout_.child);
+    size_ = mem.read_region(layout_.size);
+    place_ = mem.read_region(layout_.place);
+    pdone_ = mem.read_region(layout_.pdone);
+    snapshotted_ = true;
+  }
+
+  // Records are never lost or duplicated: keys are read-only to all phases.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const pram::Word k = mem.peek(layout_.key_addr(i));
+    if (k != keys0_[static_cast<std::size_t>(i)]) {
+      return fail(m, "key of element " + std::to_string(i) + " changed from " +
+                         std::to_string(keys0_[static_cast<std::size_t>(i)]) + " to " +
+                         std::to_string(k));
+    }
+  }
+
+  // Write-once monotonicity of the per-element fields.
+  const auto monotone = [&](std::vector<pram::Word>& last, pram::Addr base,
+                            pram::Word initial, const char* field) {
+    for (std::size_t i = 0; i < last.size(); ++i) {
+      const pram::Word now = mem.peek(base + i);
+      if (last[i] != initial && now != last[i]) {
+        fail(m, std::string(field) + " cell " + std::to_string(i) + " changed from " +
+                    std::to_string(last[i]) + " to " + std::to_string(now) +
+                    " after being set");
+        return false;
+      }
+      last[i] = now;
+    }
+    return true;
+  };
+  if (!monotone(child_, layout_.child.base, pram::kEmpty, "child")) return false;
+  if (!monotone(size_, layout_.size.base, 0, "size")) return false;
+  if (!monotone(place_, layout_.place.base, 0, "place")) return false;
+  if (!monotone(pdone_, layout_.pdone.base, 0, "place-done")) return false;
+
+  // Tree well-formedness: every child pointer kEmpty or in range; nothing
+  // reachable from the root twice.
+  std::vector<std::uint8_t> seen(layout_.n, 0);
+  std::vector<pram::Word> stack;
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    const pram::Word e = stack.back();
+    stack.pop_back();
+    if (e == pram::kEmpty) continue;
+    if (e < 0 || e >= n) {
+      return fail(m, "child pointer out of range: " + std::to_string(e));
+    }
+    if (seen[static_cast<std::size_t>(e)]++ != 0) {
+      return fail(m, "element " + std::to_string(e) +
+                         " reachable twice (pivot tree is not a tree)");
+    }
+    stack.push_back(mem.peek(layout_.child_addr(e, sim::SortLayout::kSmall)));
+    stack.push_back(mem.peek(layout_.child_addr(e, sim::SortLayout::kBig)));
+  }
+
+  // Place uniqueness: the assigned places are distinct ranks in [1, N].
+  std::vector<std::uint8_t> used(layout_.n + 1, 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const pram::Word pl = mem.peek(layout_.place_addr(i));
+    if (pl == 0) continue;  // not placed yet
+    if (pl < 1 || pl > n) {
+      return fail(m, "place of element " + std::to_string(i) + " out of range: " +
+                         std::to_string(pl));
+    }
+    if (used[static_cast<std::size_t>(pl)]++ != 0) {
+      return fail(m, "place " + std::to_string(pl) + " assigned twice");
+    }
+  }
+  return true;
+}
+
+pram::Machine::RoundHook SortOracle::hook(std::uint64_t period) {
+  const std::uint64_t p = period == 0 ? 1 : period;
+  return [this, p](pram::Machine& m, std::uint64_t round) {
+    if (round % p == 0) check(m);
+  };
+}
+
+}  // namespace wfsort::runtime

@@ -1,0 +1,70 @@
+// Mid-run invariant oracle for simulated sorts.
+//
+// Post-run validation (pramsort/validate.h) can say a finished run was
+// wrong; it cannot catch corruption the moment it happens, and it never runs
+// at all when a bad schedule makes the sort hang.  The oracle checks the
+// algorithm's *always-true* invariants — the ones every lemma leans on —
+// from a round hook, every `period` rounds, while the adversary is still
+// mid-swing:
+//
+//   * records are never lost or duplicated: the keys region equals the
+//     input forever (no phase writes keys);
+//   * the pivot tree stays well-formed: child pointers are kEmpty or
+//     in-range, and no element is reachable twice from the root;
+//   * write-once monotonicity: a child pointer, size, place, or
+//     place-done flag that has left its initial value never changes again
+//     (sizes and places are written with their final values; done flags only
+//     go 0 -> 1);
+//   * place uniqueness: the nonzero places are distinct values in [1, N].
+//
+// The first violation is frozen (round + message) and later checks no-op,
+// so the scenario runner can abort the run and report exactly where the
+// state went bad.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pram/machine.h"
+#include "pramsort/layout.h"
+
+namespace wfsort::runtime {
+
+class SortOracle {
+ public:
+  // `root` is the element the pivot tree is rooted at (0 for the
+  // deterministic simulator sort).
+  SortOracle(sim::SortLayout layout, pram::Word root) : layout_(layout), root_(root) {}
+
+  // Run every invariant against the machine's current memory.  Returns
+  // false once a violation has been found (this call or an earlier one).
+  bool check(const pram::Machine& m);
+
+  bool violated() const { return !error_.empty(); }
+  const std::string& error() const { return error_; }
+  std::uint64_t violation_round() const { return violation_round_; }
+  std::uint64_t checks_run() const { return checks_run_; }
+
+  // A round hook that runs check() every `period` rounds (and on round 0,
+  // which snapshots the pristine state).  The oracle must outlive the run.
+  pram::Machine::RoundHook hook(std::uint64_t period);
+
+ private:
+  bool fail(const pram::Machine& m, std::string what);
+
+  sim::SortLayout layout_;
+  pram::Word root_;
+  std::string error_;
+  std::uint64_t violation_round_ = 0;
+  std::uint64_t checks_run_ = 0;
+
+  bool snapshotted_ = false;
+  std::vector<pram::Word> keys0_;   // the input, fixed forever
+  std::vector<pram::Word> child_;   // last seen; write-once after kEmpty
+  std::vector<pram::Word> size_;    // write-once after 0
+  std::vector<pram::Word> place_;   // write-once after 0
+  std::vector<pram::Word> pdone_;   // monotone 0 -> nonzero
+};
+
+}  // namespace wfsort::runtime

@@ -1,0 +1,61 @@
+#include "runtime/sched_family.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace wfsort::runtime {
+
+const char* sched_family_name(SchedFamily f) {
+  switch (f) {
+    case SchedFamily::kSync: return "sync";
+    case SchedFamily::kSerial: return "serial";
+    case SchedFamily::kRoundRobin: return "rr";
+    case SchedFamily::kRandomSubset: return "subset";
+    case SchedFamily::kHalfFreeze: return "freeze";
+  }
+  WFSORT_CHECK(false);
+}
+
+bool parse_sched_family(const std::string& name, SchedFamily* out) {
+  if (name == "sync") *out = SchedFamily::kSync;
+  else if (name == "serial") *out = SchedFamily::kSerial;
+  else if (name == "rr") *out = SchedFamily::kRoundRobin;
+  else if (name == "subset") *out = SchedFamily::kRandomSubset;
+  else if (name == "freeze") *out = SchedFamily::kHalfFreeze;
+  else return false;
+  return true;
+}
+
+std::unique_ptr<pram::Scheduler> make_scheduler(const SchedSpec& spec) {
+  switch (spec.family) {
+    case SchedFamily::kSync:
+      return std::make_unique<pram::SynchronousScheduler>();
+    case SchedFamily::kSerial:
+      return std::make_unique<pram::RoundRobinScheduler>(1);
+    case SchedFamily::kRoundRobin:
+      return std::make_unique<pram::RoundRobinScheduler>(
+          static_cast<std::uint32_t>(std::max<std::uint64_t>(1, spec.param)));
+    case SchedFamily::kRandomSubset: {
+      const double p = spec.param == 0 ? 0.5 : static_cast<double>(spec.param) / 100.0;
+      return std::make_unique<pram::RandomSubsetScheduler>(std::clamp(p, 0.01, 1.0),
+                                                           spec.seed);
+    }
+    case SchedFamily::kHalfFreeze:
+      return std::make_unique<pram::HalfFreezeScheduler>(
+          std::max<std::uint64_t>(1, spec.param));
+  }
+  WFSORT_CHECK(false);
+}
+
+std::vector<SchedSpec> all_sched_specs(std::uint32_t procs, std::uint64_t seed) {
+  return {
+      {SchedFamily::kSync, 0, seed},
+      {SchedFamily::kSerial, 0, seed},
+      {SchedFamily::kRoundRobin, std::max<std::uint64_t>(1, procs / 4), seed},
+      {SchedFamily::kRandomSubset, 50, seed},
+      {SchedFamily::kHalfFreeze, 8, seed},
+  };
+}
+
+}  // namespace wfsort::runtime

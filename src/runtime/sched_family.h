@@ -1,0 +1,46 @@
+// Scheduler families as data.
+//
+// Wait-freedom must hold under every schedule, so the adversary engine
+// sweeps all scheduler families rather than testing one.  A SchedSpec names
+// a family plus its parameter and seed — enough to reconstruct the exact
+// pram::Scheduler deterministically, which is what makes schedules
+// serializable into replay artifacts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pram/scheduler.h"
+
+namespace wfsort::runtime {
+
+enum class SchedFamily : std::uint8_t {
+  kSync,          // everyone steps every round (the paper's lemma schedule)
+  kSerial,        // round-robin width 1: the harshest legal adversary
+  kRoundRobin,    // param = width (processors stepping per round)
+  kRandomSubset,  // param/100 = per-round step probability, uses seed
+  kHalfFreeze,    // param = freeze period (rounds per frozen half)
+};
+
+struct SchedSpec {
+  SchedFamily family = SchedFamily::kSync;
+  std::uint64_t param = 0;  // family-specific; 0 picks a sensible default
+  std::uint64_t seed = 1;   // only kRandomSubset consumes it
+
+  bool operator==(const SchedSpec&) const = default;
+};
+
+// "sync" | "serial" | "rr" | "subset" | "freeze".
+const char* sched_family_name(SchedFamily f);
+// Inverse of sched_family_name; returns false on unknown names.
+bool parse_sched_family(const std::string& name, SchedFamily* out);
+
+std::unique_ptr<pram::Scheduler> make_scheduler(const SchedSpec& spec);
+
+// One representative spec per family, parameterized for `procs` processors —
+// the sweep the searching adversary and the certifier iterate.
+std::vector<SchedSpec> all_sched_specs(std::uint32_t procs, std::uint64_t seed);
+
+}  // namespace wfsort::runtime

@@ -15,6 +15,8 @@
 #include "pram/scheduler.h"
 #include "pramsort/driver.h"
 #include "pramsort/validate.h"
+#include "runtime/adversaries.h"
+#include "runtime/fault_script.h"
 
 namespace {
 
@@ -162,11 +164,8 @@ TEST(PramDetSort, HalfFreezeScheduleStillSorts) {
 TEST(PramDetSort, MassCrashSurvivorCompletes) {
   pram::Machine m;
   pram::SynchronousScheduler sched;
-  m.set_round_hook([](pram::Machine& mm, std::uint64_t round) {
-    if (round == 10) {
-      for (pram::ProcId p = 1; p < 32; ++p) mm.kill(p);
-    }
-  });
+  m.set_round_hook(wfsort::runtime::make_round_hook(
+      wfsort::runtime::single_survivor(/*round=*/10, /*survivor=*/0, /*procs=*/32)));
   auto keys = random_keys(64, 12);
   // Figure 6's placed-prune is unsound under crashes; the completion-flag
   // policy (default) must survive them (see DESIGN.md).
@@ -180,11 +179,8 @@ TEST(PramDetSort, CrashesAtEveryPhaseBoundaryRegion) {
   for (std::uint64_t crash_round : {2ULL, 8ULL, 20ULL, 40ULL, 80ULL}) {
     pram::Machine m;
     pram::SynchronousScheduler sched;
-    m.set_round_hook([crash_round](pram::Machine& mm, std::uint64_t round) {
-      if (round == crash_round) {
-        for (pram::ProcId p = 1; p < 16; ++p) mm.kill(p);
-      }
-    });
+    m.set_round_hook(wfsort::runtime::make_round_hook(
+        wfsort::runtime::fail_stop_at_round(crash_round, /*first=*/1, /*last=*/15)));
     auto keys = random_keys(64, crash_round);
     auto res = wfsort::sim::run_det_sort(m, keys, 16, sched,
                                          DetSortConfig{.prune = PlacePrune::kNone});
@@ -288,9 +284,8 @@ TEST(PramClassicSort, ComparableCostButDeadlocksOnCrash) {
   // Kill one processor: the barrier never releases and the run hits the cap.
   pram::Machine m_dead(pram::MachineOptions{.max_rounds = 5000});
   pram::SynchronousScheduler sched;
-  m_dead.set_round_hook([](pram::Machine& mm, std::uint64_t round) {
-    if (round == 10) mm.kill(3);
-  });
+  m_dead.set_round_hook(wfsort::runtime::make_round_hook(
+      wfsort::runtime::fail_stop_at_round(/*round=*/10, /*first=*/3, /*last=*/3)));
   auto dead = wfsort::sim::run_classic_sort(m_dead, keys, 128, sched);
   EXPECT_TRUE(dead.run.hit_round_cap);
   EXPECT_FALSE(dead.sorted);
@@ -358,11 +353,8 @@ TEST(PramLcSort, SequentialAdversaryStillSorts) {
 TEST(PramLcSort, MassCrashSurvivorCompletes) {
   pram::Machine m;
   pram::SynchronousScheduler sched;
-  m.set_round_hook([](pram::Machine& mm, std::uint64_t round) {
-    if (round == 15) {
-      for (pram::ProcId p = 1; p < 64; ++p) mm.kill(p);
-    }
-  });
+  m.set_round_hook(wfsort::runtime::make_round_hook(
+      wfsort::runtime::single_survivor(/*round=*/15, /*survivor=*/0, /*procs=*/64)));
   auto keys = random_keys(64, 19);
   auto res = wfsort::sim::run_lc_sort(m, keys, 64, sched);
   EXPECT_TRUE(res.run.all_finished);

@@ -117,6 +117,61 @@ TEST(SortSession, LowContentionVariantUnderChurn) {
   expect_sorted_permutation(orig, v);
 }
 
+TEST(SortSession, ReapAllMidFlightThenWaitCallerFinishes) {
+  // Workers get real work done before every one of them is reaped; wait()
+  // must finish the remainder on the calling thread and deliver a complete
+  // result regardless of how much the reaped workers left behind.
+  auto v = random_data(200000, 10);
+  auto orig = v;
+  wfsort::SortSession<std::uint64_t> session(std::span<std::uint64_t>(v),
+                                             Options{.threads = 4});
+  std::vector<std::uint32_t> tids;
+  for (int i = 0; i < 4; ++i) tids.push_back(session.spawn_worker());
+  std::this_thread::sleep_for(std::chrono::microseconds(300));
+  for (const auto tid : tids) session.reap_worker(tid);
+  session.wait();
+  EXPECT_TRUE(session.finished());
+  expect_sorted_permutation(orig, v);
+}
+
+TEST(SortSession, WorkerIdsStayMonotoneAcrossReaps) {
+  // Ids are never reused: a reaped worker's slot (its fault-plan entry and
+  // WAT spread position) stays retired, so later spawns must keep counting
+  // upward.
+  auto v = random_data(50000, 11);
+  auto orig = v;
+  wfsort::SortSession<std::uint64_t> session(std::span<std::uint64_t>(v),
+                                             Options{.threads = 4});
+  std::vector<std::uint32_t> ids;
+  for (int round = 0; round < 6; ++round) {
+    const auto tid = session.spawn_worker();
+    if (!ids.empty()) {
+      EXPECT_GT(tid, ids.back());
+    }
+    ids.push_back(tid);
+    if (round % 2 == 0) session.reap_worker(tid);
+  }
+  session.wait();
+  expect_sorted_permutation(orig, v);
+}
+
+TEST(SortSession, DestructorWhileWorkersStillRunning) {
+  // Destroying the session mid-sort — workers actively in their phases,
+  // one already reaped — must join everyone and deliver the result.
+  auto v = random_data(300000, 12);
+  auto orig = v;
+  {
+    wfsort::SortSession<std::uint64_t> session(std::span<std::uint64_t>(v),
+                                               Options{.threads = 4});
+    session.spawn_worker();
+    const auto b = session.spawn_worker();
+    session.spawn_worker();
+    session.reap_worker(b);
+    // no wait(): the destructor races the workers' progress
+  }
+  expect_sorted_permutation(orig, v);
+}
+
 TEST(SortSession, TwoConcurrentSessionsAreIndependent) {
   auto a = random_data(20000, 8);
   auto b = random_data(15000, 9);

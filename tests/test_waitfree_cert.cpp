@@ -1,0 +1,147 @@
+// Numeric wait-freedom certification (Theorem 1's promise, measured).
+//
+// The paper's claim is universally quantified: every processor that keeps
+// taking steps finishes the sort within a bounded number of ITS OWN steps,
+// no matter what the schedule does and no matter which other processors
+// crash, stall, or revive.  These tests assert that bound numerically: for
+// N in {256, 1024} and a crew of 16, every scheduler family crossed with
+// every canned adversary family must leave every finishing processor at or
+// under a certified own-step budget.
+//
+// The budget is C * N * ceil(log2 N) with C = 14, calibrated empirically:
+// the worst measured case is the lone-survivor run, where one processor
+// inherits the entire job (N=1024: 41179 own steps, N=256: 8503), and the
+// budget keeps ~3.5x headroom over it.  A faultless 16-processor run uses
+// under 4000 steps per processor at N=1024, so a regression that breaks the
+// own-step bound (e.g. a helping loop that degrades to spinning) trips this
+// long before it becomes a hang.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/adversaries.h"
+#include "runtime/scenario.h"
+#include "runtime/sched_family.h"
+#include "runtime/search.h"
+
+namespace {
+
+namespace rt = wfsort::runtime;
+
+std::uint64_t ceil_log2(std::uint64_t n) {
+  return std::bit_width(n - 1);
+}
+
+std::uint64_t certified_bound(std::uint64_t n) {
+  return 14 * n * ceil_log2(n);
+}
+
+struct AdversaryCase {
+  const char* name;
+  rt::FaultScript script;
+};
+
+// The canned adversary families from DESIGN.md, sized for a crew of 16.
+std::vector<AdversaryCase> adversary_cases(std::uint32_t procs) {
+  return {
+      {"faultless", rt::FaultScript{}},
+      {"fail-stop-half", rt::fail_stop_at_round(64, procs / 2, procs - 1)},
+      {"single-survivor", rt::single_survivor(128, 0, procs)},
+      {"crash-and-revive-half", rt::crash_and_revive(64, 192, procs / 2, procs - 1)},
+      {"staggered-kills", rt::staggered_kills(32, 48, procs, 4)},
+  };
+}
+
+void certify(std::uint64_t n) {
+  constexpr std::uint32_t kProcs = 16;
+  const std::uint64_t bound = certified_bound(n);
+
+  rt::ScenarioSpec spec;
+  spec.substrate = rt::Substrate::kSim;
+  spec.n = n;
+  spec.procs = kProcs;
+  spec.variant = rt::SortKind::kDet;
+  spec.own_step_bound = bound;
+
+  for (const rt::SchedSpec& sched : rt::all_sched_specs(kProcs, 0xce27u)) {
+    for (const AdversaryCase& adv : adversary_cases(kProcs)) {
+      spec.sched = sched;
+      spec.script = adv.script;
+      ASSERT_TRUE(spec.script.validate(kProcs).empty());
+      const rt::ScenarioResult res = rt::run_scenario(spec);
+      EXPECT_TRUE(res.ok())
+          << "n=" << n << " sched=" << rt::sched_family_name(sched.family)
+          << " adversary=" << adv.name << " failed ("
+          << rt::failure_kind_name(res.failure) << "): " << res.detail;
+      EXPECT_GT(res.max_finish_steps, 0u)
+          << "n=" << n << " sched=" << rt::sched_family_name(sched.family)
+          << " adversary=" << adv.name << ": nobody finished";
+      EXPECT_LE(res.max_finish_steps, bound);
+    }
+  }
+}
+
+TEST(WaitFreeCert, EveryScheduleAndAdversaryAtN256) {
+  certify(256);
+}
+
+TEST(WaitFreeCert, EveryScheduleAndAdversaryAtN1024) {
+  certify(1024);
+}
+
+// The lone-survivor scenario is the bound's worst case: one processor must
+// absorb the whole job.  Pin it explicitly so the calibration (and any
+// future constant change) is anchored to the scenario that actually
+// dominates.
+TEST(WaitFreeCert, LoneSurvivorIsWithinBoundAndDominatesFaultless) {
+  rt::ScenarioSpec spec;
+  spec.n = 1024;
+  spec.procs = 16;
+  spec.own_step_bound = certified_bound(spec.n);
+
+  const rt::ScenarioResult faultless = rt::run_scenario(spec);
+  ASSERT_TRUE(faultless.ok()) << faultless.detail;
+
+  spec.script = rt::single_survivor(4, 3, spec.procs);
+  const rt::ScenarioResult lone = rt::run_scenario(spec);
+  ASSERT_TRUE(lone.ok()) << rt::failure_kind_name(lone.failure) << ": " << lone.detail;
+  // The survivor had to do (nearly) everything alone.
+  EXPECT_GT(lone.max_finish_steps, faultless.max_finish_steps);
+  EXPECT_LE(lone.max_finish_steps, certified_bound(spec.n));
+}
+
+// The bound is meaningful only if it is falsifiable: a bound below the
+// faultless per-processor cost must be reported as an own-step violation,
+// not silently accepted.
+TEST(WaitFreeCert, BoundIsFalsifiable) {
+  rt::ScenarioSpec spec;
+  spec.n = 256;
+  spec.procs = 16;
+  spec.own_step_bound = 16;  // far below any real run's per-proc cost
+  const rt::ScenarioResult res = rt::run_scenario(spec);
+  EXPECT_EQ(res.failure, rt::FailureKind::kOwnStep);
+}
+
+// Native engine: the same numeric promise, measured in checkpoints.  Real
+// threads are not deterministic, so this certifies the configuration rather
+// than one interleaving; the bound uses the same calibrated form.
+TEST(WaitFreeCert, NativeCheckpointBoundHolds) {
+  rt::ScenarioSpec spec;
+  spec.substrate = rt::Substrate::kNative;
+  spec.n = 4096;
+  spec.procs = 8;
+  spec.own_step_bound = certified_bound(spec.n);
+  const rt::ScenarioResult faultless = rt::run_scenario(spec);
+  EXPECT_TRUE(faultless.ok()) << faultless.detail;
+
+  spec.script = rt::fail_stop_at_round(32, 4, 7);
+  const rt::ScenarioResult faulty = rt::run_scenario(spec);
+  EXPECT_TRUE(faulty.ok())
+      << rt::failure_kind_name(faulty.failure) << ": " << faulty.detail;
+  EXPECT_GT(faulty.max_finish_steps, 0u);
+}
+
+}  // namespace

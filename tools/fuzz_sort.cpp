@@ -7,6 +7,11 @@
 //     least one worker survives, and untouched otherwise;
 //   * simulator sorter: random (n, procs, variant, scheduler, memory
 //     model); deterministic runs get full structural validation.
+//   * fault scripts: a random FaultScript (kills, stalls, suspend/revive
+//     pairs) against a random scenario on either substrate, judged by the
+//     scenario runner (mid-run oracle + hang detection + full validation).
+//     A failure is written to --artifact as a replay artifact, so
+//     `wfsort replay <file>` reproduces exactly what the fuzzer saw.
 //
 //   fuzz_sort --iters=200 --seed=1
 #include <algorithm>
@@ -23,6 +28,8 @@
 #include "pram/scheduler.h"
 #include "pramsort/driver.h"
 #include "pramsort/validate.h"
+#include "runtime/scenario.h"
+#include "runtime/search.h"
 
 namespace {
 
@@ -135,12 +142,66 @@ bool fuzz_sim_once(Rng& rng, std::uint64_t iter) {
   return true;
 }
 
+bool fuzz_script_once(Rng& rng, std::uint64_t iter, const std::string& artifact_path) {
+  namespace rt = wfsort::runtime;
+  rt::ScenarioSpec spec;
+  spec.substrate = rng.below(4) == 0 ? rt::Substrate::kNative : rt::Substrate::kSim;
+  const bool sim = spec.substrate == rt::Substrate::kSim;
+  spec.n = sim ? 4 + rng.below(120) : 2 + rng.below(2000);
+  spec.dist = random_dist(rng);
+  spec.workload_seed = rng.next();
+  spec.procs = static_cast<std::uint32_t>(2 + rng.below(sim ? 14 : 6));
+  spec.variant = rng.coin() ? rt::SortKind::kDet : rt::SortKind::kLc;
+  // PlacePrune::kYes/kPlaced is documented-unsound under faults; the sound
+  // policies must survive anything the script throws at them.
+  spec.prune = rng.coin() ? wfsort::sim::PlacePrune::kCompleted
+                          : wfsort::sim::PlacePrune::kNone;
+  spec.random_first = rng.coin();
+  spec.machine_seed = rng.next();
+  if (sim && rng.below(4) == 0) spec.memory = pram::MemoryModel::kStall;
+  const auto scheds = rt::all_sched_specs(spec.procs, rng.next());
+  spec.sched = scheds[rng.below(scheds.size())];
+  spec.oracle_period = sim && spec.variant == rt::SortKind::kDet ? 32 : 0;
+
+  const std::uint64_t horizon = sim ? spec.n * 16 : std::max<std::uint64_t>(spec.n, 64);
+  spec.script = rt::random_script(spec.procs, horizon, rng);
+  if (!sim) {
+    // The cooperative native plan cannot express suspend/revive; keep the
+    // representable events.
+    std::vector<rt::FaultEvent> kept;
+    for (const rt::FaultEvent& e : spec.script.events) {
+      if (e.action == rt::FaultAction::kKill || e.action == rt::FaultAction::kSleep) {
+        kept.push_back(e);
+      }
+    }
+    spec.script.events = std::move(kept);
+  }
+  if (!spec.script.validate(spec.procs).empty()) spec.script = rt::FaultScript{};
+
+  const rt::ScenarioResult res = rt::run_scenario(spec);
+  if (res.ok()) return true;
+
+  rt::ReplayArtifact artifact{spec, res.failure, res.detail};
+  std::printf("iter %llu: SCENARIO FAILED (%s): %s\n",
+              static_cast<unsigned long long>(iter),
+              rt::failure_kind_name(res.failure), res.detail.c_str());
+  if (rt::write_artifact(artifact, artifact_path)) {
+    std::printf("  repro written to %s — re-run with: wfsort replay %s\n",
+                artifact_path.c_str(), artifact_path.c_str());
+  } else {
+    std::printf("  (could not write %s)\n", artifact_path.c_str());
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   wfsort::CliFlags flags("fuzz_sort — randomized full-stack validation loop");
-  flags.add_u64("iters", 100, "fuzz iterations (half native, half simulator)");
+  flags.add_u64("iters", 100, "fuzz iterations (native / simulator / fault scripts)");
   flags.add_u64("seed", 12345, "master seed");
+  flags.add_string("artifact", "fuzz-repro.json",
+                   "where to write the replay artifact of a failing scenario");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     return 2;
@@ -153,7 +214,12 @@ int main(int argc, char** argv) {
   Rng rng(flags.u64("seed"));
   const std::uint64_t iters = flags.u64("iters");
   for (std::uint64_t i = 0; i < iters; ++i) {
-    const bool ok = (i % 2 == 0) ? fuzz_native_once(rng, i) : fuzz_sim_once(rng, i);
+    bool ok = true;
+    switch (i % 3) {
+      case 0: ok = fuzz_native_once(rng, i); break;
+      case 1: ok = fuzz_sim_once(rng, i); break;
+      default: ok = fuzz_script_once(rng, i, flags.str("artifact")); break;
+    }
     if (!ok) {
       std::printf("FUZZ FAILURE at iteration %llu (seed %llu)\n",
                   static_cast<unsigned long long>(i),

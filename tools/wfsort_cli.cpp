@@ -3,11 +3,16 @@
 //   wfsort sort --n=1000000 --threads=8 --variant=lc --dist=uniform
 //   wfsort sort file.txt                 # sort whitespace-separated integers
 //   wfsort sim  --n=256 --procs=256 --variant=det --schedule=serial --trace=20
+//   wfsort hunt --n=256 --procs=16 --prune=placed --out=repro.json
+//   wfsort replay repro.json
 //
 // `sort` runs the native wait-free sorter (reads integers from positional
 // files, or generates --n keys); `sim` runs the chosen variant on the CRCW
 // PRAM simulator and prints rounds, contention and (optionally) the tail of
-// the execution trace.
+// the execution trace.  `hunt` unleashes the searching adversary — fault
+// scripts swept across scheduler families — and writes a replay artifact if
+// any scenario fails; `replay` re-executes such an artifact and reports
+// whether the failure reproduces (see docs/fault_model.md).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -23,19 +28,20 @@
 #include "pram/trace.h"
 #include "pramsort/driver.h"
 #include "pramsort/validate.h"
+#include "runtime/scenario.h"
+#include "runtime/search.h"
 
 namespace {
 
 wfsort::exp::Dist parse_dist(const std::string& s) {
-  if (s == "uniform") return wfsort::exp::Dist::kUniform;
-  if (s == "shuffled") return wfsort::exp::Dist::kShuffled;
-  if (s == "sorted") return wfsort::exp::Dist::kSorted;
-  if (s == "reversed") return wfsort::exp::Dist::kReversed;
-  if (s == "few") return wfsort::exp::Dist::kFewDistinct;
-  if (s == "pipe") return wfsort::exp::Dist::kOrganPipe;
-  std::fprintf(stderr, "unknown --dist '%s' (uniform|shuffled|sorted|reversed|few|pipe)\n",
-               s.c_str());
-  std::exit(2);
+  wfsort::exp::Dist d{};
+  if (!wfsort::exp::parse_dist(s, &d)) {
+    std::fprintf(stderr,
+                 "unknown --dist '%s' (uniform|shuffled|sorted|reversed|few|pipe)\n",
+                 s.c_str());
+    std::exit(2);
+  }
+  return d;
 }
 
 int run_sort(const wfsort::CliFlags& flags) {
@@ -149,12 +155,104 @@ int run_sim(const wfsort::CliFlags& flags) {
   return sorted ? 0 : 1;
 }
 
+// Base scenario shared by hunt and (implicitly) the artifacts it writes.
+wfsort::runtime::ScenarioSpec spec_from_flags(const wfsort::CliFlags& flags) {
+  wfsort::runtime::ScenarioSpec spec;
+  spec.substrate = flags.str("substrate") == "native"
+                       ? wfsort::runtime::Substrate::kNative
+                       : wfsort::runtime::Substrate::kSim;
+  spec.n = flags.u64("n");
+  spec.dist = parse_dist(flags.str("dist"));
+  spec.workload_seed = flags.u64("seed");
+  spec.procs = static_cast<std::uint32_t>(
+      flags.u64(spec.substrate == wfsort::runtime::Substrate::kSim ? "procs" : "threads"));
+  spec.variant = flags.str("variant") == "lc" ? wfsort::runtime::SortKind::kLc
+                                              : wfsort::runtime::SortKind::kDet;
+  const std::string prune = flags.str("prune");
+  if (prune == "none") spec.prune = wfsort::sim::PlacePrune::kNone;
+  else if (prune == "placed") spec.prune = wfsort::sim::PlacePrune::kPlaced;
+  else if (prune == "completed") spec.prune = wfsort::sim::PlacePrune::kCompleted;
+  else {
+    std::fprintf(stderr, "unknown --prune '%s' (none|placed|completed)\n", prune.c_str());
+    std::exit(2);
+  }
+  if (flags.str("memory") == "stall") spec.memory = pram::MemoryModel::kStall;
+  return spec;
+}
+
+int run_hunt(const wfsort::CliFlags& flags) {
+  const wfsort::runtime::ScenarioSpec spec = spec_from_flags(flags);
+  wfsort::runtime::SearchOptions sopts;
+  sopts.max_runs = flags.u64("budget");
+  sopts.seed = flags.u64("seed") * 0x9e3779b97f4a7c15ULL + 1;
+
+  wfsort::runtime::ReplayArtifact artifact;
+  wfsort::runtime::SearchStats stats;
+  const bool found = wfsort::runtime::search_for_violation(spec, sopts, &artifact, &stats);
+  std::fprintf(stderr, "hunt: %llu runs, %llu probes, %llu scripts\n",
+               static_cast<unsigned long long>(stats.runs),
+               static_cast<unsigned long long>(stats.probes),
+               static_cast<unsigned long long>(stats.scripts));
+  if (!found) {
+    std::fprintf(stderr, "no violation found within the budget\n");
+    return 0;
+  }
+  std::fprintf(stderr, "VIOLATION (%s): %s\n",
+               wfsort::runtime::failure_kind_name(artifact.failure),
+               artifact.detail.c_str());
+  if (flags.flag("shrink")) {
+    artifact = wfsort::runtime::shrink_artifact(artifact);
+    std::fprintf(stderr, "shrunk to %zu event(s)\n", artifact.spec.script.events.size());
+  }
+  const std::string out = flags.str("out");
+  if (!wfsort::runtime::write_artifact(artifact, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "repro written to %s — re-run with: wfsort replay %s\n",
+               out.c_str(), out.c_str());
+  return 1;
+}
+
+int run_replay(const wfsort::CliFlags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "usage: wfsort replay <artifact.json>\n");
+    return 2;
+  }
+  const std::string& path = flags.positional()[1];
+  wfsort::runtime::ReplayArtifact artifact;
+  std::string error;
+  if (!wfsort::runtime::load_artifact(path, &artifact, &error)) {
+    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "replaying %s (recorded failure: %s)\n", path.c_str(),
+               wfsort::runtime::failure_kind_name(artifact.failure));
+  const wfsort::runtime::ReplayOutcome outcome = wfsort::runtime::replay(artifact);
+  std::fprintf(stderr, "result: %s%s%s\n",
+               wfsort::runtime::failure_kind_name(outcome.result.failure),
+               outcome.result.detail.empty() ? "" : " — ",
+               outcome.result.detail.c_str());
+  if (outcome.reproduced) {
+    std::fprintf(stderr, "reproduced%s\n", outcome.exact ? " (identical detail)" : "");
+    return 1;  // the bug is (still) there
+  }
+  if (artifact.spec.substrate == wfsort::runtime::Substrate::kNative) {
+    std::fprintf(stderr,
+                 "did not reproduce — native replays re-run the configuration, not the "
+                 "interleaving; try several times\n");
+  } else {
+    std::fprintf(stderr, "did not reproduce\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   wfsort::CliFlags flags(
       "wfsort — wait-free sorting (Shavit/Upfal/Zemach PODC'97)\n"
-      "usage: wfsort <sort|sim> [flags] [files...]");
+      "usage: wfsort <sort|sim|hunt|replay> [flags] [files...]");
   flags.add_u64("n", 100000, "number of keys to generate when no input file is given");
   flags.add_u64("threads", 4, "native worker threads (sort mode)");
   flags.add_u64("procs", 256, "virtual processors (sim mode)");
@@ -165,6 +263,11 @@ int main(int argc, char** argv) {
   flags.add_string("schedule", "sync", "sim: sync|serial|subset|freeze");
   flags.add_string("memory", "crcw", "sim: crcw | stall");
   flags.add_bool("print", false, "sort: print the sorted keys to stdout");
+  flags.add_string("substrate", "sim", "hunt: sim | native");
+  flags.add_string("prune", "completed", "hunt: phase-3 pruning (none|placed|completed)");
+  flags.add_u64("budget", 400, "hunt: max scenario executions");
+  flags.add_string("out", "wfsort-repro.json", "hunt: replay artifact path");
+  flags.add_bool("shrink", true, "hunt: delta-debug the failing script before writing");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
@@ -178,6 +281,8 @@ int main(int argc, char** argv) {
   const std::string& mode = flags.positional().front();
   if (mode == "sort") return run_sort(flags);
   if (mode == "sim") return run_sim(flags);
-  std::fprintf(stderr, "unknown mode '%s' (sort|sim)\n", mode.c_str());
+  if (mode == "hunt") return run_hunt(flags);
+  if (mode == "replay") return run_replay(flags);
+  std::fprintf(stderr, "unknown mode '%s' (sort|sim|hunt|replay)\n", mode.c_str());
   return 2;
 }
