@@ -106,17 +106,24 @@ void BM_BitonicThreaded(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(BM_StdSort)->Arg(1 << 14)->Arg(1 << 16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StdSort)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SequentialQuicksort)->Arg(1 << 14)->Arg(1 << 16)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_WaitFreeSortDet)
     ->Args({1 << 14, 1})
     ->Args({1 << 14, 4})
     ->Args({1 << 16, 1})
     ->Args({1 << 16, 4})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4})
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.2);
 BENCHMARK(BM_WaitFreeSortLc)
     ->Args({1 << 14, 4})
+    ->Args({1 << 20, 4})
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.2);
 BENCHMARK(BM_LockParallelQuicksort)

@@ -7,6 +7,17 @@
 // processors working on the same element follow the same path, exactly one
 // CAS per element ever succeeds, and a processor that finds its own element
 // already installed simply stops.
+//
+// Two hot-path refinements over the literal Figure 4 (semantics unchanged,
+// iteration counts identical):
+//   * the child slot is LOADED before any CAS is attempted, so occupied
+//     slots — the overwhelmingly common case on a deep descent — cost a
+//     shared cache-line read instead of an RMW bus transaction;
+//   * build_batch() runs several independent descents interleaved, one step
+//     each in element order, prefetching every descent's next node record.
+//     Descents of distinct elements never depend on each other, so this
+//     only overlaps their cache misses (memory-level parallelism); each
+//     element still walks exactly the path Figure 4 assigns it.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +28,21 @@ namespace wfsort::detail {
 
 struct BuildResult {
   std::uint64_t iterations = 0;    // trips around the Figure-4 loop
-  std::uint64_t cas_failures = 0;  // CAS attempts lost to another processor
+  std::uint64_t cas_failures = 0;  // CAS attempts / probes lost to another processor
+};
+
+// Per-worker phase-1 accumulator: engine flushes it into the shared stats
+// atomics once per phase instead of paying three fetch_adds per element.
+struct BuildTally {
+  std::uint64_t iterations = 0;
+  std::uint64_t cas_failures = 0;
+  std::uint64_t max_iterations = 0;
+
+  void add(const BuildResult& r) {
+    iterations += r.iterations;
+    cas_failures += r.cas_failures;
+    if (r.iterations > max_iterations) max_iterations = r.iterations;
+  }
 };
 
 // Insert element `i` starting the descent at `start_parent` (the pivot-tree
@@ -33,14 +58,17 @@ BuildResult build_from(TreeState<Key, Compare>& st, std::int64_t i,
     WFSORT_DCHECK(r.iterations <= static_cast<std::uint64_t>(st.n()));  // Lemma 2.4
     const Side side = st.less(i, parent) ? kSmall : kBig;
     auto& slot = st.child_slot(parent, side);
-    std::int64_t expected = kNoIdx;
-    if (slot.compare_exchange_strong(expected, i, std::memory_order_acq_rel,
-                                     std::memory_order_acquire)) {
-      return r;
+    // Probe first (paper line 15 re-read, hoisted): only an EMPTY slot is
+    // worth an RMW.
+    std::int64_t c = slot.load(std::memory_order_acquire);
+    if (c == kNoIdx) {
+      std::int64_t expected = kNoIdx;
+      if (slot.compare_exchange_strong(expected, i, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        return r;
+      }
+      c = expected;  // some processor won the slot concurrently
     }
-    // Re-read (paper line 15): either some processor installed i here
-    // concurrently, or we must descend to the occupant.
-    const std::int64_t c = slot.load(std::memory_order_acquire);
     WFSORT_DCHECK(c != kNoIdx);
     if (c == i) return r;
     ++r.cas_failures;
@@ -55,6 +83,96 @@ BuildResult build_one(TreeState<Key, Compare>& st, std::int64_t i) {
   const std::int64_t r0 = st.root_idx();
   if (i == r0) return {};
   return build_from(st, i, r0);
+}
+
+// Insert elements [lo, hi) — one WAT batch — with up to kBuildLanes descents
+// in flight, stepped round-robin.  When two in-flight elements race for the
+// same empty slot, the larger stalls until the smaller has had its CAS
+// (smaller_rival below), so a single worker produces exactly the tree the
+// batch would have produced sequentially — in particular the sorted-input
+// chain of Lemma 2.4's worst case survives batching.  `keep_going` is
+// polled once per completed element (the engine's fault checkpoint
+// granularity); returns false if the worker was aborted.
+inline constexpr int kBuildLanes = 8;
+
+template <typename Key, typename Compare, typename Check>
+bool build_batch(TreeState<Key, Compare>& st, std::int64_t lo, std::int64_t hi,
+                 BuildTally& tally, Check&& keep_going) {
+  struct Lane {
+    std::int64_t elem;
+    std::int64_t parent;
+    std::uint64_t iterations;
+  };
+  Lane lanes[kBuildLanes];
+  int active = 0;
+  const std::int64_t root = st.root_idx();
+  std::int64_t next = lo;
+
+  const auto refill = [&](int slot) {
+    while (next < hi) {
+      const std::int64_t i = next++;
+      if (i == root) continue;  // the root is never inserted
+      lanes[slot] = {i, root, 0};
+      st.prefetch(root);
+      return true;
+    }
+    return false;
+  };
+
+  for (int l = 0; l < kBuildLanes; ++l) {
+    if (!refill(active)) break;
+    ++active;
+  }
+
+  // True if some other in-flight lane holds a smaller element aimed at the
+  // same empty slot.  The smaller element must win the slot (as it would
+  // have sequentially), so the caller stalls this lane for the round.  Any
+  // two in-flight competitors for one slot are necessarily at the same
+  // parent already — a descent step always moves exactly one level down, so
+  // the smaller element (started no later) can never be shallower.
+  const auto smaller_rival = [&](int l, const Lane& ln, Side side) {
+    for (int k = 0; k < active; ++k) {
+      if (k == l || lanes[k].elem >= ln.elem || lanes[k].parent != ln.parent) continue;
+      if ((st.less(lanes[k].elem, ln.parent) ? kSmall : kBig) == side) return true;
+    }
+    return false;
+  };
+
+  while (active > 0) {
+    for (int l = 0; l < active;) {
+      Lane& ln = lanes[l];
+      const Side side = st.less(ln.elem, ln.parent) ? kSmall : kBig;
+      auto& slot = st.child_slot(ln.parent, side);
+      std::int64_t c = slot.load(std::memory_order_acquire);
+      bool installed = false;
+      if (c == kNoIdx) {
+        if (smaller_rival(l, ln, side)) {
+          ++l;  // stall: re-probe next round, after the rival's CAS
+          continue;
+        }
+        std::int64_t expected = kNoIdx;
+        installed = slot.compare_exchange_strong(expected, ln.elem,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire);
+        if (!installed) c = expected;
+      }
+      ++ln.iterations;
+      WFSORT_DCHECK(ln.iterations <= static_cast<std::uint64_t>(st.n()));
+      if (installed || c == ln.elem) {
+        tally.add({ln.iterations, 0});
+        if (!keep_going()) return false;
+        if (!refill(l)) {
+          lanes[l] = lanes[--active];  // retire the lane
+        }
+        continue;  // new occupant of slot l steps next round
+      }
+      ++tally.cas_failures;
+      ln.parent = c;
+      st.prefetch(c);  // overlap this miss with the other lanes' steps
+      ++l;
+    }
+  }
+  return true;
 }
 
 }  // namespace wfsort::detail

@@ -7,9 +7,22 @@
 // operational.  Workers that crash (fault injection returns false) leave
 // only idempotent or write-once state behind and never endanger the rest.
 //
-// finalize() copies the assembled output back into the caller's buffer; it
-// must be called after the worker threads are joined and at least one
-// completed.
+// Hot-path structure (docs/native_engine.md):
+//   * the pivot tree lives in packed per-node records (TreeState), one
+//     cache line per visit instead of four parallel arrays;
+//   * phase-1 work is claimed in batches of Options::wat_batch adjacent
+//     jobs per WAT traversal (the paper's K), built with interleaved,
+//     prefetched descents (build_batch);
+//   * phase-3 subtrees at or below Options::seq_cutoff are emitted by one
+//     sequential in-order walk (place_block);
+//   * per-element statistics accumulate in per-worker tallies and are
+//     flushed into the shared atomics once per phase;
+//   * workers that finish all phases help copy the assembled output back
+//     into the caller's buffer in parallel chunks — safe because keys were
+//     copied into the node records up front, so nobody reads the caller's
+//     buffer after construction.  finalize() only sweeps chunks no worker
+//     got to (it must still be called after the workers are joined and at
+//     least one completed).
 #pragma once
 
 #include <atomic>
@@ -68,17 +81,35 @@ class Engine {
   // pre-sorting and no contention worth spreading.
   static constexpr std::uint64_t kLcMinN = 64;
 
-  Engine(std::span<Key> data, Compare cmp, const Options& opts)
+  // Output copy-back is chunked so finished workers can share it; the
+  // per-chunk done flags make finalize()'s sweep exact.
+  static constexpr std::uint64_t kCopyChunk = 8192;
+
+  // `assemble_into_data` controls whether workers (and finalize) write the
+  // sorted output back into `data`; sort_permutation turns it off because
+  // its input must stay untouched.
+  Engine(std::span<Key> data, Compare cmp, const Options& opts,
+         bool assemble_into_data = true)
       : data_(data),
         opts_(opts),
         nominal_threads_(opts.resolved_threads()),
+        wat_batch_(std::max<std::uint64_t>(1, opts.wat_batch)),
+        seq_cutoff_(opts.seq_cutoff),
+        copy_back_(assemble_into_data),
         st_(std::span<const Key>(data.data(), data.size()), cmp),
-        wat_(data.size() < 2 ? 1 : data.size()) {
+        wat_(batch_jobs(data.size() < 2 ? 1 : data.size(), wat_batch_)) {
     effective_variant_ = opts.variant;
     if (effective_variant_ == Variant::kLowContention && data.size() < kLcMinN) {
       effective_variant_ = Variant::kDeterministic;
     }
     if (effective_variant_ == Variant::kLowContention) init_lc();
+    if (copy_back_ && data_.size() > 1) {
+      copy_chunks_ = (data_.size() + kCopyChunk - 1) / kCopyChunk;
+      copy_done_ = std::make_unique<std::atomic<std::uint8_t>[]>(copy_chunks_);
+      for (std::uint64_t c = 0; c < copy_chunks_; ++c) {
+        copy_done_[c].store(0, std::memory_order_relaxed);
+      }
+    }
   }
 
   Variant effective_variant() const { return effective_variant_; }
@@ -93,21 +124,28 @@ class Engine {
     const bool ok = effective_variant_ == Variant::kDeterministic
                         ? run_deterministic(tid, plan)
                         : run_low_contention(tid, plan);
-    if (!ok) crashed_.fetch_add(1, std::memory_order_acq_rel);
-    return ok;
+    if (!ok) {
+      crashed_.fetch_add(1, std::memory_order_acq_rel);
+      return false;
+    }
+    // This worker placed or pruned-as-placed every element, so the output
+    // is fully assembled: help copy it back while stragglers keep going
+    // (they only touch the node records, never the caller's buffer).
+    assist_copy_back();
+    return true;
   }
 
   // True once some worker has completed all phases (result fully assembled).
   bool result_ready() const { return completed_.load(std::memory_order_acquire) > 0; }
 
-  // Copy the sorted output into the caller's buffer.  Call with all workers
-  // joined (or known crashed) and result_ready().
+  // Deliver any output chunks the workers did not already copy back.  Call
+  // with all workers joined (or known crashed) and result_ready().
   void finalize() {
     if (data_.size() <= 1) return;
     WFSORT_CHECK(result_ready());
     WFSORT_DCHECK(st_.all_placed());
-    for (std::size_t i = 0; i < data_.size(); ++i) {
-      data_[i] = st_.out[i].load(std::memory_order_relaxed);
+    for (std::uint64_t c = 0; c < copy_chunks_; ++c) {
+      if (copy_done_[c].load(std::memory_order_acquire) == 0) copy_chunk(c);
     }
     measured_depth_ = st_.measure_depth();
   }
@@ -133,6 +171,10 @@ class Engine {
   const TreeState<Key, Compare>& state() const { return st_; }
 
  private:
+  static std::uint64_t batch_jobs(std::uint64_t n, std::uint64_t batch) {
+    return (n + batch - 1) / batch;
+  }
+
   struct LcShared {
     std::uint32_t levels = 0;      // H: fat-tree levels
     std::uint64_t slice_len = 0;   // S = 2^H - 1
@@ -144,6 +186,10 @@ class Engine {
     LcWat insert_wat;  // randomized phase-1 work allocation over all N jobs
     LcMarks sum_marks;
     LcMarks place_marks;
+    // The winner slice's sorted order (global element indices), built once
+    // by whichever worker reaches Stage C first and published write-once;
+    // every worker computes identical contents, so first-wins is safe.
+    std::atomic<const std::vector<std::int64_t>*> sorted_idx{nullptr};
 
     LcShared(std::uint32_t levels_in, std::uint64_t slice_in, std::uint32_t groups_in,
              std::uint32_t threads, std::uint32_t copies, std::uint64_t n)
@@ -155,6 +201,7 @@ class Engine {
           insert_wat(n),
           sum_marks(n),
           place_marks(n) {}
+    ~LcShared() { delete sorted_idx.load(std::memory_order_acquire); }
   };
 
   void init_lc() {
@@ -172,39 +219,80 @@ class Engine {
       auto keys = std::span<const Key>(data_.data() + g * slice, slice);
       lc_->group_states.push_back(
           std::make_unique<TreeState<Key, Compare>>(keys, st_.cmp));
-      lc_->group_wats.push_back(std::make_unique<Wat>(slice));
+      lc_->group_wats.push_back(std::make_unique<Wat>(batch_jobs(slice, wat_batch_)));
     }
   }
 
-  void record_build(const BuildResult& r) {
-    total_build_iters_.fetch_add(r.iterations, std::memory_order_relaxed);
-    cas_failures_.fetch_add(r.cas_failures, std::memory_order_relaxed);
-    atomic_fetch_max(max_build_iters_, r.iterations);
+  // Flush a per-worker phase-1 tally into the shared statistics — one RMW
+  // per counter per worker instead of three per element.
+  void flush_build(const BuildTally& tally) {
+    if (tally.iterations != 0) {
+      total_build_iters_.fetch_add(tally.iterations, std::memory_order_relaxed);
+      atomic_fetch_max(max_build_iters_, tally.max_iterations);
+    }
+    if (tally.cas_failures != 0) {
+      cas_failures_.fetch_add(tally.cas_failures, std::memory_order_relaxed);
+    }
+  }
+
+  // Claim output chunks and copy them into the caller's buffer.  Only run
+  // by workers that completed every phase: their traversal's acquire loads
+  // ordered every emission before this point.
+  void assist_copy_back() {
+    completed_.fetch_add(1, std::memory_order_acq_rel);
+    if (!copy_back_) return;
+    while (true) {
+      const std::uint64_t c = copy_next_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= copy_chunks_) return;
+      copy_chunk(c);
+      copy_done_[c].store(1, std::memory_order_release);
+    }
+  }
+
+  void copy_chunk(std::uint64_t c) {
+    const std::size_t lo = static_cast<std::size_t>(c * kCopyChunk);
+    const std::size_t hi = std::min(data_.size(), lo + kCopyChunk);
+    for (std::size_t i = lo; i < hi; ++i) {
+      data_[i] = st_.out[i].load(std::memory_order_relaxed);
+    }
   }
 
   // --- deterministic variant (Section 2) ---
   bool run_deterministic(std::uint32_t tid, runtime::FaultPlan* plan) {
     const auto chk = [plan, tid] { return plan == nullptr || plan->checkpoint(tid); };
+    const std::int64_t n = st_.n();
 
     PhaseClock clock;
     clock.start();
-    // Phase 1: WAT-allocated tree building.
+    // Phase 1: WAT-allocated tree building, one batch of adjacent jobs per
+    // claimed leaf.
+    BuildTally tally;
     std::int64_t node = wat_.initial_leaf(tid, nominal_threads_);
     while (true) {
-      if (!chk()) return false;
+      if (!chk()) {
+        flush_build(tally);
+        return false;
+      }
       if (wat_.is_job_leaf(node)) {
-        record_build(build_one(st_, static_cast<std::int64_t>(wat_.job_of(node))));
+        const std::int64_t lo =
+            static_cast<std::int64_t>(wat_.job_of(node) * wat_batch_);
+        const std::int64_t hi =
+            std::min<std::int64_t>(n, lo + static_cast<std::int64_t>(wat_batch_));
+        if (!build_batch(st_, lo, hi, tally, chk)) {
+          flush_build(tally);
+          return false;
+        }
       }
       node = wat_.next_element(node);
       if (node == Wat::kAllJobsDone) break;
     }
+    flush_build(tally);
     clock.lap(phase1_us_);
     // Phases 2 and 3.
     if (!tree_sum(st_, tid, chk)) return false;
     clock.lap(phase2_us_);
-    if (!find_place_emit(st_, tid, opts_.prune, chk)) return false;
+    if (!find_place_emit(st_, tid, opts_.prune, seq_cutoff_, chk)) return false;
     clock.lap(phase3_us_);
-    completed_.fetch_add(1, std::memory_order_acq_rel);
     return true;
   }
 
@@ -215,6 +303,8 @@ class Engine {
     Rng rng = Rng(opts_.seed).fork(tid);
     PhaseClock clock;
     clock.start();
+    BuildTally tally;
+    std::uint64_t fat_misses = 0;
 
     // Stage A: this worker's group pre-sorts its slice with the
     // deterministic algorithm (paper step 1).
@@ -223,35 +313,69 @@ class Engine {
         std::max<std::uint32_t>(1, nominal_threads_ / lc.groups);
     TreeState<Key, Compare>& gst = *lc.group_states[group];
     Wat& gwat = *lc.group_wats[group];
+    const std::int64_t slice_n = static_cast<std::int64_t>(lc.slice_len);
     std::int64_t node = gwat.initial_leaf(tid / lc.groups, group_workers);
     while (true) {
-      if (!chk()) return false;
+      if (!chk()) {
+        flush_build(tally);
+        return false;
+      }
       if (gwat.is_job_leaf(node)) {
-        record_build(build_one(gst, static_cast<std::int64_t>(gwat.job_of(node))));
+        const std::int64_t lo =
+            static_cast<std::int64_t>(gwat.job_of(node) * wat_batch_);
+        const std::int64_t hi =
+            std::min<std::int64_t>(slice_n, lo + static_cast<std::int64_t>(wat_batch_));
+        if (!build_batch(gst, lo, hi, tally, chk)) {
+          flush_build(tally);
+          return false;
+        }
       }
       node = gwat.next_element(node);
       if (node == Wat::kAllJobsDone) break;
     }
-    if (!tree_sum(gst, tid, chk)) return false;
-    if (!find_place_emit(gst, tid, PrunePlaced::kNo, chk)) return false;
+    if (!tree_sum(gst, tid, chk)) {
+      flush_build(tally);
+      return false;
+    }
+    if (!find_place_emit(gst, tid, PrunePlaced::kNo, seq_cutoff_, chk)) {
+      flush_build(tally);
+      return false;
+    }
 
     // Stage B: pick the winning group (paper step 2; Figure 9).
     const std::int64_t w = lc.winner.compete(tid, group, rng);
 
     // Stage C: reconstruct the winner slice's sorted order (global element
     // indices).  The winner candidate was submitted by a worker that
-    // completed the slice, so every place is set.
-    std::vector<std::int64_t> sorted_idx(lc.slice_len);
-    {
+    // completed the slice, so every place is set and the contents are the
+    // same for every worker — the first one to finish publishes its copy
+    // via a write-once pointer and everyone else reuses it.
+    const std::vector<std::int64_t>* si =
+        lc.sorted_idx.load(std::memory_order_acquire);
+    if (si == nullptr) {
+      auto built = std::make_unique<std::vector<std::int64_t>>(lc.slice_len);
       TreeState<Key, Compare>& wst = *lc.group_states[static_cast<std::size_t>(w)];
       for (std::uint64_t i = 0; i < lc.slice_len; ++i) {
+        if (!chk()) {
+          flush_build(tally);
+          return false;
+        }
         const std::int64_t pl = wst.place_of(static_cast<std::int64_t>(i));
         WFSORT_CHECK(pl > 0);
-        sorted_idx[static_cast<std::size_t>(pl - 1)] =
+        (*built)[static_cast<std::size_t>(pl - 1)] =
             static_cast<std::int64_t>(w) * static_cast<std::int64_t>(lc.slice_len) +
             static_cast<std::int64_t>(i);
       }
+      const std::vector<std::int64_t>* expected = nullptr;
+      if (lc.sorted_idx.compare_exchange_strong(expected, built.get(),
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+        si = built.release();
+      } else {
+        si = expected;  // someone else published first; ours is discarded
+      }
     }
+    const std::span<const std::int64_t> sorted_idx(*si);
 
     // Stage D: fatten the winner tree (write-most) and stitch its structure
     // into the main pivot tree.  All writes are idempotent (identical values
@@ -260,7 +384,10 @@ class Engine {
     const std::int64_t root = sorted_idx[lc.fat.rank_of(0)];
     st_.set_root(root);
     for (std::uint64_t f = 0; f < lc.fat.node_count(); ++f) {
-      if (!chk()) return false;
+      if (!chk()) {
+        flush_build(tally);
+        return false;
+      }
       const std::int64_t pe = sorted_idx[lc.fat.rank_of(f)];
       if (!lc.fat.is_leaf(f)) {
         const std::int64_t se = sorted_idx[lc.fat.rank_of(lc.fat.left(f))];
@@ -278,14 +405,20 @@ class Engine {
                                static_cast<std::int64_t>(lc.slice_len);
     const std::int64_t wend = wbase + static_cast<std::int64_t>(lc.slice_len);
     while (true) {
-      if (!chk()) return false;
+      if (!chk()) {
+        flush_build(tally);
+        if (fat_misses != 0) fat_misses_.fetch_add(fat_misses, std::memory_order_relaxed);
+        return false;
+      }
       const auto outcome = lc.insert_wat.step(rng, [&](std::uint64_t j) {
         const std::int64_t i = static_cast<std::int64_t>(j);
         if (i >= wbase && i < wend) return;  // already in the tree (fat top)
-        insert_via_fat(i, sorted_idx, rng);
+        insert_via_fat(i, sorted_idx, rng, tally, fat_misses);
       });
       if (outcome == LcWat::Outcome::kQuit) break;
     }
+    flush_build(tally);
+    if (fat_misses != 0) fat_misses_.fetch_add(fat_misses, std::memory_order_relaxed);
 
     clock.lap(phase1_us_);
     // Stages F, G: randomized summation and placement (Section 3.3).
@@ -293,11 +426,11 @@ class Engine {
     clock.lap(phase2_us_);
     if (!lc_find_place_emit(st_, lc.place_marks, rng, chk)) return false;
     clock.lap(phase3_us_);
-    completed_.fetch_add(1, std::memory_order_acq_rel);
     return true;
   }
 
-  void insert_via_fat(std::int64_t i, std::span<const std::int64_t> sorted_idx, Rng& rng) {
+  void insert_via_fat(std::int64_t i, std::span<const std::int64_t> sorted_idx, Rng& rng,
+                      BuildTally& tally, std::uint64_t& fat_misses) {
     LcShared& lc = *lc_;
     std::uint64_t misses = 0;
     std::uint64_t f = 0;
@@ -306,17 +439,24 @@ class Engine {
       f = st_.less(i, e) ? lc.fat.left(f) : lc.fat.right(f);
     }
     const std::int64_t handoff = lc.fat.read(f, sorted_idx, rng, &misses);
-    if (misses != 0) fat_misses_.fetch_add(misses, std::memory_order_relaxed);
-    record_build(build_from(st_, i, handoff));
+    fat_misses += misses;
+    tally.add(build_from(st_, i, handoff));
   }
 
   std::span<Key> data_;
   Options opts_;
   Variant effective_variant_;
   std::uint32_t nominal_threads_;
+  std::uint64_t wat_batch_;
+  std::uint64_t seq_cutoff_;
+  bool copy_back_;
   TreeState<Key, Compare> st_;
   Wat wat_;
   std::unique_ptr<LcShared> lc_;
+
+  std::uint64_t copy_chunks_ = 0;
+  std::atomic<std::uint64_t> copy_next_{0};
+  std::unique_ptr<std::atomic<std::uint8_t>[]> copy_done_;
 
   std::atomic<std::uint64_t> max_build_iters_{0};
   std::atomic<std::uint64_t> total_build_iters_{0};

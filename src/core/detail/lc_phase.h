@@ -77,7 +77,7 @@ bool lc_tree_sum(TreeState<Key, Compare>& st, LcMarks& marks, Rng& rng,
       const bool r_done = (r == kNoIdx) || marks.get(r) != kLcEmpty;
       if (l_done && r_done) {
         const std::int64_t total = st.size_of(l) + st.size_of(r) + 1;
-        st.size[static_cast<std::size_t>(e)].store(total, std::memory_order_release);
+        st.set_size(e, total);
         marks.set(e, e == st.root_idx() ? kLcAllDone : kLcDone);
       }
       continue;
@@ -102,11 +102,7 @@ bool lc_find_place_emit(TreeState<Key, Compare>& st, LcMarks& marks, Rng& rng,
   const std::uint64_t un = static_cast<std::uint64_t>(n);
   const std::int64_t root = st.root_idx();
 
-  const auto emit = [&st](std::int64_t node, std::int64_t pl) {
-    st.place[static_cast<std::size_t>(node)].store(pl, std::memory_order_release);
-    st.out[static_cast<std::size_t>(pl - 1)].store(
-        st.keys[static_cast<std::size_t>(node)], std::memory_order_release);
-  };
+  const auto emit = [&st](std::int64_t node, std::int64_t pl) { st.emit(node, pl); };
 
   while (true) {
     if (!keep_going()) return false;

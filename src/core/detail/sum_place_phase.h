@@ -26,6 +26,17 @@
 //   kDone  — prune on an explicit bottom-up completion flag, giving
 //            phase-2 semantics to phase 3: crash-safe AND work-sharing.
 //            This is the default.
+//
+// Sequential cutoff.  With `seq_cutoff > 0`, find_place_emit handles any
+// subtree of at most that many elements with one local in-order walk
+// (place_block) instead of the frame machinery: consecutive ranks are
+// assigned in sorted order, so the output block is emitted with streaming
+// writes and no per-node completion flags.  The walk is exactly the
+// sequential sort of that block — the tree already encodes the order.  The
+// completion flag of the block's ROOT is published only after the walk
+// (try_claim_place_done), so a crashed walker leaves nothing claimed and
+// any other worker redoes the block idempotently: wait-freedom is
+// untouched — nobody ever waits for a block winner (docs/native_engine.md).
 #pragma once
 
 #include <cstdint>
@@ -57,19 +68,18 @@ bool tree_sum(TreeState<Key, Compare>& st, std::uint32_t pid, Check&& keep_going
     std::uint32_t depth;
     std::uint8_t stage;      // 0: fresh, 1: first child done, 2: both done
     std::int64_t first_sum;  // result of the first child
+    std::int64_t small;      // children, loaded once at stage 0
+    std::int64_t big;
   };
   std::vector<Frame> stack;
-  stack.push_back({st.root_idx(), 0, 0, 0});
-  std::int64_t ret = 0;  // value "returned" by the frame just popped
+  stack.reserve(64);
+  stack.push_back({st.root_idx(), 0, 0, 0, kNoIdx, kNoIdx});
+  std::int64_t ret = 0;  // value "returned" by the frame just popped (or by
+                         // an absent child, which contributes 0 in place)
 
   while (!stack.empty()) {
     if (!keep_going()) return false;
-    Frame f = stack.back();  // copy: pushes below may reallocate
-    if (f.node == kNoIdx) {
-      ret = 0;
-      stack.pop_back();
-      continue;
-    }
+    Frame& f = stack.back();  // pushes below re-read the reference
     switch (f.stage) {
       case 0: {
         const std::int64_t s = st.size_of(f.node);
@@ -78,21 +88,43 @@ bool tree_sum(TreeState<Key, Compare>& st, std::uint32_t pid, Check&& keep_going
           stack.pop_back();
           break;
         }
-        stack.back().stage = 1;
+        f.small = st.child_of(f.node, kSmall);
+        f.big = st.child_of(f.node, kBig);
+        if (f.small == kNoIdx && f.big == kNoIdx) {  // leaf fast path
+          st.set_size(f.node, 1);
+          ret = 1;
+          stack.pop_back();
+          break;
+        }
+        f.stage = 1;
         const Side first = spread_side(pid, f.depth);
-        stack.push_back({st.child_of(f.node, first), f.depth + 1, 0, 0});
+        const std::int64_t c = first == kSmall ? f.small : f.big;
+        if (c == kNoIdx) {
+          ret = 0;  // absent child: fall through to stage 1 with sum 0
+          break;
+        }
+        const std::uint32_t d = f.depth + 1;
+        st.prefetch(c);
+        stack.push_back({c, d, 0, 0, kNoIdx, kNoIdx});
         break;
       }
       case 1: {
-        stack.back().first_sum = ret;
-        stack.back().stage = 2;
+        f.first_sum = ret;
+        f.stage = 2;
         const Side second = other(spread_side(pid, f.depth));
-        stack.push_back({st.child_of(f.node, second), f.depth + 1, 0, 0});
+        const std::int64_t c = second == kSmall ? f.small : f.big;
+        if (c == kNoIdx) {
+          ret = 0;
+          break;
+        }
+        const std::uint32_t d = f.depth + 1;
+        st.prefetch(c);
+        stack.push_back({c, d, 0, 0, kNoIdx, kNoIdx});
         break;
       }
       default: {
         const std::int64_t total = f.first_sum + ret + 1;
-        st.size[static_cast<std::size_t>(f.node)].store(total, std::memory_order_release);
+        st.set_size(f.node, total);
         ret = total;
         stack.pop_back();
         break;
@@ -102,11 +134,37 @@ bool tree_sum(TreeState<Key, Compare>& st, std::uint32_t pid, Check&& keep_going
   return true;
 }
 
+// Sequential block placement: emit the whole subtree under `node` (whose
+// `sub` elements precede it) by one in-order walk, assigning consecutive
+// ranks.  `scratch` is the caller's reusable stack.  All writes are
+// idempotent — every walker of the same block computes identical values.
+template <typename Key, typename Compare, typename Check>
+bool place_block(TreeState<Key, Compare>& st, std::int64_t node, std::int64_t sub,
+                 std::vector<std::int64_t>& scratch, Check&& keep_going) {
+  scratch.clear();
+  std::int64_t rank = sub;
+  std::int64_t cur = node;
+  while (cur != kNoIdx || !scratch.empty()) {
+    while (cur != kNoIdx) {
+      scratch.push_back(cur);
+      cur = st.child_of(cur, kSmall);
+      if (cur != kNoIdx) st.prefetch(cur);
+    }
+    cur = scratch.back();
+    scratch.pop_back();
+    if (!keep_going()) return false;
+    st.emit(cur, ++rank);
+    cur = st.child_of(cur, kBig);
+  }
+  return true;
+}
+
 // Phase 3 with output emission: place every element and store it into
-// st.out at its final rank.
+// st.out at its final rank.  Subtrees of at most `seq_cutoff` elements are
+// handled by place_block (0 disables the cutoff).
 template <typename Key, typename Compare, typename Check>
 bool find_place_emit(TreeState<Key, Compare>& st, std::uint32_t pid, PrunePlaced prune,
-                     Check&& keep_going) {
+                     std::uint64_t seq_cutoff, Check&& keep_going) {
   if (st.n() == 0) return true;
   struct Frame {
     std::int64_t node;
@@ -115,17 +173,19 @@ bool find_place_emit(TreeState<Key, Compare>& st, std::uint32_t pid, PrunePlaced
     std::uint8_t stage;  // 1 = post-frame: both children complete
   };
   std::vector<Frame> stack;
+  stack.reserve(96);
+  std::vector<std::int64_t> scratch;
+  if (seq_cutoff != 0) {
+    scratch.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(seq_cutoff, static_cast<std::uint64_t>(st.n()))));
+  }
   stack.push_back({st.root_idx(), 0, 0, 0});
 
   while (!stack.empty()) {
     if (!keep_going()) return false;
     const Frame f = stack.back();
-    if (f.node == kNoIdx) {
-      stack.pop_back();
-      continue;
-    }
     if (f.stage == 1) {  // kDone post-frame: whole subtree below is placed
-      st.place_done[static_cast<std::size_t>(f.node)].store(1, std::memory_order_release);
+      st.mark_place_done(f.node);
       stack.pop_back();
       continue;
     }
@@ -133,34 +193,44 @@ bool find_place_emit(TreeState<Key, Compare>& st, std::uint32_t pid, PrunePlaced
       stack.pop_back();
       continue;
     }
-    if (prune == PrunePlaced::kDone &&
-        st.place_done[static_cast<std::size_t>(f.node)].load(std::memory_order_acquire) !=
-            0) {
+    if (prune == PrunePlaced::kDone && st.place_done_of(f.node)) {
+      stack.pop_back();
+      continue;
+    }
+
+    if (seq_cutoff != 0 &&
+        static_cast<std::uint64_t>(st.size_of(f.node)) <= seq_cutoff) {
+      if (!place_block(st, f.node, f.sub, scratch, keep_going)) return false;
+      if (prune == PrunePlaced::kDone) st.try_claim_place_done(f.node);
       stack.pop_back();
       continue;
     }
 
     const std::int64_t small = st.child_of(f.node, kSmall);
+    const std::int64_t big = st.child_of(f.node, kBig);
     const std::int64_t s = st.size_of(small);
-    const std::int64_t pl = f.sub + s + 1;
-    st.place[static_cast<std::size_t>(f.node)].store(pl, std::memory_order_release);
-    st.out[static_cast<std::size_t>(pl - 1)].store(
-        st.keys[static_cast<std::size_t>(f.node)], std::memory_order_release);
+    st.emit(f.node, f.sub + s + 1);
 
+    if (small == kNoIdx && big == kNoIdx) {  // leaf fast path (cutoff disabled)
+      if (prune == PrunePlaced::kDone) st.mark_place_done(f.node);
+      stack.pop_back();
+      continue;
+    }
     if (prune == PrunePlaced::kDone) {
       stack.back().stage = 1;  // revisit after the children to mark done
     } else {
       stack.pop_back();
     }
     const Frame fs{small, f.sub, f.depth + 1, 0};
-    const Frame fb{st.child_of(f.node, kBig), f.sub + s + 1, f.depth + 1, 0};
-    // LIFO stack: push the child to be visited *second* first.
+    const Frame fb{big, f.sub + s + 1, f.depth + 1, 0};
+    // LIFO stack: push the child to be visited *second* first; absent
+    // children get no frame at all.
     if (spread_side(pid, f.depth) == kSmall) {
-      stack.push_back(fb);
-      stack.push_back(fs);
+      if (big != kNoIdx) stack.push_back(fb);
+      if (small != kNoIdx) stack.push_back(fs);
     } else {
-      stack.push_back(fs);
-      stack.push_back(fb);
+      if (small != kNoIdx) stack.push_back(fs);
+      if (big != kNoIdx) stack.push_back(fb);
     }
   }
   return true;

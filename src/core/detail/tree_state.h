@@ -1,14 +1,27 @@
 // Shared state of one sort: the pivot tree threaded through the input.
 //
-// Mirrors Figure 3 of the paper in structure-of-arrays form: each element i
-// of the input owns two child slots (SMALL and BIG), a subtree size and a
-// final place (1-based rank; 0 = not yet known).  Keys are never modified
-// while the sort runs; the sorted result is assembled into `out` and copied
-// back after the workers are done.
+// Mirrors Figure 3 of the paper, but in *packed record* form rather than the
+// paper's (and our seed's) parallel arrays: each element owns one
+// cache-line-aligned PackedNode holding both child slots, the subtree size,
+// the final place (1-based rank; 0 = not yet known), the phase-3 completion
+// flag and a private copy of the key.  A descent step, a summation visit or
+// a placement visit therefore costs ONE cache miss where the
+// structure-of-arrays layout cost up to four (child array, size array, place
+// array, key array), and place emission reads the key from the line the
+// visit already loaded.  This is a deliberate, documented deviation from the
+// paper's in-array threading (docs/native_engine.md); the algorithm and all
+// of its invariants are unchanged.
+//
+// Keys are copied into the records at construction and never modified while
+// the sort runs, which also makes the caller's buffer write-only for the
+// rest of the sort — the engine exploits that to overlap output copy-back
+// with straggling workers.  The sorted result is assembled into `out`
+// (indexed by rank) and copied back after at least one worker finished.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -21,6 +34,18 @@ inline constexpr std::int64_t kNoIdx = -1;
 
 enum Side : int { kSmall = 0, kBig = 1 };
 
+// One pivot-tree node.  64-byte aligned so any key type up to 23 bytes keeps
+// the whole record inside a single cache line (larger keys pad to two lines,
+// still one line better than four scattered arrays).
+template <typename Key>
+struct alignas(64) PackedNode {
+  std::atomic<std::int64_t> child[2];       // kNoIdx = EMPTY; write-once
+  std::atomic<std::int64_t> size;           // 0 = unknown
+  std::atomic<std::int64_t> place;          // 0 = unknown, else 1-based rank
+  Key key;                                  // immutable copy, set before workers start
+  std::atomic<std::uint8_t> place_done;     // PrunePlaced::kDone flag
+};
+
 template <typename Key, typename Compare>
 struct TreeState {
   static_assert(std::is_trivially_copyable_v<Key>,
@@ -28,31 +53,27 @@ struct TreeState {
                 "stores; sort records must be trivially copyable (sort indices "
                 "or pointers for heavyweight payloads)");
 
-  std::span<const Key> keys;
+  std::span<const Key> keys;  // the caller's buffer; read only at construction
   Compare cmp;
   // Pivot-tree root element: 0 for the deterministic variant; the fat-tree
   // root chosen at runtime by the low-contention variant (every worker
   // stores the same value, so the atomic is only for data-race freedom).
   std::atomic<std::int64_t> root{0};
 
-  std::vector<std::atomic<std::int64_t>> child;  // 2 per element
-  std::vector<std::atomic<std::int64_t>> size;   // 0 = unknown
-  std::vector<std::atomic<std::int64_t>> place;  // 0 = unknown, else 1-based rank
-  std::vector<std::atomic<std::uint8_t>> place_done;  // PrunePlaced::kDone flags
-  std::vector<std::atomic<Key>> out;                  // sorted result (index place-1)
+  std::unique_ptr<PackedNode<Key>[]> nodes;  // one record per element
+  std::vector<std::atomic<Key>> out;         // sorted result (index place-1)
 
   TreeState(std::span<const Key> k, Compare c)
-      : keys(k),
-        cmp(c),
-        child(2 * k.size()),
-        size(k.size()),
-        place(k.size()),
-        place_done(k.size()),
-        out(k.size()) {
-    for (auto& x : child) x.store(kNoIdx, std::memory_order_relaxed);
-    for (auto& x : size) x.store(0, std::memory_order_relaxed);
-    for (auto& x : place) x.store(0, std::memory_order_relaxed);
-    for (auto& x : place_done) x.store(0, std::memory_order_relaxed);
+      : keys(k), cmp(c), nodes(new PackedNode<Key>[k.size()]), out(k.size()) {
+    for (std::size_t i = 0; i < k.size(); ++i) {
+      PackedNode<Key>& nd = nodes[i];
+      nd.child[0].store(kNoIdx, std::memory_order_relaxed);
+      nd.child[1].store(kNoIdx, std::memory_order_relaxed);
+      nd.size.store(0, std::memory_order_relaxed);
+      nd.place.store(0, std::memory_order_relaxed);
+      nd.place_done.store(0, std::memory_order_relaxed);
+      nd.key = k[i];
+    }
     std::atomic_thread_fence(std::memory_order_seq_cst);
   }
 
@@ -61,35 +82,75 @@ struct TreeState {
   std::int64_t root_idx() const { return root.load(std::memory_order_acquire); }
   void set_root(std::int64_t r) { root.store(r, std::memory_order_release); }
 
+  const Key& key_of(std::int64_t node) const {
+    return nodes[static_cast<std::size_t>(node)].key;
+  }
+
   // Strict order with index tie-breaking (the paper's "use an element's
   // index to break ties"), so all keys behave as if distinct.
   bool less(std::int64_t a, std::int64_t b) const {
-    const Key& ka = keys[static_cast<std::size_t>(a)];
-    const Key& kb = keys[static_cast<std::size_t>(b)];
+    const Key& ka = key_of(a);
+    const Key& kb = key_of(b);
     if (cmp(ka, kb)) return true;
     if (cmp(kb, ka)) return false;
     return a < b;
   }
 
+  // Hint the hardware that `node`'s record is about to be visited.
+  void prefetch(std::int64_t node) const {
+    __builtin_prefetch(&nodes[static_cast<std::size_t>(node)], 0, 1);
+  }
+
   std::atomic<std::int64_t>& child_slot(std::int64_t node, Side s) {
-    return child[static_cast<std::size_t>(2 * node + s)];
+    return nodes[static_cast<std::size_t>(node)].child[s];
   }
   std::int64_t child_of(std::int64_t node, Side s) const {
-    return child[static_cast<std::size_t>(2 * node + s)].load(std::memory_order_acquire);
+    return nodes[static_cast<std::size_t>(node)].child[s].load(std::memory_order_acquire);
   }
   std::int64_t size_of(std::int64_t node) const {
     return node == kNoIdx
                ? 0
-               : size[static_cast<std::size_t>(node)].load(std::memory_order_acquire);
+               : nodes[static_cast<std::size_t>(node)].size.load(std::memory_order_acquire);
+  }
+  void set_size(std::int64_t node, std::int64_t s) {
+    nodes[static_cast<std::size_t>(node)].size.store(s, std::memory_order_release);
   }
   std::int64_t place_of(std::int64_t node) const {
-    return place[static_cast<std::size_t>(node)].load(std::memory_order_acquire);
+    return nodes[static_cast<std::size_t>(node)].place.load(std::memory_order_acquire);
+  }
+  bool place_done_of(std::int64_t node) const {
+    return nodes[static_cast<std::size_t>(node)].place_done.load(
+               std::memory_order_acquire) != 0;
+  }
+  void mark_place_done(std::int64_t node) {
+    nodes[static_cast<std::size_t>(node)].place_done.store(1, std::memory_order_release);
+  }
+  // Publish completion of a sequential block (see find_place_emit's
+  // seq_cutoff).  The CAS only decides which of the concurrent duplicates
+  // "won"; the work itself happened before the call and every competitor
+  // wrote identical values, so losing is harmless.
+  bool try_claim_place_done(std::int64_t node) {
+    std::uint8_t expected = 0;
+    return nodes[static_cast<std::size_t>(node)].place_done.compare_exchange_strong(
+        expected, 1, std::memory_order_acq_rel, std::memory_order_acquire);
+  }
+
+  // Store the element's key at the output slot of its rank, then the rank.
+  // The key read is free: the record line was loaded to compute the place.
+  // Order matters: `out` is written BEFORE `place`, so any worker that
+  // acquire-reads a non-zero place (or a completion flag released after it)
+  // is also guaranteed to see the output slot — that is what lets finished
+  // workers copy the output back while stragglers are still traversing.
+  void emit(std::int64_t node, std::int64_t pl) {
+    PackedNode<Key>& nd = nodes[static_cast<std::size_t>(node)];
+    out[static_cast<std::size_t>(pl - 1)].store(nd.key, std::memory_order_release);
+    nd.place.store(pl, std::memory_order_release);
   }
 
   // Post-run validation/diagnostics (single-threaded use).
   bool all_placed() const {
-    for (const auto& p : place) {
-      if (p.load(std::memory_order_relaxed) == 0) return false;
+    for (std::int64_t i = 0; i < n(); ++i) {
+      if (place_of(i) == 0) return false;
     }
     return true;
   }

@@ -37,6 +37,22 @@ struct Options {
   // the cost of more write-most traffic.
   std::uint32_t lc_copies = 0;
 
+  // Phase-1 job batching — the paper's K in Lemma 2.7 (O(N/P (log N + K))
+  // work allocation): each WAT leaf hands out a contiguous run of this many
+  // elements, so one WAT traversal is amortized over the run and the run's
+  // descents are interleaved with prefetching (build_batch).  1 = the seed's
+  // one-job-per-traversal behaviour.  Default measured on the tracked bench
+  // host (docs/native_engine.md).
+  std::uint32_t wat_batch = 32;
+
+  // Phase-3 sequential cutoff: a subtree of at most this many elements is
+  // placed and emitted by one local in-order walk (streaming writes, no
+  // per-node frames or completion flags) by whichever worker reaches it
+  // first; the block's completion flag is published only after the walk, so
+  // duplicated or crashed walkers are harmless and nobody waits (the walk is
+  // idempotent).  0 disables.  Default measured (docs/native_engine.md).
+  std::uint64_t seq_cutoff = 128;
+
   std::uint32_t resolved_threads() const {
     if (threads != 0) return threads;
     const unsigned hw = std::thread::hardware_concurrency();

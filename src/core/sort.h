@@ -79,10 +79,11 @@ std::vector<std::uint32_t> sort_permutation(std::span<const T> data,
     if (data.size() == 1) perm[0] = 0;
     return perm;
   }
-  // The engine never writes the input; the const_cast span is only a
-  // formality of its (normally in-place) interface.
+  // The engine never writes the input: copy-back is disabled below and the
+  // const_cast span is only a formality of its (normally in-place) interface.
   std::span<T> mutable_view(const_cast<T*>(data.data()), data.size());
-  detail::Engine<T, Compare> engine(mutable_view, cmp, opts);
+  detail::Engine<T, Compare> engine(mutable_view, cmp, opts,
+                                    /*assemble_into_data=*/false);
   const std::uint32_t workers = opts.resolved_threads();
   if (workers <= 1) {
     engine.run_worker(0);

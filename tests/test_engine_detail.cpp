@@ -99,7 +99,7 @@ TEST(TreeStateDetail, TreeSumSkipsSummedSubtrees) {
   auto st = build_sequential({50, 30, 70});
   // Pre-poison subtree 1 with a WRONG size: tree_sum must trust it (the
   // skip is the whole point) and produce root size consistent with it.
-  st->size[1].store(41, std::memory_order_relaxed);
+  st->set_size(1, 41);
   ASSERT_TRUE(wfsort::detail::tree_sum(*st, 0, kKeepGoing));
   EXPECT_EQ(st->size_of(0), 41 + 1 + 1);
 }
@@ -112,7 +112,8 @@ TEST(TreeStateDetail, FindPlaceEmitProducesRanksAndOutput) {
                      wfsort::PrunePlaced::kDone}) {
     auto st2 = build_sequential(keys);
     ASSERT_TRUE(wfsort::detail::tree_sum(*st2, 0, kKeepGoing));
-    ASSERT_TRUE(wfsort::detail::find_place_emit(*st2, 0, prune, kKeepGoing));
+    ASSERT_TRUE(wfsort::detail::find_place_emit(*st2, 0, prune, /*seq_cutoff=*/0,
+                                                kKeepGoing));
     EXPECT_EQ(st2->place_of(0), 4);  // 50 is 4th of {20,30,40,50,70}
     EXPECT_EQ(st2->place_of(1), 2);
     EXPECT_EQ(st2->place_of(2), 5);
@@ -128,15 +129,15 @@ TEST(TreeStateDetail, FindPlaceEmitProducesRanksAndOutput) {
 TEST(TreeStateDetail, FindPlaceDoneSetsCompletionFlagsBottomUp) {
   auto st = build_sequential({50, 30, 70});
   ASSERT_TRUE(wfsort::detail::tree_sum(*st, 0, kKeepGoing));
-  ASSERT_TRUE(
-      wfsort::detail::find_place_emit(*st, 0, wfsort::PrunePlaced::kDone, kKeepGoing));
+  ASSERT_TRUE(wfsort::detail::find_place_emit(*st, 0, wfsort::PrunePlaced::kDone,
+                                              /*seq_cutoff=*/0, kKeepGoing));
   for (int i = 0; i < 3; ++i) {
-    EXPECT_EQ(st->place_done[static_cast<std::size_t>(i)].load(), 1) << i;
+    EXPECT_TRUE(st->place_done_of(i)) << i;
   }
   // A second worker prunes at the root immediately (1 flag read, no writes).
   std::uint64_t checks = 0;
   ASSERT_TRUE(wfsort::detail::find_place_emit(*st, 1, wfsort::PrunePlaced::kDone,
-                                              [&checks] {
+                                              /*seq_cutoff=*/0, [&checks] {
                                                 ++checks;
                                                 return true;
                                               }));
@@ -149,8 +150,94 @@ TEST(TreeStateDetail, AbortedTraversalsReturnFalse) {
   auto limited = [&budget] { return budget-- > 0; };
   EXPECT_FALSE(wfsort::detail::tree_sum(*st, 0, limited));
   budget = 2;
-  EXPECT_FALSE(
-      wfsort::detail::find_place_emit(*st, 0, wfsort::PrunePlaced::kNo, limited));
+  EXPECT_FALSE(wfsort::detail::find_place_emit(*st, 0, wfsort::PrunePlaced::kNo,
+                                               /*seq_cutoff=*/0, limited));
+}
+
+TEST(TreeStateDetail, PlaceBlockEmitsConsecutiveRanksFromOffset) {
+  auto st = build_sequential({50, 30, 70, 20, 40});
+  ASSERT_TRUE(wfsort::detail::tree_sum(*st, 0, kKeepGoing));
+  // Subtree under element 1 holds {20, 30, 40} with nothing preceding it:
+  // ranks 1, 2, 3 in sorted order.
+  std::vector<std::int64_t> scratch;
+  ASSERT_TRUE(wfsort::detail::place_block(*st, 1, /*sub=*/0, scratch, kKeepGoing));
+  EXPECT_EQ(st->place_of(3), 1);  // 20
+  EXPECT_EQ(st->place_of(1), 2);  // 30
+  EXPECT_EQ(st->place_of(4), 3);  // 40
+  EXPECT_EQ(st->out[0].load(), 20u);
+  EXPECT_EQ(st->out[1].load(), 30u);
+  EXPECT_EQ(st->out[2].load(), 40u);
+  // Subtree under element 2 is {70} with the other 4 elements before it.
+  ASSERT_TRUE(wfsort::detail::place_block(*st, 2, /*sub=*/4, scratch, kKeepGoing));
+  EXPECT_EQ(st->place_of(2), 5);
+  EXPECT_EQ(st->out[4].load(), 70u);
+}
+
+TEST(TreeStateDetail, SeqCutoffMatchesFrameMachinery) {
+  const std::vector<std::uint64_t> keys{50, 30, 70, 20, 40, 60, 80, 10, 35};
+  for (std::uint64_t cutoff : {std::uint64_t{2}, std::uint64_t{4}, std::uint64_t{100}}) {
+    auto ref = build_sequential(keys);
+    ASSERT_TRUE(wfsort::detail::tree_sum(*ref, 0, kKeepGoing));
+    ASSERT_TRUE(wfsort::detail::find_place_emit(*ref, 0, wfsort::PrunePlaced::kNo,
+                                                /*seq_cutoff=*/0, kKeepGoing));
+    auto st = build_sequential(keys);
+    ASSERT_TRUE(wfsort::detail::tree_sum(*st, 0, kKeepGoing));
+    ASSERT_TRUE(wfsort::detail::find_place_emit(*st, 0, wfsort::PrunePlaced::kDone,
+                                                cutoff, kKeepGoing));
+    for (std::int64_t i = 0; i < st->n(); ++i) {
+      EXPECT_EQ(st->place_of(i), ref->place_of(i)) << "cutoff=" << cutoff << " i=" << i;
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(st->out[i].load(), ref->out[i].load()) << "cutoff=" << cutoff;
+    }
+    // A second worker prunes at the root in one check: the block roots'
+    // completion flags were published after their walks.
+    std::uint64_t checks = 0;
+    ASSERT_TRUE(wfsort::detail::find_place_emit(*st, 1, wfsort::PrunePlaced::kDone,
+                                                cutoff, [&checks] {
+                                                  ++checks;
+                                                  return true;
+                                                }));
+    EXPECT_EQ(checks, 1u) << "cutoff=" << cutoff;
+  }
+}
+
+TEST(TreeStateDetail, SeqCutoffCrashedBlockWalkerIsRedoneByNextWorker) {
+  auto st = build_sequential({50, 30, 70, 20, 40, 60, 80});
+  ASSERT_TRUE(wfsort::detail::tree_sum(*st, 0, kKeepGoing));
+  // Worker 0 crashes mid-walk: the cutoff covers the whole tree, so it dies
+  // inside one block and must NOT have published the completion flag.
+  int budget = 3;
+  EXPECT_FALSE(wfsort::detail::find_place_emit(*st, 0, wfsort::PrunePlaced::kDone,
+                                               /*seq_cutoff=*/100,
+                                               [&budget] { return budget-- > 0; }));
+  EXPECT_FALSE(st->place_done_of(st->root_idx()));
+  // Worker 1 redoes the block idempotently and completes everything.
+  ASSERT_TRUE(wfsort::detail::find_place_emit(*st, 1, wfsort::PrunePlaced::kDone,
+                                              /*seq_cutoff=*/100, kKeepGoing));
+  EXPECT_TRUE(st->all_placed());
+  EXPECT_TRUE(st->place_done_of(st->root_idx()));
+  const std::uint64_t expected[] = {20, 30, 40, 50, 60, 70, 80};
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(st->out[static_cast<std::size_t>(i)].load(), expected[i]);
+  }
+}
+
+TEST(TreeStateDetail, BuildBatchMatchesSequentialBuild) {
+  const std::vector<std::uint64_t> keys{9, 4, 12, 1, 6, 10, 15, 0, 5, 8, 11, 13, 2, 7};
+  auto ref = build_sequential(keys);
+  BuiltTree t{keys, nullptr};
+  t.state = std::make_unique<State>(
+      std::span<const std::uint64_t>(t.keys.data(), t.keys.size()),
+      std::less<std::uint64_t>{});
+  wfsort::detail::BuildTally tally;
+  ASSERT_TRUE(wfsort::detail::build_batch(*t.state, 0, t.state->n(), tally, kKeepGoing));
+  EXPECT_GT(tally.iterations, 0u);
+  EXPECT_GE(tally.max_iterations, 1u);
+  for (std::int64_t i = 0; i < t.state->n(); ++i) {
+    EXPECT_EQ(t.state->child_of(i, kSmall), ref->child_of(i, kSmall)) << i;
+    EXPECT_EQ(t.state->child_of(i, kBig), ref->child_of(i, kBig)) << i;
+  }
 }
 
 TEST(TreeStateDetail, LcPhasesCompleteOnHandBuiltTree) {
@@ -195,8 +282,8 @@ TEST(TreeStateDetail, AllPlacedAndMeasureDepth) {
   auto st = build_sequential({3, 1, 2});
   EXPECT_FALSE(st->all_placed());
   ASSERT_TRUE(wfsort::detail::tree_sum(*st, 0, kKeepGoing));
-  ASSERT_TRUE(
-      wfsort::detail::find_place_emit(*st, 0, wfsort::PrunePlaced::kNo, kKeepGoing));
+  ASSERT_TRUE(wfsort::detail::find_place_emit(*st, 0, wfsort::PrunePlaced::kNo,
+                                              /*seq_cutoff=*/0, kKeepGoing));
   EXPECT_TRUE(st->all_placed());
   EXPECT_EQ(st->measure_depth(), 3u);  // 3 -> 1 -> 2 chain
 }

@@ -11,6 +11,8 @@
 
 #include "common/rng.h"
 #include "core/sort.h"
+#include "runtime/adversaries.h"
+#include "runtime/fault_script.h"
 
 namespace {
 
@@ -241,6 +243,58 @@ std::vector<SweepParam> make_sweep() {
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, SortSweep, testing::ValuesIn(make_sweep()),
                          sweep_name);
 
+// ------------------------------------------------------------ engine knobs
+
+// Every (wat_batch, seq_cutoff) combination must sort identically — the
+// knobs trade traversal overhead for batching, never correctness.  The grid
+// deliberately includes the degenerate settings (batch 1 = one WAT traversal
+// per element, cutoff 0 = pure frame machinery) and a cutoff larger than
+// most subtrees.
+struct KnobParam {
+  std::uint32_t wat_batch;
+  std::uint64_t seq_cutoff;
+  Variant variant;
+};
+
+std::string knob_label(const KnobParam& p) {
+  return "b" + std::to_string(p.wat_batch) + "_c" + std::to_string(p.seq_cutoff) +
+         (p.variant == Variant::kDeterministic ? "_det" : "_lc");
+}
+
+class KnobSweep : public testing::TestWithParam<KnobParam> {};
+
+TEST_P(KnobSweep, SortsToPermutation) {
+  const KnobParam p = GetParam();
+  auto v = make_workload(Workload::kRandom, 1500, 7000 + p.wat_batch + p.seq_cutoff);
+  auto orig = v;
+  SortStats stats;
+  wfsort::sort(std::span<std::uint64_t>(v),
+               Options{.threads = 3,
+                       .variant = p.variant,
+                       .wat_batch = p.wat_batch,
+                       .seq_cutoff = p.seq_cutoff},
+               &stats);
+  expect_sorted_permutation(orig, v, knob_label(p));
+  EXPECT_LE(stats.max_build_iters, v.size() - 1);  // Lemma 2.4 at any batch
+  EXPECT_EQ(stats.completed_workers, 3u);
+}
+
+std::vector<KnobParam> make_knob_sweep() {
+  std::vector<KnobParam> out;
+  for (std::uint32_t b : {1u, 4u, 16u}) {
+    for (std::uint64_t c : {0u, 32u, 256u}) {
+      out.push_back({b, c, Variant::kDeterministic});
+      out.push_back({b, c, Variant::kLowContention});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, KnobSweep, testing::ValuesIn(make_knob_sweep()),
+                         [](const testing::TestParamInfo<KnobParam>& info) {
+                           return knob_label(info.param);
+                         });
+
 // ------------------------------------------------------------ variants
 
 TEST(SortNative, LowContentionFallsBackBelowThreshold) {
@@ -391,6 +445,37 @@ TEST(SortFaults, CrashesWithLowContentionVariant) {
         Options{.threads = kThreads, .variant = Variant::kLowContention}, plan);
     ASSERT_TRUE(ok) << crash_point;
     expect_sorted_permutation(orig, v, "lc-crash@" + std::to_string(crash_point));
+  }
+}
+
+TEST(SortFaults, CannedAdversaryAtNonDefaultKnobs) {
+  // The canned staggered-kills adversary, compiled onto the native substrate
+  // via program_plan, against knobs far from the defaults on both sides:
+  // batching and the sequential cutoff must not open any crash window (the
+  // cutoff's completion flag is published only after the block walk).
+  constexpr std::uint32_t kThreads = 4;
+  const wfsort::runtime::FaultScript script =
+      wfsort::runtime::staggered_kills(/*first_round=*/40, /*stride=*/400, kThreads,
+                                       /*survivors=*/1);
+  for (const Options opts :
+       {Options{.threads = kThreads, .wat_batch = 1, .seq_cutoff = 512},
+        Options{.threads = kThreads, .wat_batch = 64, .seq_cutoff = 0},
+        Options{.threads = kThreads,
+                .variant = Variant::kLowContention,
+                .wat_batch = 64,
+                .seq_cutoff = 512}}) {
+    auto v = make_workload(Workload::kRandom, 2048, 77);
+    auto orig = v;
+    wfsort::runtime::FaultPlan plan(kThreads);
+    wfsort::runtime::program_plan(script, plan);
+    SortStats stats;
+    const bool ok =
+        wfsort::sort_with_faults(std::span<std::uint64_t>(v), opts, plan, &stats);
+    ASSERT_TRUE(ok);
+    expect_sorted_permutation(
+        orig, v, "canned b" + std::to_string(opts.wat_batch) + "_c" +
+                     std::to_string(opts.seq_cutoff));
+    EXPECT_GE(stats.completed_workers, 1u);
   }
 }
 

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Run the native-engine benchmark suite and drop its JSON report at the repo
+# root as BENCH_native_perf.json, where docs/native_engine.md points.  The
+# committed copy of that file is the tracked native-perf baseline: re-run
+# this script on the bench host after any hot-path change and commit the
+# diff alongside it.
+#
+# Usage:
+#   tools/run_native_bench.sh [build-dir] [extra benchmark args...]
+#
+# The build directory defaults to ./build-release and must already contain a
+# configured Release build; the script builds (only) the bench_e11_native
+# target in it.  Extra arguments are forwarded to the benchmark binary, e.g.:
+#   tools/run_native_bench.sh build-release --benchmark_filter='Det/1048576'
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-release}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
+  echo "error: '$build_dir' is not a configured CMake build directory" >&2
+  echo "hint: cmake -B \"$build_dir\" -S \"$repo_root\" -DCMAKE_BUILD_TYPE=Release" >&2
+  exit 1
+fi
+
+cmake --build "$build_dir" --target bench_e11_native -j "$(nproc)"
+
+out="$repo_root/BENCH_native_perf.json"
+"$build_dir/bench/bench_e11_native" \
+  --benchmark_format=json \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $out"
