@@ -39,6 +39,11 @@ const std::vector<Json>& Json::items() const {
   return arr_;
 }
 
+const std::vector<std::pair<std::string, Json>>& Json::object_items() const {
+  WFSORT_CHECK(type_ == Type::kObject);
+  return obj_;
+}
+
 const Json* Json::find(const std::string& key) const {
   WFSORT_CHECK(type_ == Type::kObject);
   for (const auto& [k, v] : obj_) {

@@ -66,6 +66,8 @@ class Json {
   double as_double() const;  // accepts kInt too
   const std::string& as_string() const;
   const std::vector<Json>& items() const;
+  // Object members in insertion order (the dumped order).
+  const std::vector<std::pair<std::string, Json>>& object_items() const;
 
   // Object lookup; returns nullptr when absent (callers choose defaults).
   const Json* find(const std::string& key) const;

@@ -20,15 +20,18 @@
 //     element still walks exactly the path Figure 4 assigns it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/detail/tree_state.h"
+#include "telemetry/recorder.h"
 
 namespace wfsort::detail {
 
 struct BuildResult {
   std::uint64_t iterations = 0;    // trips around the Figure-4 loop
   std::uint64_t cas_failures = 0;  // CAS attempts / probes lost to another processor
+  std::uint64_t installs = 0;      // successful installing CASes (0 or 1)
 };
 
 // Per-worker phase-1 accumulator: engine flushes it into the shared stats
@@ -37,10 +40,12 @@ struct BuildTally {
   std::uint64_t iterations = 0;
   std::uint64_t cas_failures = 0;
   std::uint64_t max_iterations = 0;
+  std::uint64_t installs = 0;
 
   void add(const BuildResult& r) {
     iterations += r.iterations;
     cas_failures += r.cas_failures;
+    installs += r.installs;
     if (r.iterations > max_iterations) max_iterations = r.iterations;
   }
 };
@@ -65,6 +70,7 @@ BuildResult build_from(TreeState<Key, Compare>& st, std::int64_t i,
       std::int64_t expected = kNoIdx;
       if (slot.compare_exchange_strong(expected, i, std::memory_order_acq_rel,
                                        std::memory_order_acquire)) {
+        r.installs = 1;
         return r;
       }
       c = expected;  // some processor won the slot concurrently
@@ -95,14 +101,19 @@ BuildResult build_one(TreeState<Key, Compare>& st, std::int64_t i) {
 // granularity); returns false if the worker was aborted.
 inline constexpr int kBuildLanes = 8;
 
-template <typename Key, typename Compare, typename Check>
+template <typename Key, typename Compare, typename Check,
+          typename Tel = std::nullptr_t>
 bool build_batch(TreeState<Key, Compare>& st, std::int64_t lo, std::int64_t hi,
-                 BuildTally& tally, Check&& keep_going) {
+                 BuildTally& tally, Check&& keep_going, Tel tel = nullptr) {
+  constexpr bool kTel = telemetry::kTelEnabled<Tel>;
   struct Lane {
     std::int64_t elem;
     std::int64_t parent;
     std::uint64_t iterations;
+    std::uint64_t fails;  // per-lane only when kTel (feeds the histogram)
   };
+  [[maybe_unused]] bool tel_detail = false;
+  if constexpr (kTel) tel_detail = tel != nullptr && tel->detail;
   Lane lanes[kBuildLanes];
   int active = 0;
   const std::int64_t root = st.root_idx();
@@ -112,7 +123,7 @@ bool build_batch(TreeState<Key, Compare>& st, std::int64_t lo, std::int64_t hi,
     while (next < hi) {
       const std::int64_t i = next++;
       if (i == root) continue;  // the root is never inserted
-      lanes[slot] = {i, root, 0};
+      lanes[slot] = {i, root, 0, 0};
       st.prefetch(root);
       return true;
     }
@@ -159,14 +170,37 @@ bool build_batch(TreeState<Key, Compare>& st, std::int64_t lo, std::int64_t hi,
       ++ln.iterations;
       WFSORT_DCHECK(ln.iterations <= static_cast<std::uint64_t>(st.n()));
       if (installed || c == ln.elem) {
-        tally.add({ln.iterations, 0});
-        if (!keep_going()) return false;
+        if constexpr (kTel) {
+          tally.add({ln.iterations, ln.fails, installed ? 1u : 0u});
+          if (tel_detail) {
+            tel->rep.cas_retries.add(ln.fails);
+            tel->count(telemetry::Counter::kCasFailures, ln.fails);
+            if (installed) tel->count(telemetry::Counter::kCasInstalls);
+          }
+        } else {
+          tally.add({ln.iterations, 0, installed ? 1u : 0u});
+        }
+        if (!keep_going()) {
+          if constexpr (kTel) {
+            // Aborted mid-batch: fold the still-in-flight lanes' lost probes
+            // into the tally so crash paths report the same counts as direct
+            // accumulation (slot l was already added above).
+            for (int k = 0; k < active; ++k) {
+              if (k != l) tally.cas_failures += lanes[k].fails;
+            }
+          }
+          return false;
+        }
         if (!refill(l)) {
           lanes[l] = lanes[--active];  // retire the lane
         }
         continue;  // new occupant of slot l steps next round
       }
-      ++tally.cas_failures;
+      if constexpr (kTel) {
+        ++ln.fails;
+      } else {
+        ++tally.cas_failures;
+      }
       ln.parent = c;
       st.prefetch(c);  // overlap this miss with the other lanes' steps
       ++l;

@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -43,6 +44,7 @@
 #include "lowcontention/fat_tree.h"
 #include "lowcontention/winner_tree.h"
 #include "runtime/fault_plan.h"
+#include "telemetry/recorder.h"
 #include "workalloc/lcwat.h"
 #include "workalloc/wat.h"
 
@@ -85,6 +87,11 @@ class Engine {
   // per-chunk done flags make finalize()'s sweep exact.
   static constexpr std::uint64_t kCopyChunk = 8192;
 
+  // Telemetry scratch slots cover every worker id a SortSession can hand
+  // out (its kMaxWorkers), not just the nominal thread count — replacement
+  // workers get ids past `threads` and must still be recordable.
+  static constexpr std::uint32_t kTelemetrySlots = 64;
+
   // `assemble_into_data` controls whether workers (and finalize) write the
   // sorted output back into `data`; sort_permutation turns it off because
   // its input must stay untouched.
@@ -103,6 +110,10 @@ class Engine {
       effective_variant_ = Variant::kDeterministic;
     }
     if (effective_variant_ == Variant::kLowContention) init_lc();
+    if (opts.telemetry != telemetry::Level::kOff && data_.size() > 1) {
+      recorder_ = std::make_unique<telemetry::Recorder>(
+          opts.telemetry, std::max(nominal_threads_, kTelemetrySlots));
+    }
     if (copy_back_ && data_.size() > 1) {
       copy_chunks_ = (data_.size() + kCopyChunk - 1) / kCopyChunk;
       copy_done_ = std::make_unique<std::atomic<std::uint8_t>[]>(copy_chunks_);
@@ -121,16 +132,32 @@ class Engine {
       completed_.fetch_add(1, std::memory_order_acq_rel);
       return true;
     }
-    const bool ok = effective_variant_ == Variant::kDeterministic
-                        ? run_deterministic(tid, plan)
-                        : run_low_contention(tid, plan);
+    telemetry::WorkerScratch* tel =
+        recorder_ != nullptr ? recorder_->scratch(tid) : nullptr;
+    // Closes the worker's open span on every exit path, so a fault-injected
+    // crash leaves a truncated span instead of a dangling one.
+    telemetry::ScratchCloser closer(tel);
+    // Compile-time fork: the nullptr instantiation of the per-variant
+    // programs is the untraced hot path, identical to pre-telemetry code.
+    bool ok;
+    if (tel != nullptr) {
+      ok = effective_variant_ == Variant::kDeterministic
+               ? run_deterministic(tid, plan, tel)
+               : run_low_contention(tid, plan, tel);
+    } else {
+      ok = effective_variant_ == Variant::kDeterministic
+               ? run_deterministic(tid, plan, nullptr)
+               : run_low_contention(tid, plan, nullptr);
+    }
     if (!ok) {
+      if (tel != nullptr) tel->rep.crashed = true;
       crashed_.fetch_add(1, std::memory_order_acq_rel);
       return false;
     }
     // This worker placed or pruned-as-placed every element, so the output
     // is fully assembled: help copy it back while stragglers keep going
     // (they only touch the node records, never the caller's buffer).
+    if (tel != nullptr) tel->begin_phase(telemetry::PhaseId::kCopyBack);
     assist_copy_back();
     return true;
   }
@@ -148,6 +175,21 @@ class Engine {
       if (copy_done_[c].load(std::memory_order_acquire) == 0) copy_chunk(c);
     }
     measured_depth_ = st_.measure_depth();
+    snapshot_telemetry();
+  }
+
+  // Freeze the run's telemetry into an immutable Report.  Idempotent; call
+  // with all workers joined (the scratch slots are unsynchronized).  Also
+  // invoked by finalize(); sort_with_faults calls it directly on the failure
+  // path, where finalize() never runs but the partial timeline is exactly
+  // what the adversary tooling wants.
+  void snapshot_telemetry() {
+    if (recorder_ == nullptr || report_ != nullptr) return;
+    report_ = std::make_shared<const telemetry::Report>(recorder_->snapshot());
+  }
+
+  std::shared_ptr<const telemetry::Report> telemetry_report() const {
+    return report_;
   }
 
   SortStats stats() const {
@@ -159,7 +201,9 @@ class Engine {
     s.max_build_iters = max_build_iters_.load(std::memory_order_relaxed);
     s.total_build_iters = total_build_iters_.load(std::memory_order_relaxed);
     s.cas_failures = cas_failures_.load(std::memory_order_relaxed);
+    s.cas_successes = install_cas_.load(std::memory_order_relaxed);
     s.fat_read_misses = fat_misses_.load(std::memory_order_relaxed);
+    s.telemetry = report_;
     s.tree_depth = measured_depth_;
     s.phase1_ms = static_cast<double>(phase1_us_.load(std::memory_order_relaxed)) / 1000.0;
     s.phase2_ms = static_cast<double>(phase2_us_.load(std::memory_order_relaxed)) / 1000.0;
@@ -233,6 +277,9 @@ class Engine {
     if (tally.cas_failures != 0) {
       cas_failures_.fetch_add(tally.cas_failures, std::memory_order_relaxed);
     }
+    if (tally.installs != 0) {
+      install_cas_.fetch_add(tally.installs, std::memory_order_relaxed);
+    }
   }
 
   // Claim output chunks and copy them into the caller's buffer.  Only run
@@ -258,47 +305,72 @@ class Engine {
   }
 
   // --- deterministic variant (Section 2) ---
-  bool run_deterministic(std::uint32_t tid, runtime::FaultPlan* plan) {
+  // `Tel` is telemetry::WorkerScratch* (recording) or std::nullptr_t; the
+  // nullptr instantiation strips every telemetry site at compile time.
+  template <typename Tel>
+  bool run_deterministic(std::uint32_t tid, runtime::FaultPlan* plan, Tel tel) {
+    constexpr bool kTel = telemetry::kTelEnabled<Tel>;
     const auto chk = [plan, tid] { return plan == nullptr || plan->checkpoint(tid); };
+    [[maybe_unused]] bool tel_detail = false;
+    if constexpr (kTel) tel_detail = tel->detail;
     const std::int64_t n = st_.n();
 
     PhaseClock clock;
     clock.start();
+    if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kBuild);
     // Phase 1: WAT-allocated tree building, one batch of adjacent jobs per
     // claimed leaf.
     BuildTally tally;
     std::int64_t node = wat_.initial_leaf(tid, nominal_threads_);
+    [[maybe_unused]] std::uint64_t wat_probes = 1;  // WAT nodes since last claim
     while (true) {
       if (!chk()) {
         flush_build(tally);
         return false;
       }
       if (wat_.is_job_leaf(node)) {
+        if constexpr (kTel) {
+          if (tel_detail) {
+            tel->count(telemetry::Counter::kWatClaims);
+            tel->count(telemetry::Counter::kWatProbes, wat_probes);
+            tel->rep.wat_probes.add(wat_probes);
+            wat_probes = 0;
+          }
+        }
         const std::int64_t lo =
             static_cast<std::int64_t>(wat_.job_of(node) * wat_batch_);
         const std::int64_t hi =
             std::min<std::int64_t>(n, lo + static_cast<std::int64_t>(wat_batch_));
-        if (!build_batch(st_, lo, hi, tally, chk)) {
+        if (!build_batch(st_, lo, hi, tally, chk, tel)) {
           flush_build(tally);
           return false;
         }
       }
       node = wat_.next_element(node);
+      if constexpr (kTel) {
+        if (tel_detail) ++wat_probes;
+      }
       if (node == Wat::kAllJobsDone) break;
     }
     flush_build(tally);
     clock.lap(phase1_us_);
     // Phases 2 and 3.
+    if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kSum);
     if (!tree_sum(st_, tid, chk)) return false;
     clock.lap(phase2_us_);
-    if (!find_place_emit(st_, tid, opts_.prune, seq_cutoff_, chk)) return false;
+    if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kPlace);
+    if (!find_place_emit(st_, tid, opts_.prune, seq_cutoff_, chk, tel)) return false;
     clock.lap(phase3_us_);
     return true;
   }
 
   // --- randomized low-contention variant (Section 3) ---
-  bool run_low_contention(std::uint32_t tid, runtime::FaultPlan* plan) {
+  template <typename Tel>
+  bool run_low_contention(std::uint32_t tid, runtime::FaultPlan* plan, Tel tel) {
+    constexpr bool kTel = telemetry::kTelEnabled<Tel>;
     const auto chk = [plan, tid] { return plan == nullptr || plan->checkpoint(tid); };
+    [[maybe_unused]] bool tel_detail = false;
+    if constexpr (kTel) tel_detail = tel->detail;
     LcShared& lc = *lc_;
     Rng rng = Rng(opts_.seed).fork(tid);
     PhaseClock clock;
@@ -308,6 +380,7 @@ class Engine {
 
     // Stage A: this worker's group pre-sorts its slice with the
     // deterministic algorithm (paper step 1).
+    if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kLcPresort);
     const std::uint32_t group = tid % lc.groups;
     const std::uint32_t group_workers =
         std::max<std::uint32_t>(1, nominal_threads_ / lc.groups);
@@ -315,34 +388,47 @@ class Engine {
     Wat& gwat = *lc.group_wats[group];
     const std::int64_t slice_n = static_cast<std::int64_t>(lc.slice_len);
     std::int64_t node = gwat.initial_leaf(tid / lc.groups, group_workers);
+    [[maybe_unused]] std::uint64_t wat_probes = 1;  // WAT nodes since last claim
     while (true) {
       if (!chk()) {
         flush_build(tally);
         return false;
       }
       if (gwat.is_job_leaf(node)) {
+        if constexpr (kTel) {
+          if (tel_detail) {
+            tel->count(telemetry::Counter::kWatClaims);
+            tel->count(telemetry::Counter::kWatProbes, wat_probes);
+            tel->rep.wat_probes.add(wat_probes);
+            wat_probes = 0;
+          }
+        }
         const std::int64_t lo =
             static_cast<std::int64_t>(gwat.job_of(node) * wat_batch_);
         const std::int64_t hi =
             std::min<std::int64_t>(slice_n, lo + static_cast<std::int64_t>(wat_batch_));
-        if (!build_batch(gst, lo, hi, tally, chk)) {
+        if (!build_batch(gst, lo, hi, tally, chk, tel)) {
           flush_build(tally);
           return false;
         }
       }
       node = gwat.next_element(node);
+      if constexpr (kTel) {
+        if (tel_detail) ++wat_probes;
+      }
       if (node == Wat::kAllJobsDone) break;
     }
     if (!tree_sum(gst, tid, chk)) {
       flush_build(tally);
       return false;
     }
-    if (!find_place_emit(gst, tid, PrunePlaced::kNo, seq_cutoff_, chk)) {
+    if (!find_place_emit(gst, tid, PrunePlaced::kNo, seq_cutoff_, chk, tel)) {
       flush_build(tally);
       return false;
     }
 
     // Stage B: pick the winning group (paper step 2; Figure 9).
+    if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kLcWinner);
     const std::int64_t w = lc.winner.compete(tid, group, rng);
 
     // Stage C: reconstruct the winner slice's sorted order (global element
@@ -350,6 +436,7 @@ class Engine {
     // completed the slice, so every place is set and the contents are the
     // same for every worker — the first one to finish publishes its copy
     // via a write-once pointer and everyone else reuses it.
+    if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kLcSortedIdx);
     const std::vector<std::int64_t>* si =
         lc.sorted_idx.load(std::memory_order_acquire);
     if (si == nullptr) {
@@ -380,6 +467,7 @@ class Engine {
     // Stage D: fatten the winner tree (write-most) and stitch its structure
     // into the main pivot tree.  All writes are idempotent (identical values
     // from every worker), so no coordination is needed.
+    if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kLcFatten);
     lc.fat.write_random_cells(sorted_idx, lc.fat.fill_quota(nominal_threads_), rng);
     const std::int64_t root = sorted_idx[lc.fat.rank_of(0)];
     st_.set_root(root);
@@ -401,19 +489,32 @@ class Engine {
     // allocated by random probing (LC-WAT), which doubles as the random
     // insertion order that keeps the tree depth O(log N) on any input;
     // descents go through the fat tree, dividing top-level contention.
+    if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kLcInsert);
     const std::int64_t wbase = static_cast<std::int64_t>(w) *
                                static_cast<std::int64_t>(lc.slice_len);
     const std::int64_t wend = wbase + static_cast<std::int64_t>(lc.slice_len);
+    [[maybe_unused]] std::uint64_t lcwat_probes = 0;  // step() calls since last claim
     while (true) {
       if (!chk()) {
         flush_build(tally);
         if (fat_misses != 0) fat_misses_.fetch_add(fat_misses, std::memory_order_relaxed);
         return false;
       }
+      if constexpr (kTel) {
+        if (tel_detail) ++lcwat_probes;
+      }
       const auto outcome = lc.insert_wat.step(rng, [&](std::uint64_t j) {
+        if constexpr (kTel) {
+          if (tel_detail) {
+            tel->count(telemetry::Counter::kWatClaims);
+            tel->count(telemetry::Counter::kWatProbes, lcwat_probes);
+            tel->rep.wat_probes.add(lcwat_probes);
+            lcwat_probes = 0;
+          }
+        }
         const std::int64_t i = static_cast<std::int64_t>(j);
         if (i >= wbase && i < wend) return;  // already in the tree (fat top)
-        insert_via_fat(i, sorted_idx, rng, tally, fat_misses);
+        insert_via_fat(i, sorted_idx, rng, tally, fat_misses, tel);
       });
       if (outcome == LcWat::Outcome::kQuit) break;
     }
@@ -422,25 +523,41 @@ class Engine {
 
     clock.lap(phase1_us_);
     // Stages F, G: randomized summation and placement (Section 3.3).
+    if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kSum);
     if (!lc_tree_sum(st_, lc.sum_marks, rng, chk)) return false;
     clock.lap(phase2_us_);
+    if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kPlace);
     if (!lc_find_place_emit(st_, lc.place_marks, rng, chk)) return false;
     clock.lap(phase3_us_);
     return true;
   }
 
+  template <typename Tel = std::nullptr_t>
   void insert_via_fat(std::int64_t i, std::span<const std::int64_t> sorted_idx, Rng& rng,
-                      BuildTally& tally, std::uint64_t& fat_misses) {
+                      BuildTally& tally, std::uint64_t& fat_misses, Tel tel = nullptr) {
+    constexpr bool kTel = telemetry::kTelEnabled<Tel>;
     LcShared& lc = *lc_;
     std::uint64_t misses = 0;
+    [[maybe_unused]] std::uint64_t reads = 1;  // the leaf handoff read below
     std::uint64_t f = 0;
     while (!lc.fat.is_leaf(f)) {
       const std::int64_t e = lc.fat.read(f, sorted_idx, rng, &misses);
+      if constexpr (kTel) ++reads;
       f = st_.less(i, e) ? lc.fat.left(f) : lc.fat.right(f);
     }
     const std::int64_t handoff = lc.fat.read(f, sorted_idx, rng, &misses);
     fat_misses += misses;
-    tally.add(build_from(st_, i, handoff));
+    const BuildResult r = build_from(st_, i, handoff);
+    tally.add(r);
+    if constexpr (kTel) {
+      if (tel->detail) {
+        tel->count(telemetry::Counter::kFatMisses, misses);
+        tel->count(telemetry::Counter::kFatHits, reads - misses);
+        tel->rep.cas_retries.add(r.cas_failures);
+        tel->count(telemetry::Counter::kCasFailures, r.cas_failures);
+        if (r.installs != 0) tel->count(telemetry::Counter::kCasInstalls);
+      }
+    }
   }
 
   std::span<Key> data_;
@@ -458,9 +575,13 @@ class Engine {
   std::atomic<std::uint64_t> copy_next_{0};
   std::unique_ptr<std::atomic<std::uint8_t>[]> copy_done_;
 
+  std::unique_ptr<telemetry::Recorder> recorder_;
+  std::shared_ptr<const telemetry::Report> report_;
+
   std::atomic<std::uint64_t> max_build_iters_{0};
   std::atomic<std::uint64_t> total_build_iters_{0};
   std::atomic<std::uint64_t> cas_failures_{0};
+  std::atomic<std::uint64_t> install_cas_{0};
   std::atomic<std::uint32_t> completed_{0};
   std::atomic<std::uint32_t> crashed_{0};
   std::uint32_t measured_depth_ = 0;

@@ -39,12 +39,14 @@
 // untouched — nobody ever waits for a block winner (docs/native_engine.md).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/detail/tree_state.h"
 #include "core/options.h"
+#include "telemetry/recorder.h"
 
 namespace wfsort::detail {
 
@@ -162,9 +164,11 @@ bool place_block(TreeState<Key, Compare>& st, std::int64_t node, std::int64_t su
 // Phase 3 with output emission: place every element and store it into
 // st.out at its final rank.  Subtrees of at most `seq_cutoff` elements are
 // handled by place_block (0 disables the cutoff).
-template <typename Key, typename Compare, typename Check>
+template <typename Key, typename Compare, typename Check,
+          typename Tel = std::nullptr_t>
 bool find_place_emit(TreeState<Key, Compare>& st, std::uint32_t pid, PrunePlaced prune,
-                     std::uint64_t seq_cutoff, Check&& keep_going) {
+                     std::uint64_t seq_cutoff, Check&& keep_going, Tel tel = nullptr) {
+  constexpr bool kTel = telemetry::kTelEnabled<Tel>;
   if (st.n() == 0) return true;
   struct Frame {
     std::int64_t node;
@@ -201,7 +205,20 @@ bool find_place_emit(TreeState<Key, Compare>& st, std::uint32_t pid, PrunePlaced
     if (seq_cutoff != 0 &&
         static_cast<std::uint64_t>(st.size_of(f.node)) <= seq_cutoff) {
       if (!place_block(st, f.node, f.sub, scratch, keep_going)) return false;
-      if (prune == PrunePlaced::kDone) st.try_claim_place_done(f.node);
+      if constexpr (kTel) {
+        bool claimed = true;
+        if (prune == PrunePlaced::kDone) claimed = st.try_claim_place_done(f.node);
+        if (tel != nullptr && tel->detail) {
+          tel->count(telemetry::Counter::kSeqBlocks);
+          tel->count(telemetry::Counter::kSeqBlockElems,
+                     static_cast<std::uint64_t>(st.size_of(f.node)));
+          // A lost completion-flag CAS means another worker already walked
+          // this block: the walk just performed was duplicated work.
+          if (!claimed) tel->count(telemetry::Counter::kSeqBlockRepeats);
+        }
+      } else {
+        if (prune == PrunePlaced::kDone) st.try_claim_place_done(f.node);
+      }
       stack.pop_back();
       continue;
     }

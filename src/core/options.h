@@ -2,7 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <thread>
+
+#include "telemetry/report.h"
 
 namespace wfsort {
 
@@ -53,6 +56,13 @@ struct Options {
   // idempotent).  0 disables.  Default measured (docs/native_engine.md).
   std::uint64_t seq_cutoff = 128;
 
+  // Observability (docs/observability.md).  kOff — the default — costs the
+  // hot path one null-pointer test per instrumentation site; kPhases records
+  // per-worker, per-phase wall-time spans; kFull adds per-site contention
+  // counters and per-element CAS-retry / WAT-probe histograms, accumulated
+  // in per-worker scratch.  The finished report hangs off SortStats.
+  telemetry::Level telemetry = telemetry::Level::kOff;
+
   std::uint32_t resolved_threads() const {
     if (threads != 0) return threads;
     const unsigned hw = std::thread::hardware_concurrency();
@@ -74,8 +84,10 @@ struct SortStats {
   std::uint32_t tree_depth = 0;
 
   // Failed CAS attempts during tree building (a native proxy for phase-1
-  // memory contention).
+  // memory contention), and the successful installs they raced against
+  // (always N-1 on a completed run: one install per non-root element).
   std::uint64_t cas_failures = 0;
+  std::uint64_t cas_successes = 0;
 
   // Low-contention variant: fat-tree reads that hit an unfilled copy and
   // fell back to the authoritative slice (see FatTree::read).
@@ -88,6 +100,11 @@ struct SortStats {
   double phase1_ms = 0.0;
   double phase2_ms = 0.0;
   double phase3_ms = 0.0;
+
+  // The run's telemetry snapshot, when Options::telemetry asked for one;
+  // null at Level::kOff and while the run is still live (the snapshot is
+  // taken after the workers join).  Shared so SortStats stays copyable.
+  std::shared_ptr<const telemetry::Report> telemetry;
 };
 
 }  // namespace wfsort

@@ -77,6 +77,13 @@ class SortSession {
 
   SortStats stats() const { return engine_.stats(); }
 
+  // The run's telemetry snapshot: null until wait() has joined the workers
+  // (the per-worker scratch is unsynchronized), and null for good at
+  // Options::telemetry == kOff.
+  std::shared_ptr<const telemetry::Report> telemetry() const {
+    return engine_.telemetry_report();
+  }
+
  private:
   detail::Engine<T, Compare> engine_;
   runtime::FaultPlan plan_;

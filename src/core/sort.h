@@ -60,7 +60,13 @@ bool sort_with_faults(std::span<T> data, const Options& opts, runtime::FaultPlan
     }
   }  // join
   const bool ok = engine.result_ready();
-  if (ok) engine.finalize();
+  if (ok) {
+    engine.finalize();
+  } else {
+    // No finalize on failure, but the partial telemetry timeline (truncated
+    // spans of the crashed workers) is still wanted by the fault tooling.
+    engine.snapshot_telemetry();
+  }
   if (stats != nullptr) *stats = engine.stats();
   return ok;
 }

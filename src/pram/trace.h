@@ -7,8 +7,8 @@
 // cost is a single branch per op otherwise.
 #pragma once
 
-#include <deque>
 #include <string>
+#include <vector>
 
 #include "pram/memory.h"
 #include "pram/request.h"
@@ -32,23 +32,43 @@ class Tracer {
   virtual void on_event(const TraceEvent& event) = 0;
 };
 
-// Keeps the most recent `capacity` events in memory.
+// Keeps the most recent `capacity` events in a fixed-capacity ring: the
+// backing vector is filled once and then overwritten in place, so steady-
+// state recording is allocation-free (a deque would churn block nodes).
+// capacity 0 records nothing but still counts total_events().
 class RingTracer final : public Tracer {
  public:
-  explicit RingTracer(std::size_t capacity) : capacity_(capacity) {}
-
-  void on_event(const TraceEvent& event) override {
-    if (events_.size() == capacity_) events_.pop_front();
-    events_.push_back(event);
-    ++total_;
+  explicit RingTracer(std::size_t capacity) : capacity_(capacity) {
+    buf_.reserve(capacity_);
   }
 
-  const std::deque<TraceEvent>& events() const { return events_; }
+  void on_event(const TraceEvent& event) override {
+    ++total_;
+    if (capacity_ == 0) return;
+    if (buf_.size() < capacity_) {
+      buf_.push_back(event);  // filling phase: within the reserved capacity
+    } else {
+      buf_[head_] = event;  // steady state: overwrite the oldest slot
+      head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+    }
+  }
+
+  // The retained window in chronological order (oldest first).
+  std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(buf_.size());
+    const auto mid = buf_.begin() + static_cast<std::ptrdiff_t>(head_);
+    out.insert(out.end(), mid, buf_.end());
+    out.insert(out.end(), buf_.begin(), mid);
+    return out;
+  }
+  std::size_t size() const { return buf_.size(); }
   std::uint64_t total_events() const { return total_; }
 
  private:
   std::size_t capacity_;
-  std::deque<TraceEvent> events_;
+  std::size_t head_ = 0;  // index of the oldest event once the ring is full
+  std::vector<TraceEvent> buf_;
   std::uint64_t total_ = 0;
 };
 

@@ -15,6 +15,7 @@
 #include "pramsort/lc_programs.h"
 #include "pramsort/validate.h"
 #include "runtime/oracle.h"
+#include "telemetry/schema.h"
 #include "workalloc/wat_program.h"
 
 namespace wfsort::runtime {
@@ -160,6 +161,15 @@ ScenarioResult run_sim_scenario(const ScenarioSpec& spec) {
   res.rounds = run.rounds;
   res.total_ops = m.metrics().total_ops();
   res.max_contention = m.metrics().max_cell_contention();
+  {
+    telemetry::SimRunInfo info;
+    info.program = std::string(sort_kind_name(spec.variant)) + "_sort";
+    info.n = spec.n;
+    info.procs = spec.procs;
+    info.sched = sched_family_name(spec.sched.family);
+    info.seed = spec.machine_seed;
+    res.stats = telemetry::sim_stats_json(info, m.metrics());
+  }
 
   if (oracle != nullptr && oracle->violated()) {
     res.failure = FailureKind::kOracle;
@@ -213,11 +223,15 @@ ScenarioResult run_native_scenario(const ScenarioSpec& spec) {
   opts.variant = spec.variant == SortKind::kLc ? Variant::kLowContention : Variant::kDeterministic;
   opts.prune = to_native_prune(spec.prune);
   opts.seed = spec.sort_seed;
+  // Full telemetry: adversarial runs are small, and the per-phase timeline
+  // plus contention attribution is what makes a failure artifact diagnosable.
+  opts.telemetry = telemetry::Level::kFull;
 
   FaultPlan plan(spec.procs);
   program_plan(spec.script, plan);
   SortStats stats;
   const bool ok = sort_with_faults(std::span<std::uint64_t>(data), opts, plan, &stats);
+  res.stats = telemetry::native_stats_json(telemetry::native_run_info(opts, spec.n), stats);
 
   const std::vector<std::uint32_t> killed = spec.script.killed_targets();
   const auto survived = [&killed](std::uint32_t tid) {
@@ -392,6 +406,7 @@ std::string artifact_to_text(const ReplayArtifact& a) {
   failure.set("kind", failure_kind_name(a.failure));
   failure.set("detail", a.detail);
   j.set("failure", std::move(failure));
+  if (!a.observed.is_null()) j.set("observed", a.observed);
   return j.dump();
 }
 
@@ -419,6 +434,9 @@ bool artifact_from_text(const std::string& text, ReplayArtifact* out, std::strin
     if (const Json* detail = failure->find("detail"); detail != nullptr) {
       a.detail = detail->as_string();
     }
+  }
+  if (const Json* observed = j.find("observed"); observed != nullptr) {
+    a.observed = *observed;
   }
   *out = a;
   return true;

@@ -87,6 +87,12 @@ struct ScenarioResult {
   // Worst own-step count over processors that finished (both substrates).
   std::uint64_t max_finish_steps = 0;
 
+  // The run's unified stats document ("wfsort-stats-v1", telemetry/schema.h):
+  // pram::Metrics for simulated runs, SortStats + full-level telemetry for
+  // native ones.  Embedded in failure artifacts so replay can diff observed
+  // contention against the original run.
+  Json stats;
+
   bool ok() const { return failure == FailureKind::kNone; }
 };
 
@@ -105,6 +111,9 @@ struct ReplayArtifact {
   ScenarioSpec spec;
   FailureKind failure = FailureKind::kNone;
   std::string detail;
+  // Stats document of the original failing run (null when the artifact
+  // predates telemetry); `wfsort replay` diffs a re-run against this.
+  Json observed;
 };
 
 Json spec_to_json(const ScenarioSpec& spec);

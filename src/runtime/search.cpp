@@ -122,6 +122,34 @@ bool native_representable(const FaultScript& s) {
 
 }  // namespace
 
+SearchStats::FamilyProgress& SearchStats::family(const std::string& name) {
+  for (FamilyProgress& f : families) {
+    if (f.family == name) return f;
+  }
+  families.push_back(FamilyProgress{name, 0, 0, 0});
+  return families.back();
+}
+
+Json search_stats_json(const SearchStats& stats) {
+  Json doc = Json::object();
+  doc.set("schema", "wfsort-search-v1");
+  doc.set("runs", stats.runs);
+  doc.set("probes", stats.probes);
+  doc.set("scripts", stats.scripts);
+  doc.set("failures", stats.failures);
+  Json families = Json::array();
+  for (const SearchStats::FamilyProgress& f : stats.families) {
+    Json fj = Json::object();
+    fj.set("family", f.family);
+    fj.set("runs", f.runs);
+    fj.set("scripts", f.scripts);
+    fj.set("failures", f.failures);
+    families.push_back(std::move(fj));
+  }
+  doc.set("families", std::move(families));
+  return doc;
+}
+
 ProbeReport probe_scenario(const ScenarioSpec& spec) {
   WFSORT_CHECK(spec.substrate == Substrate::kSim);
   const std::vector<pram::Word> keys =
@@ -254,6 +282,7 @@ bool search_for_violation(const ScenarioSpec& base, const SearchOptions& opts,
   }
 
   for (const SchedSpec& sched : scheds) {
+    SearchStats::FamilyProgress& fam = st.family(sched_family_name(sched.family));
     ScenarioSpec probe_spec = base;
     probe_spec.sched = sched;
     probe_spec.script = FaultScript{};
@@ -273,6 +302,7 @@ bool search_for_violation(const ScenarioSpec& base, const SearchOptions& opts,
       scripts.push_back(random_script(base.procs, probe.rounds, rng));
     }
     st.scripts += scripts.size();
+    fam.scripts += scripts.size();
 
     for (const FaultScript& script : scripts) {
       if (st.runs >= opts.max_runs) return false;
@@ -285,10 +315,14 @@ bool search_for_violation(const ScenarioSpec& base, const SearchOptions& opts,
       candidate.script = resolved;
       const ScenarioResult res = run_scenario(candidate);
       ++st.runs;
+      ++fam.runs;
       if (!res.ok()) {
+        ++st.failures;
+        ++fam.failures;
         out->spec = candidate;
         out->failure = res.failure;
         out->detail = res.detail;
+        out->observed = res.stats;
         return true;
       }
     }
@@ -304,6 +338,7 @@ ReplayArtifact shrink_artifact(const ReplayArtifact& artifact, const ShrinkOptio
 
   ReplayArtifact best = artifact;
   std::vector<FaultEvent> events = artifact.spec.script.events;
+  Json observed = artifact.observed;
 
   const auto still_fails = [&](const std::vector<FaultEvent>& candidate,
                                std::string* detail) {
@@ -317,6 +352,10 @@ ReplayArtifact shrink_artifact(const ReplayArtifact& artifact, const ShrinkOptio
     ++st.runs;
     if (res.failure != artifact.failure) return false;
     if (detail != nullptr) *detail = res.detail;
+    // Every accepted candidate becomes the artifact, so keep its stats as
+    // the observed document the minimized artifact ships with.
+    observed = res.stats;
+    ++st.failures;
     return true;
   };
 
@@ -371,6 +410,7 @@ ReplayArtifact shrink_artifact(const ReplayArtifact& artifact, const ShrinkOptio
 
   best.spec.script.events = std::move(events);
   best.detail = detail;
+  best.observed = std::move(observed);
   return best;
 }
 

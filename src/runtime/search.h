@@ -65,7 +65,25 @@ struct SearchStats {
   std::uint64_t runs = 0;     // scenarios executed
   std::uint64_t probes = 0;   // probe runs
   std::uint64_t scripts = 0;  // candidate scripts generated
+  std::uint64_t failures = 0; // scenarios that violated a check
+
+  // Progress attributed to each scheduler family swept, in sweep order, so
+  // a long hunt can report where its budget went and which family found
+  // the failure.
+  struct FamilyProgress {
+    std::string family;
+    std::uint64_t runs = 0;
+    std::uint64_t scripts = 0;
+    std::uint64_t failures = 0;
+  };
+  std::vector<FamilyProgress> families;
+  // The entry for `name`, appended on first use.
+  FamilyProgress& family(const std::string& name);
 };
+
+// Search progress as a JSON document ("wfsort-search-v1"): totals plus the
+// per-family breakdown.  `wfsort hunt --stats-json` writes this.
+Json search_stats_json(const SearchStats& stats);
 
 // Sweep scripts and schedules derived from `base` until one fails.  Returns
 // true and fills *out with the failing artifact; false when the budget is

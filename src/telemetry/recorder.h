@@ -1,0 +1,122 @@
+// Telemetry recording — per-worker scratch and the run-scoped Recorder.
+//
+// Design rule (docs/observability.md): the engine hot path must not pay for
+// observability it did not ask for.  Everything a worker records goes into
+// its OWN cache-line-aligned scratch slot — plain, non-atomic memory nobody
+// else touches while the run is live — so recording is a handful of local
+// stores and the shared state is only read once, by snapshot(), after the
+// workers have joined.  With Level::kOff the engine holds no Recorder at
+// all and runs the untraced instantiation of its worker program (see
+// kTelEnabled below) — the hot path contains no telemetry code whatsoever.
+//
+// Span recording is crash-correct by construction: a scratch slot keeps at
+// most one open span, and the engine closes it from an RAII guard on every
+// exit path, so a fault-injected worker leaves a truncated span (begin ..
+// abort time) rather than a dangling one — exactly what the adversary
+// engine wants to see in a failure artifact's timeline.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "telemetry/report.h"
+
+namespace wfsort::telemetry {
+
+// The engine's hot functions take their scratch pointer as a *deduced*
+// template parameter (`Tel` is either `WorkerScratch*` or `std::nullptr_t`)
+// and guard every recording site with `if constexpr (kTelEnabled<Tel>)`, so
+// the untraced instantiation compiles to exactly the pre-telemetry code —
+// no dead branches, no dead locals, no counter plumbing.
+template <typename Tel>
+inline constexpr bool kTelEnabled =
+    !std::is_same_v<std::remove_cv_t<Tel>, std::nullptr_t>;
+
+// One worker's private recording area.  `detail` mirrors Level::kFull so
+// per-element sites can skip histogram work at Level::kPhases without
+// consulting the Recorder.
+struct alignas(64) WorkerScratch {
+  WorkerReport rep;
+  std::chrono::steady_clock::time_point t0{};  // the run's epoch (copied in)
+  bool detail = false;
+
+  std::uint64_t open_begin_us = 0;
+  PhaseId open_phase = PhaseId::kBuild;
+  bool has_open = false;
+
+  std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+
+  // Begin a phase span, closing the previous one at the same instant (a
+  // worker is always in exactly one phase).
+  void begin_phase(PhaseId phase) {
+    const std::uint64_t now = now_us();
+    if (has_open) rep.spans.push_back({open_phase, rep.tid, open_begin_us, now});
+    open_phase = phase;
+    open_begin_us = now;
+    has_open = true;
+  }
+
+  void end_phase() {
+    if (!has_open) return;
+    rep.spans.push_back({open_phase, rep.tid, open_begin_us, now_us()});
+    has_open = false;
+  }
+
+  void count(Counter c, std::uint64_t v = 1) {
+    rep.counters[static_cast<std::size_t>(c)] += v;
+  }
+};
+
+// Closes the scratch's open span on scope exit — the engine plants one per
+// worker invocation so crash returns still truncate the span correctly.
+class ScratchCloser {
+ public:
+  explicit ScratchCloser(WorkerScratch* s) : s_(s) {}
+  ~ScratchCloser() {
+    if (s_ != nullptr) s_->end_phase();
+  }
+  ScratchCloser(const ScratchCloser&) = delete;
+  ScratchCloser& operator=(const ScratchCloser&) = delete;
+
+ private:
+  WorkerScratch* s_;
+};
+
+// Owns the scratch slots of one run.  Constructed by the engine when
+// Options::telemetry != kOff; slots are preallocated for every worker id the
+// run can legally use, so scratch() is an index, never an allocation.
+class Recorder {
+ public:
+  Recorder(Level level, std::uint32_t max_workers);
+
+  Level level() const { return level_; }
+  bool detail() const { return level_ == Level::kFull; }
+
+  // The worker's slot, or nullptr for ids beyond the preallocated range
+  // (callers treat that exactly like telemetry-off).
+  WorkerScratch* scratch(std::uint32_t tid) {
+    return tid < slot_count_ ? &slots_[tid] : nullptr;
+  }
+
+  std::uint64_t now_us() const;
+
+  // Aggregate every active slot into an immutable Report.  Call only after
+  // the workers have joined (slots are unsynchronized by design).
+  Report snapshot() const;
+
+ private:
+  Level level_;
+  std::chrono::steady_clock::time_point t0_;
+  std::uint32_t slot_count_;
+  std::unique_ptr<WorkerScratch[]> slots_;
+};
+
+}  // namespace wfsort::telemetry

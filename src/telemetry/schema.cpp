@@ -1,0 +1,331 @@
+#include "telemetry/schema.h"
+
+#include <algorithm>
+
+#include "core/options.h"
+#include "pram/metrics.h"
+
+namespace wfsort::telemetry {
+namespace {
+
+const char* prune_name(PrunePlaced prune) {
+  switch (prune) {
+    case PrunePlaced::kNo: return "no";
+    case PrunePlaced::kYes: return "yes";
+    case PrunePlaced::kDone: return "done";
+  }
+  return "?";
+}
+
+// The native contention sites: counters that each count one absorbed
+// memory-contention event on a distinct shared structure.
+constexpr Counter kContentionSites[] = {
+    Counter::kCasFailures,
+    Counter::kWatProbes,
+    Counter::kFatMisses,
+    Counter::kSeqBlockRepeats,
+};
+
+Json native_contention_json(const SortStats& stats, const Report* rep) {
+  Json sites = Json::object();
+  if (rep != nullptr && rep->level == Level::kFull) {
+    for (Counter c : kContentionSites) {
+      sites.set(counter_name(c), rep->counter_total(c));
+    }
+  } else {
+    sites.set(counter_name(Counter::kCasFailures), stats.cas_failures);
+    sites.set(counter_name(Counter::kFatMisses), stats.fat_read_misses);
+  }
+  const char* max_site = "";
+  std::uint64_t max_value = 0;
+  bool first = true;
+  for (const auto& [key, value] : sites.object_items()) {
+    const std::uint64_t v = value.as_u64();
+    if (first || v > max_value) {
+      max_site = key.c_str();
+      max_value = v;
+      first = false;
+    }
+  }
+  Json out = Json::object();
+  out.set("max_site", std::string(max_site));
+  out.set("max_value", max_value);
+  out.set("sites", std::move(sites));
+  return out;
+}
+
+bool check_key(const Json& doc, const char* key, Json::Type type,
+               std::string* error) {
+  const Json* v = doc.find(key);
+  if (v == nullptr) {
+    *error = std::string("missing key: ") + key;
+    return false;
+  }
+  if (v->type() != type) {
+    *error = std::string("wrong type for key: ") + key;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+NativeRunInfo native_run_info(const Options& opts, std::uint64_t n) {
+  NativeRunInfo info;
+  info.variant = opts.variant == Variant::kDeterministic ? "det" : "lc";
+  info.n = n;
+  info.threads = opts.resolved_threads();
+  info.seed = opts.seed;
+  info.wat_batch = opts.wat_batch;
+  info.seq_cutoff = opts.seq_cutoff;
+  info.lc_copies = opts.lc_copies;
+  info.prune = prune_name(opts.prune);
+  info.level = opts.telemetry;
+  return info;
+}
+
+Json histogram_json(const LogHistogram& h) {
+  Json out = Json::object();
+  out.set("kind", "log2");
+  out.set("total", h.total);
+  out.set("sum", h.sum);
+  out.set("max", h.max);
+  out.set("mean", h.mean());
+  Json counts = Json::array();
+  const std::size_t last = h.max_nonzero_bucket();
+  for (std::size_t b = 0; b <= last; ++b) counts.push_back(h.counts[b]);
+  out.set("counts", std::move(counts));
+  return out;
+}
+
+Json native_stats_json(const NativeRunInfo& info, const SortStats& stats) {
+  const Report* rep = stats.telemetry.get();
+
+  Json doc = Json::object();
+  doc.set("schema", kStatsSchema);
+  doc.set("substrate", "native");
+
+  Json config = Json::object();
+  config.set("variant", info.variant);
+  config.set("n", info.n);
+  config.set("threads", static_cast<std::uint64_t>(info.threads));
+  config.set("seed", info.seed);
+  config.set("wat_batch", static_cast<std::uint64_t>(info.wat_batch));
+  config.set("seq_cutoff", info.seq_cutoff);
+  config.set("lc_copies", static_cast<std::uint64_t>(info.lc_copies));
+  config.set("prune", info.prune);
+  config.set("telemetry",
+             level_name(rep != nullptr ? rep->level : info.level));
+  doc.set("config", std::move(config));
+
+  Json totals = Json::object();
+  totals.set("wall_ms",
+             rep != nullptr
+                 ? static_cast<double>(rep->wall_us) / 1000.0
+                 : stats.phase1_ms + stats.phase2_ms + stats.phase3_ms);
+  totals.set("workers", static_cast<std::uint64_t>(stats.workers));
+  totals.set("crashed_workers", static_cast<std::uint64_t>(stats.crashed_workers));
+  totals.set("completed_workers", static_cast<std::uint64_t>(stats.completed_workers));
+  totals.set("tree_depth", static_cast<std::uint64_t>(stats.tree_depth));
+  totals.set("max_build_iters", stats.max_build_iters);
+  totals.set("total_build_iters", stats.total_build_iters);
+  totals.set("cas_successes", stats.cas_successes);
+  doc.set("totals", std::move(totals));
+
+  Json phases = Json::array();
+  if (rep != nullptr && rep->level != Level::kOff) {
+    for (PhaseId p : rep->phases_present()) {
+      std::uint64_t total_us = 0;
+      std::uint64_t max_us = 0;
+      std::uint32_t workers = 0;
+      for (const WorkerReport& w : rep->workers) {
+        bool any = false;
+        for (const Span& s : w.spans) {
+          if (s.phase != p) continue;
+          any = true;
+          total_us += s.duration_us();
+          max_us = std::max(max_us, s.duration_us());
+        }
+        if (any) ++workers;
+      }
+      Json ph = Json::object();
+      ph.set("name", phase_name(p));
+      ph.set("max_ms", static_cast<double>(max_us) / 1000.0);
+      ph.set("total_ms", static_cast<double>(total_us) / 1000.0);
+      ph.set("workers", static_cast<std::uint64_t>(workers));
+      phases.push_back(std::move(ph));
+    }
+  } else {
+    // Always-on fallback: the engine's three coarse phase clocks.
+    const std::pair<const char*, double> coarse[] = {
+        {"build", stats.phase1_ms},
+        {"sum", stats.phase2_ms},
+        {"place", stats.phase3_ms},
+    };
+    for (const auto& [name, ms] : coarse) {
+      Json ph = Json::object();
+      ph.set("name", name);
+      ph.set("max_ms", ms);
+      ph.set("total_ms", ms);
+      ph.set("workers", static_cast<std::uint64_t>(stats.completed_workers));
+      phases.push_back(std::move(ph));
+    }
+  }
+  doc.set("phases", std::move(phases));
+
+  Json counters = Json::object();
+  if (rep != nullptr && rep->level == Level::kFull) {
+    for (std::size_t c = 0; c < kCounterCount; ++c) {
+      counters.set(counter_name(static_cast<Counter>(c)),
+                   rep->counter_total(static_cast<Counter>(c)));
+    }
+  } else {
+    counters.set("cas_installs", stats.cas_successes);
+    counters.set("cas_failures", stats.cas_failures);
+    counters.set("fat_misses", stats.fat_read_misses);
+  }
+  doc.set("counters", std::move(counters));
+
+  Json hists = Json::object();
+  if (rep != nullptr && rep->level == Level::kFull) {
+    hists.set("cas_retries", histogram_json(rep->merged_cas_retries()));
+    hists.set("wat_probes", histogram_json(rep->merged_wat_probes()));
+  }
+  doc.set("histograms", std::move(hists));
+
+  doc.set("contention", native_contention_json(stats, rep));
+  return doc;
+}
+
+Json sim_stats_json(const SimRunInfo& info, const pram::Metrics& metrics) {
+  Json doc = Json::object();
+  doc.set("schema", kStatsSchema);
+  doc.set("substrate", "sim");
+
+  Json config = Json::object();
+  config.set("program", info.program);
+  config.set("n", info.n);
+  config.set("procs", static_cast<std::uint64_t>(info.procs));
+  config.set("sched", info.sched);
+  config.set("seed", info.seed);
+  doc.set("config", std::move(config));
+
+  Json totals = Json::object();
+  totals.set("rounds", metrics.rounds());
+  totals.set("total_ops", metrics.total_ops());
+  totals.set("qrqw_time", metrics.qrqw_time());
+  totals.set("stalls", metrics.stalls());
+  totals.set("max_proc_ops", metrics.max_proc_ops());
+  totals.set("max_finish_steps", metrics.max_finish_steps());
+  doc.set("totals", std::move(totals));
+
+  doc.set("phases", Json::array());
+
+  Json counters = Json::object();
+  counters.set("total_ops", metrics.total_ops());
+  counters.set("stalls", metrics.stalls());
+  doc.set("counters", std::move(counters));
+
+  Json hists = Json::object();
+  {
+    const wfsort::Histogram& h = metrics.contention_histogram();
+    Json hj = Json::object();
+    hj.set("kind", "linear");
+    hj.set("total", h.total());
+    hj.set("buckets", static_cast<std::uint64_t>(h.buckets()));
+    Json counts = Json::array();
+    const std::size_t last = h.max_nonzero();
+    for (std::size_t b = 0; b <= last; ++b) counts.push_back(h.count(b));
+    hj.set("counts", std::move(counts));
+    hists.set("cell_contention", std::move(hj));
+  }
+  doc.set("histograms", std::move(hists));
+
+  Json contention = Json::object();
+  contention.set("max_value",
+                 static_cast<std::uint64_t>(metrics.max_cell_contention()));
+  contention.set("hottest_addr", metrics.hottest_addr());
+  contention.set("hottest_round", metrics.hottest_round());
+  Json attribution = Json::object();
+  for (const auto& [region, value] : metrics.region_contention()) {
+    attribution.set(region, static_cast<std::uint64_t>(value));
+  }
+  contention.set("attribution", std::move(attribution));
+  doc.set("contention", std::move(contention));
+  return doc;
+}
+
+bool validate_stats_json(const Json& doc, std::string* error) {
+  error->clear();
+  if (doc.type() != Json::Type::kObject) {
+    *error = "stats document is not an object";
+    return false;
+  }
+  if (!check_key(doc, "schema", Json::Type::kString, error)) return false;
+  if (doc.at("schema").as_string() != kStatsSchema) {
+    *error = "unexpected schema: " + doc.at("schema").as_string();
+    return false;
+  }
+  if (!check_key(doc, "substrate", Json::Type::kString, error)) return false;
+  const std::string& substrate = doc.at("substrate").as_string();
+  if (substrate != "native" && substrate != "sim") {
+    *error = "unexpected substrate: " + substrate;
+    return false;
+  }
+  if (!check_key(doc, "config", Json::Type::kObject, error)) return false;
+  if (!check_key(doc, "totals", Json::Type::kObject, error)) return false;
+  if (!check_key(doc, "phases", Json::Type::kArray, error)) return false;
+  if (!check_key(doc, "counters", Json::Type::kObject, error)) return false;
+  if (!check_key(doc, "histograms", Json::Type::kObject, error)) return false;
+  if (!check_key(doc, "contention", Json::Type::kObject, error)) return false;
+
+  for (const Json& ph : doc.at("phases").items()) {
+    if (!check_key(ph, "name", Json::Type::kString, error)) return false;
+    if (ph.find("max_ms") == nullptr) {
+      *error = "phase entry missing max_ms";
+      return false;
+    }
+  }
+  for (const auto& [name, h] : doc.at("histograms").object_items()) {
+    if (h.type() != Json::Type::kObject ||
+        !check_key(h, "kind", Json::Type::kString, error) ||
+        !check_key(h, "counts", Json::Type::kArray, error)) {
+      if (error->empty()) *error = "malformed histogram: " + name;
+      else *error = "histogram " + name + ": " + *error;
+      return false;
+    }
+  }
+  const Json& contention = doc.at("contention");
+  if (contention.find("max_value") == nullptr) {
+    *error = "contention missing max_value";
+    return false;
+  }
+  return true;
+}
+
+Json make_bench_doc() {
+  Json doc = Json::object();
+  doc.set("schema", kBenchSchema);
+  doc.set("runs", Json::array());
+  return doc;
+}
+
+bool validate_bench_json(const Json& doc, std::string* error) {
+  error->clear();
+  if (doc.type() != Json::Type::kObject) {
+    *error = "bench document is not an object";
+    return false;
+  }
+  if (!check_key(doc, "schema", Json::Type::kString, error)) return false;
+  if (doc.at("schema").as_string() != kBenchSchema) {
+    *error = "unexpected schema: " + doc.at("schema").as_string();
+    return false;
+  }
+  if (!check_key(doc, "runs", Json::Type::kArray, error)) return false;
+  for (const Json& run : doc.at("runs").items()) {
+    if (!validate_stats_json(run, error)) return false;
+  }
+  return true;
+}
+
+}  // namespace wfsort::telemetry

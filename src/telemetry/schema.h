@@ -1,0 +1,84 @@
+// The unified stats JSON schema ("wfsort-stats-v1") — one document shape for
+// both substrates, so tools, bench scripts and CI read the same keys whether
+// a run went through the native engine or the PRAM simulator.
+//
+// Top-level keys (all always present; see docs/observability.md):
+//   schema      "wfsort-stats-v1"
+//   substrate   "native" | "sim"
+//   config      run parameters (variant, n, threads/procs, seed, knobs)
+//   totals      scalar outcomes (wall_ms, workers, rounds, ...)
+//   phases      array of {name, max_ms, total_ms, workers} — empty for sim
+//   counters    named event counts (object; key set depends on substrate/level)
+//   histograms  named histogram objects ({kind, total, counts, ...})
+//   contention  max-contention value plus per-site/per-region attribution
+//
+// A bench run wraps several stats documents in a "wfsort-bench-v1" envelope.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "telemetry/report.h"
+
+namespace pram {
+class Metrics;
+}
+
+namespace wfsort {
+struct Options;
+struct SortStats;
+}
+
+namespace wfsort::telemetry {
+
+inline constexpr const char kStatsSchema[] = "wfsort-stats-v1";
+inline constexpr const char kBenchSchema[] = "wfsort-bench-v1";
+
+// Config echo for a native run; fill by hand or from Options via
+// native_run_info().
+struct NativeRunInfo {
+  std::string variant;  // "det" | "lc"
+  std::uint64_t n = 0;
+  std::uint32_t threads = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t wat_batch = 0;
+  std::uint64_t seq_cutoff = 0;
+  std::uint32_t lc_copies = 0;
+  std::string prune;  // "no" | "yes" | "done"
+  Level level = Level::kOff;
+};
+
+NativeRunInfo native_run_info(const Options& opts, std::uint64_t n);
+
+// Config echo for a simulated run.
+struct SimRunInfo {
+  std::string program;  // e.g. "det_sort", "lc_sort", "wat"
+  std::uint64_t n = 0;
+  std::uint32_t procs = 0;
+  std::string sched;
+  std::uint64_t seed = 0;
+};
+
+// Log2 histogram -> {"kind":"log2", total, sum, max, mean, counts:[...]}
+// (counts trimmed to the last nonzero bucket).
+Json histogram_json(const LogHistogram& h);
+
+// One native run.  Uses stats.telemetry when present (per-phase spans,
+// per-site counters, histograms); degrades to the always-on SortStats
+// counters and phase times at Level::kOff.
+Json native_stats_json(const NativeRunInfo& info, const SortStats& stats);
+
+// One simulated run, from the machine's Metrics.
+Json sim_stats_json(const SimRunInfo& info, const pram::Metrics& metrics);
+
+// Structural validation of a stats document (schema name, required keys,
+// key types).  Returns false and sets *error on the first violation.
+bool validate_stats_json(const Json& doc, std::string* error);
+
+// {"schema":"wfsort-bench-v1","runs":[]} — callers push stats documents
+// onto "runs".
+Json make_bench_doc();
+bool validate_bench_json(const Json& doc, std::string* error);
+
+}  // namespace wfsort::telemetry

@@ -1,0 +1,34 @@
+// Chrome trace_event ("Perfetto JSON") export of a Report's span timeline.
+//
+// The emitted document is the classic {"traceEvents":[...]} array format
+// understood by chrome://tracing and ui.perfetto.dev: one "X" (complete)
+// event per recorded span, timestamped in microseconds on the run's shared
+// clock, plus "M" metadata events naming the process and each worker's
+// track.  Multiple runs can share one trace by giving each a distinct pid
+// (wfsort bench exports det and lc runs side by side this way).
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "telemetry/report.h"
+
+namespace wfsort::telemetry {
+
+// {"traceEvents":[],"displayTimeUnit":"ms"} — append events, then dump.
+Json chrome_trace_doc();
+
+// Append one run's spans (and its process/thread metadata) to a trace
+// document's "traceEvents" array.
+void append_chrome_trace(Json* doc, const Report& report, int pid,
+                         const std::string& process_name);
+
+// One-run convenience wrapper.
+Json chrome_trace_json(const Report& report,
+                       const std::string& process_name = "wfsort");
+
+// Write `text` to `path`; false + *error on I/O failure.
+bool write_text_file(const std::string& path, const std::string& text,
+                     std::string* error);
+
+}  // namespace wfsort::telemetry

@@ -496,4 +496,59 @@ TEST(MachineDeath, ProgramTouchingUnmappedMemoryAborts) {
       "CHECK failed");
 }
 
+// --- Metrics edges ---------------------------------------------------------
+
+TEST(Metrics, ContentionHistogramClampsToLastBucket) {
+  pram::Metrics metrics(8);  // buckets 0..7
+  metrics.record_cell(0, 3, pram::Memory::kNoRegion);
+  metrics.record_cell(1, 7, pram::Memory::kNoRegion);    // exactly the last bucket
+  metrics.record_cell(2, 8, pram::Memory::kNoRegion);    // first value past the range
+  metrics.record_cell(3, 300, pram::Memory::kNoRegion);  // far past the range
+  const wfsort::Histogram& h = metrics.contention_histogram();
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.count(7), 3u);  // 7, 8 and 300 all land in the last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.max_nonzero(), 7u);
+  // The clamp loses magnitude but the scalar maximum must not.
+  EXPECT_EQ(metrics.max_cell_contention(), 300u);
+}
+
+TEST(Metrics, RegionAllocatedInRoundHookIsAttributed) {
+  // Regions may appear mid-run (round hooks allocate scratch, spawn late
+  // workers); begin_round must mirror them before record_cell sees their id.
+  Machine m;
+  auto early = m.mem().alloc("early", 1, 0);
+  m.spawn([&](Ctx& ctx) { return count_steps(ctx, early.base, 12); });
+  bool allocated = false;
+  m.set_round_hook([&](Machine& mm, std::uint64_t round) {
+    if (round == 4 && !allocated) {
+      allocated = true;
+      auto late = mm.mem().alloc("late", 1, 0);
+      for (int p = 0; p < 3; ++p) {
+        mm.spawn([late](Ctx& ctx) { return count_steps(ctx, late.base, 2); });
+      }
+    }
+  });
+  m.run_synchronous();
+  const auto attribution = m.metrics().region_contention();
+  ASSERT_TRUE(attribution.count("late"));
+  EXPECT_EQ(attribution.at("late"), 3u);  // the three hook-spawned readers collide
+  EXPECT_EQ(attribution.at("early"), 1u);
+}
+
+TEST(Metrics, FinishStepsFreezeAtProgramReturn) {
+  pram::Metrics metrics;
+  metrics.ensure_procs(2);
+  for (int i = 0; i < 5; ++i) metrics.record_proc_op(0);
+  metrics.record_proc_finish(0);
+  // Ops recorded after the freeze (e.g. another worker's assist accounting)
+  // must not move the frozen own-step count.
+  for (int i = 0; i < 3; ++i) metrics.record_proc_op(0);
+  EXPECT_EQ(metrics.finish_steps(0), 5u);
+  EXPECT_EQ(metrics.proc_ops()[0], 8u);
+  EXPECT_EQ(metrics.max_finish_steps(), 5u);
+  EXPECT_EQ(metrics.finish_steps(1), 0u);   // still running
+  EXPECT_EQ(metrics.finish_steps(99), 0u);  // out of range = never finished
+}
+
 }  // namespace

@@ -181,7 +181,7 @@ bool fuzz_script_once(Rng& rng, std::uint64_t iter, const std::string& artifact_
   const rt::ScenarioResult res = rt::run_scenario(spec);
   if (res.ok()) return true;
 
-  rt::ReplayArtifact artifact{spec, res.failure, res.detail};
+  rt::ReplayArtifact artifact{spec, res.failure, res.detail, res.stats};
   std::printf("iter %llu: SCENARIO FAILED (%s): %s\n",
               static_cast<unsigned long long>(iter),
               rt::failure_kind_name(res.failure), res.detail.c_str());

@@ -5,6 +5,10 @@
 # this script on the bench host after any hot-path change and commit the
 # diff alongside it.
 #
+# Also emits BENCH_native_stats.json — one "wfsort-bench-v1" document (both
+# variants at full telemetry, docs/observability.md) — the committed sample
+# of the unified stats schema downstream tooling can diff against.
+#
 # Usage:
 #   tools/run_native_bench.sh [build-dir] [extra benchmark args...]
 #
@@ -24,7 +28,7 @@ if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
   exit 1
 fi
 
-cmake --build "$build_dir" --target bench_e11_native -j "$(nproc)"
+cmake --build "$build_dir" --target bench_e11_native wfsort_cli -j "$(nproc)"
 
 out="$repo_root/BENCH_native_perf.json"
 "$build_dir/bench/bench_e11_native" \
@@ -34,3 +38,6 @@ out="$repo_root/BENCH_native_perf.json"
   "$@"
 
 echo "wrote $out"
+
+"$build_dir/tools/wfsort" bench --n=262144 --threads=4 --reps=2 \
+  --stats-json="$repo_root/BENCH_native_stats.json"

@@ -2,6 +2,10 @@
 # Run the simulator-throughput benchmark suite and drop its JSON report at
 # the repo root as BENCH_sim_perf.json, where docs/simulator.md points.
 #
+# Also emits BENCH_sim_stats.json — a "wfsort-stats-v1" document of one
+# simulated run (docs/observability.md) — the committed sample of the
+# simulator side of the unified stats schema.
+#
 # Usage:
 #   tools/run_sim_bench.sh [build-dir] [extra benchmark args...]
 #
@@ -21,7 +25,7 @@ if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
   exit 1
 fi
 
-cmake --build "$build_dir" --target bench_sim_perf -j "$(nproc)"
+cmake --build "$build_dir" --target bench_sim_perf wfsort_cli -j "$(nproc)"
 
 out="$repo_root/BENCH_sim_perf.json"
 "$build_dir/bench/bench_sim_perf" \
@@ -31,3 +35,6 @@ out="$repo_root/BENCH_sim_perf.json"
   "$@"
 
 echo "wrote $out"
+
+"$build_dir/tools/wfsort" sim --n=4096 --procs=256 \
+  --stats-json="$repo_root/BENCH_sim_stats.json"

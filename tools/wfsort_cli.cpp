@@ -3,16 +3,26 @@
 //   wfsort sort --n=1000000 --threads=8 --variant=lc --dist=uniform
 //   wfsort sort file.txt                 # sort whitespace-separated integers
 //   wfsort sim  --n=256 --procs=256 --variant=det --schedule=serial --trace=20
+//   wfsort bench --n=1048576 --threads=8 --reps=3 --stats-json=stats.json
 //   wfsort hunt --n=256 --procs=16 --prune=placed --out=repro.json
 //   wfsort replay repro.json
 //
 // `sort` runs the native wait-free sorter (reads integers from positional
 // files, or generates --n keys); `sim` runs the chosen variant on the CRCW
 // PRAM simulator and prints rounds, contention and (optionally) the tail of
-// the execution trace.  `hunt` unleashes the searching adversary — fault
-// scripts swept across scheduler families — and writes a replay artifact if
-// any scenario fails; `replay` re-executes such an artifact and reports
-// whether the failure reproduces (see docs/fault_model.md).
+// the execution trace.  `bench` runs both native variants at full telemetry
+// and emits the unified stats document.  `hunt` unleashes the searching
+// adversary — fault scripts swept across scheduler families — and writes a
+// replay artifact if any scenario fails; `replay` re-executes such an
+// artifact and reports whether the failure reproduces (see
+// docs/fault_model.md and docs/observability.md).
+//
+// Observability flags (see docs/observability.md):
+//   --telemetry=off|phases|full   native per-worker recording level
+//   --stats-json=PATH             write the "wfsort-stats-v1" document
+//                                 (sort/sim/bench; hunt writes search stats)
+//   --trace-out=PATH              write a Perfetto/chrome://tracing trace
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -21,6 +31,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/json.h"
 #include "core/sort.h"
 #include "exp/workloads.h"
 #include "pram/machine.h"
@@ -30,8 +41,56 @@
 #include "pramsort/validate.h"
 #include "runtime/scenario.h"
 #include "runtime/search.h"
+#include "telemetry/schema.h"
+#include "telemetry/trace_export.h"
 
 namespace {
+
+namespace tel = wfsort::telemetry;
+
+// Write a JSON document to `path`; complains on stderr, returns exit-worthy
+// success.
+bool write_json(const wfsort::Json& doc, const std::string& path) {
+  std::string error;
+  if (!tel::write_text_file(path, doc.dump(2) + "\n", &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return true;
+}
+
+// The telemetry level the flags ask for; --stats-json/--trace-out imply
+// full recording when --telemetry was left at its default.
+tel::Level requested_level(const wfsort::CliFlags& flags) {
+  tel::Level level = tel::Level::kOff;
+  if (!tel::parse_level(flags.str("telemetry"), &level)) {
+    std::fprintf(stderr, "unknown --telemetry '%s' (off|phases|full)\n",
+                 flags.str("telemetry").c_str());
+    std::exit(2);
+  }
+  if (level == tel::Level::kOff &&
+      (!flags.str("stats-json").empty() || !flags.str("trace-out").empty())) {
+    level = tel::Level::kFull;
+  }
+  return level;
+}
+
+// Best-effort "max contention" line from a stats document, for replay diffs.
+bool contention_summary(const wfsort::Json& stats, std::uint64_t* value,
+                        std::string* site) {
+  if (stats.is_null()) return false;
+  const wfsort::Json* c = stats.find("contention");
+  if (c == nullptr) return false;
+  const wfsort::Json* v = c->find("max_value");
+  if (v == nullptr) return false;
+  *value = v->as_u64();
+  site->clear();
+  if (const wfsort::Json* s = c->find("max_site"); s != nullptr) {
+    *site = s->as_string();
+  }
+  return true;
+}
 
 wfsort::exp::Dist parse_dist(const std::string& s) {
   wfsort::exp::Dist d{};
@@ -66,6 +125,8 @@ int run_sort(const wfsort::CliFlags& flags) {
   opts.threads = static_cast<std::uint32_t>(flags.u64("threads"));
   opts.variant = flags.str("variant") == "lc" ? wfsort::Variant::kLowContention
                                               : wfsort::Variant::kDeterministic;
+  opts.seed = flags.u64("seed");
+  opts.telemetry = requested_level(flags);
   wfsort::SortStats stats;
   wfsort::sort(std::span<std::uint64_t>(data), opts, &stats);
 
@@ -75,10 +136,102 @@ int run_sort(const wfsort::CliFlags& flags) {
                "sorted %zu keys: %s  (depth=%u, max build iters=%llu, workers=%u)\n",
                data.size(), ok ? "ok" : "BROKEN", stats.tree_depth,
                static_cast<unsigned long long>(stats.max_build_iters), stats.workers);
+
+  const std::string stats_path = flags.str("stats-json");
+  if (!stats_path.empty()) {
+    const wfsort::Json doc =
+        tel::native_stats_json(tel::native_run_info(opts, data.size()), stats);
+    if (!write_json(doc, stats_path)) return 2;
+  }
+  const std::string trace_path = flags.str("trace-out");
+  if (!trace_path.empty()) {
+    if (stats.telemetry == nullptr) {
+      std::fprintf(stderr,
+                   "--trace-out needs telemetry (single-threaded runs record none)\n");
+    } else {
+      std::string error;
+      const wfsort::Json doc = tel::chrome_trace_json(*stats.telemetry, "wfsort sort");
+      if (!tel::write_text_file(trace_path, doc.dump() + "\n", &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+      }
+      std::fprintf(stderr, "wrote %s (load in Perfetto / chrome://tracing)\n",
+                   trace_path.c_str());
+    }
+  }
+
   if (flags.flag("print")) {
     for (std::uint64_t x : data) std::printf("%llu\n", static_cast<unsigned long long>(x));
   }
   return ok ? 0 : 1;
+}
+
+// Bench: both native variants at full telemetry, --reps runs each, one
+// "wfsort-bench-v1" envelope of per-run stats documents and (optionally) one
+// combined Perfetto trace with a process per variant.
+int run_bench(const wfsort::CliFlags& flags) {
+  const std::uint64_t n = flags.u64("n");
+  const std::uint64_t reps = std::max<std::uint64_t>(flags.u64("reps"), 1);
+  const std::vector<std::uint64_t> input = wfsort::exp::make_u64_keys(
+      n, parse_dist(flags.str("dist")), flags.u64("seed"));
+
+  wfsort::Json bench = tel::make_bench_doc();
+  wfsort::Json runs = bench.at("runs");
+  wfsort::Json trace = tel::chrome_trace_doc();
+
+  const std::pair<const char*, wfsort::Variant> variants[] = {
+      {"det", wfsort::Variant::kDeterministic},
+      {"lc", wfsort::Variant::kLowContention},
+  };
+  int pid = 0;
+  bool ok = true;
+  for (const auto& [name, variant] : variants) {
+    ++pid;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      std::vector<std::uint64_t> data = input;
+      wfsort::Options opts;
+      opts.threads = static_cast<std::uint32_t>(flags.u64("threads"));
+      opts.variant = variant;
+      opts.seed = flags.u64("seed") + rep;
+      opts.telemetry = tel::Level::kFull;
+      wfsort::SortStats stats;
+      wfsort::sort(std::span<std::uint64_t>(data), opts, &stats);
+      for (std::size_t i = 1; i < data.size(); ++i) ok &= data[i - 1] <= data[i];
+
+      const wfsort::Json doc =
+          tel::native_stats_json(tel::native_run_info(opts, data.size()), stats);
+      std::fprintf(stderr, "bench %s rep %llu: wall %.3f ms  max contention %s=%llu\n",
+                   name, static_cast<unsigned long long>(rep + 1),
+                   doc.at("totals").at("wall_ms").as_double(),
+                   doc.at("contention").at("max_site").as_string().c_str(),
+                   static_cast<unsigned long long>(
+                       doc.at("contention").at("max_value").as_u64()));
+      runs.push_back(doc);
+      if (rep + 1 == reps && stats.telemetry != nullptr) {
+        tel::append_chrome_trace(&trace, *stats.telemetry, pid,
+                                 std::string("wfsort ") + name);
+      }
+    }
+  }
+  bench.set("runs", std::move(runs));
+  if (!ok) {
+    std::fprintf(stderr, "bench: output NOT SORTED\n");
+    return 1;
+  }
+
+  const std::string stats_path = flags.str("stats-json");
+  if (!stats_path.empty() && !write_json(bench, stats_path)) return 2;
+  const std::string trace_path = flags.str("trace-out");
+  if (!trace_path.empty()) {
+    std::string error;
+    if (!tel::write_text_file(trace_path, trace.dump() + "\n", &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote %s (load in Perfetto / chrome://tracing)\n",
+                 trace_path.c_str());
+  }
+  return 0;
 }
 
 int run_sim(const wfsort::CliFlags& flags) {
@@ -152,6 +305,17 @@ int run_sim(const wfsort::CliFlags& flags) {
       std::printf("  %s\n", pram::format_event(e, &m.mem()).c_str());
     }
   }
+
+  const std::string stats_path = flags.str("stats-json");
+  if (!stats_path.empty()) {
+    tel::SimRunInfo info;
+    info.program = flags.str("variant") + "_sort";
+    info.n = n;
+    info.procs = procs;
+    info.sched = s;
+    info.seed = flags.u64("seed");
+    if (!write_json(tel::sim_stats_json(info, m.metrics()), stats_path)) return 2;
+  }
   return sorted ? 0 : 1;
 }
 
@@ -193,6 +357,17 @@ int run_hunt(const wfsort::CliFlags& flags) {
                static_cast<unsigned long long>(stats.runs),
                static_cast<unsigned long long>(stats.probes),
                static_cast<unsigned long long>(stats.scripts));
+  for (const auto& fam : stats.families) {
+    std::fprintf(stderr, "  family %-8s runs=%llu scripts=%llu failures=%llu\n",
+                 fam.family.c_str(), static_cast<unsigned long long>(fam.runs),
+                 static_cast<unsigned long long>(fam.scripts),
+                 static_cast<unsigned long long>(fam.failures));
+  }
+  const std::string stats_path = flags.str("stats-json");
+  if (!stats_path.empty() &&
+      !write_json(wfsort::runtime::search_stats_json(stats), stats_path)) {
+    return 2;
+  }
   if (!found) {
     std::fprintf(stderr, "no violation found within the budget\n");
     return 0;
@@ -233,6 +408,19 @@ int run_replay(const wfsort::CliFlags& flags) {
                wfsort::runtime::failure_kind_name(outcome.result.failure),
                outcome.result.detail.empty() ? "" : " — ",
                outcome.result.detail.c_str());
+  // Diff this run's contention against the artifact's recorded telemetry —
+  // a replay that fails the same way through a different hot spot is a
+  // different interleaving of the same bug.
+  std::uint64_t was = 0, now = 0;
+  std::string was_site, now_site;
+  if (contention_summary(artifact.observed, &was, &was_site) &&
+      contention_summary(outcome.result.stats, &now, &now_site)) {
+    std::fprintf(stderr, "contention: observed max=%llu%s%s, replay max=%llu%s%s\n",
+                 static_cast<unsigned long long>(was),
+                 was_site.empty() ? "" : " at ", was_site.c_str(),
+                 static_cast<unsigned long long>(now),
+                 now_site.empty() ? "" : " at ", now_site.c_str());
+  }
   if (outcome.reproduced) {
     std::fprintf(stderr, "reproduced%s\n", outcome.exact ? " (identical detail)" : "");
     return 1;  // the bug is (still) there
@@ -252,9 +440,9 @@ int run_replay(const wfsort::CliFlags& flags) {
 int main(int argc, char** argv) {
   wfsort::CliFlags flags(
       "wfsort — wait-free sorting (Shavit/Upfal/Zemach PODC'97)\n"
-      "usage: wfsort <sort|sim|hunt|replay> [flags] [files...]");
+      "usage: wfsort <sort|sim|bench|hunt|replay> [flags] [files...]");
   flags.add_u64("n", 100000, "number of keys to generate when no input file is given");
-  flags.add_u64("threads", 4, "native worker threads (sort mode)");
+  flags.add_u64("threads", 4, "native worker threads (sort/bench mode)");
   flags.add_u64("procs", 256, "virtual processors (sim mode)");
   flags.add_u64("seed", 1, "workload / randomized-variant seed");
   flags.add_u64("trace", 0, "sim: keep and print the last K trace events");
@@ -268,6 +456,10 @@ int main(int argc, char** argv) {
   flags.add_u64("budget", 400, "hunt: max scenario executions");
   flags.add_string("out", "wfsort-repro.json", "hunt: replay artifact path");
   flags.add_bool("shrink", true, "hunt: delta-debug the failing script before writing");
+  flags.add_u64("reps", 1, "bench: repetitions per variant");
+  flags.add_string("telemetry", "off", "native recording level: off|phases|full");
+  flags.add_string("stats-json", "", "write the run's stats document to this path");
+  flags.add_string("trace-out", "", "write a Perfetto-loadable trace to this path");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
@@ -281,8 +473,9 @@ int main(int argc, char** argv) {
   const std::string& mode = flags.positional().front();
   if (mode == "sort") return run_sort(flags);
   if (mode == "sim") return run_sim(flags);
+  if (mode == "bench") return run_bench(flags);
   if (mode == "hunt") return run_hunt(flags);
   if (mode == "replay") return run_replay(flags);
-  std::fprintf(stderr, "unknown mode '%s' (sort|sim|hunt|replay)\n", mode.c_str());
+  std::fprintf(stderr, "unknown mode '%s' (sort|sim|bench|hunt|replay)\n", mode.c_str());
   return 2;
 }
