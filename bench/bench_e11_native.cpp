@@ -142,4 +142,20 @@ BENCHMARK(BM_BitonicThreaded)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.2);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamp this binary's own build
+// type into the report context.  The distro's libbenchmark ships a fixed
+// "library_build_type" that describes how the LIBRARY was compiled, not this
+// suite — the bench scripts and CI read wfsort_build_type to refuse
+// committing numbers from a debug build.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("wfsort_build_type", "release");
+#else
+  benchmark::AddCustomContext("wfsort_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

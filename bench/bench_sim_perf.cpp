@@ -59,4 +59,18 @@ BENCHMARK(BM_SimWriteAllWat)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15)->Unit(ben
 BENCHMARK(BM_SimDetSort)->Arg(1 << 8)->Arg(1 << 10)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimLcSort)->Arg(1 << 8)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamp this binary's own build
+// type into the report context (see bench_e11_native.cpp) so the bench
+// scripts can refuse to commit debug-build numbers.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("wfsort_build_type", "release");
+#else
+  benchmark::AddCustomContext("wfsort_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,6 +30,18 @@ constexpr std::uint64_t next_pow2(std::uint64_t x) {
   return x <= 1 ? 1 : std::uint64_t{1} << log2_ceil(x);
 }
 
+// Reverse the low `bits` bits of x (bits <= 64; higher input bits are
+// dropped).  Enumerating 0..2^bits-1 through bit_reverse visits every value
+// once in an order where consecutive outputs differ in their HIGH bits — a
+// deterministic shuffle, used to break up sorted runs before insertion.
+constexpr std::uint64_t bit_reverse(std::uint64_t x, std::uint32_t bits) {
+  std::uint64_t r = 0;
+  for (std::uint32_t b = 0; b < bits; ++b) {
+    r |= ((x >> b) & 1u) << (bits - 1u - b);
+  }
+  return r;
+}
+
 // Integer square root (floor).
 constexpr std::uint64_t isqrt(std::uint64_t x) {
   std::uint64_t r = 0;

@@ -20,6 +20,7 @@
 //     element still walks exactly the path Figure 4 assigns it.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -41,6 +42,7 @@ struct BuildTally {
   std::uint64_t cas_failures = 0;
   std::uint64_t max_iterations = 0;
   std::uint64_t installs = 0;
+  std::uint64_t backoff_spins = 0;  // pause iterations spent backing off
 
   void add(const BuildResult& r) {
     iterations += r.iterations;
@@ -203,6 +205,118 @@ bool build_batch(TreeState<Key, Compare>& st, std::int64_t lo, std::int64_t hi,
       }
       ln.parent = c;
       st.prefetch(c);  // overlap this miss with the other lanes' steps
+      ++l;
+    }
+  }
+  return true;
+}
+
+// One PAUSE-class spin (x86 `pause`, arm `yield`): tells the core we are in
+// a spin-wait so it releases pipeline resources without yielding the OS
+// thread — yielding would forfeit wait-freedom accounting (the spin is a
+// bounded number of *own* steps; a syscall sleep is not a step at all).
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Bounded exponential backoff schedule: the k-th lost install CAS costs
+// min(2^k, 2^limit) pause iterations; limit = 0 disables backoff entirely.
+// The bound keeps the delay a constant number of own steps, so the Lemma 2.4
+// wait-freedom argument is unchanged — backoff only spaces retries out, it
+// never waits *for* anybody.
+inline std::uint32_t backoff_spins(std::uint32_t attempt, std::uint32_t limit) {
+  if (attempt == 0 || limit == 0) return 0;
+  return 1u << (attempt < limit ? attempt : limit);
+}
+
+// Insert `count` (<= kBuildLanes) elements, element k descending from its
+// own start parent `parents[k]` — the low-contention stage-E form, where
+// each element enters the pivot tree at its fat-tree handoff point rather
+// than the root.  Descents are stepped round-robin with prefetch like
+// build_batch, but there is no smaller-rival stall: LC descents start at
+// unrelated interior nodes, so no sequential-equivalence shape claim exists
+// to preserve (the LC tree is randomized by construction).  A lane that
+// loses an install CAS backs off exponentially (bounded by `backoff_limit`)
+// before re-probing, keeping repeat losers off the contended line.
+template <typename Key, typename Compare, typename Check,
+          typename Tel = std::nullptr_t>
+bool build_lanes(TreeState<Key, Compare>& st, const std::int64_t* elems,
+                 const std::int64_t* parents, int count,
+                 std::uint32_t backoff_limit, BuildTally& tally,
+                 Check&& keep_going, Tel tel = nullptr) {
+  constexpr bool kTel = telemetry::kTelEnabled<Tel>;
+  struct Lane {
+    std::int64_t elem;
+    std::int64_t parent;
+    std::uint64_t iterations;
+    std::uint64_t fails;
+    std::uint32_t lost;  // lost install CASes (drives the backoff schedule)
+  };
+  [[maybe_unused]] bool tel_detail = false;
+  if constexpr (kTel) tel_detail = tel != nullptr && tel->detail;
+  Lane lanes[kBuildLanes];
+  int active = 0;
+  for (int k = 0; k < count && active < kBuildLanes; ++k) {
+    lanes[active++] = {elems[k], parents[k], 0, 0, 0};
+    st.prefetch(parents[k]);
+  }
+
+  while (active > 0) {
+    for (int l = 0; l < active;) {
+      Lane& ln = lanes[l];
+      const Side side = st.less(ln.elem, ln.parent) ? kSmall : kBig;
+      auto& slot = st.child_slot(ln.parent, side);
+      std::int64_t c = slot.load(std::memory_order_acquire);
+      bool installed = false;
+      if (c == kNoIdx) {
+        std::int64_t expected = kNoIdx;
+        installed = slot.compare_exchange_strong(expected, ln.elem,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire);
+        if (!installed) {
+          c = expected;
+          const std::uint32_t spins = backoff_spins(++ln.lost, backoff_limit);
+          for (std::uint32_t s = 0; s < spins; ++s) cpu_pause();
+          tally.backoff_spins += spins;
+        }
+      }
+      ++ln.iterations;
+      WFSORT_DCHECK(ln.iterations <= static_cast<std::uint64_t>(st.n()));
+      if (installed || c == ln.elem) {
+        if constexpr (kTel) {
+          tally.add({ln.iterations, ln.fails, installed ? 1u : 0u});
+          if (tel_detail) {
+            tel->rep.cas_retries.add(ln.fails);
+            tel->count(telemetry::Counter::kCasFailures, ln.fails);
+            if (installed) tel->count(telemetry::Counter::kCasInstalls);
+          }
+        } else {
+          tally.add({ln.iterations, 0, installed ? 1u : 0u});
+        }
+        if (!keep_going()) {
+          if constexpr (kTel) {
+            for (int k = 0; k < active; ++k) {
+              if (k != l) tally.cas_failures += lanes[k].fails;
+            }
+          }
+          return false;
+        }
+        lanes[l] = lanes[--active];  // retire the lane
+        continue;
+      }
+      if constexpr (kTel) {
+        ++ln.fails;
+      } else {
+        ++tally.cas_failures;
+      }
+      ln.parent = c;
+      st.prefetch(c);
       ++l;
     }
   }

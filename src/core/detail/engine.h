@@ -57,6 +57,27 @@ inline void atomic_fetch_max(std::atomic<std::uint64_t>& a, std::uint64_t v) {
   }
 }
 
+// Stage ids for the low-contention variant's per-worker RNG streams.
+enum class LcRngStage : std::uint64_t {
+  kWinner = 1,  // stage B: winner-tree pre-wait coin tosses
+  kFatten = 2,  // stage D: write-most cell choices
+  kInsert = 3,  // stage E: LC-WAT probes + fat-tree copy draws
+  kSum = 4,     // stage F: summation probes
+  kPlace = 5,   // stage G: placement probes
+};
+
+// The randomized variant's RNG for worker `tid` in `stage`: deterministic in
+// (Options::seed, tid, stage) and nothing else.  One stream per STAGE — not
+// one per worker threaded through all stages — so the draw sequence a stage
+// sees never depends on how many draws earlier stages happened to make,
+// which varies with interleaving (how many LC-WAT probes until the claims
+// ran out, who won stage C, ...).  That independence is what makes `wfsort
+// replay` of LC failure artifacts bit-stable: a fault script that perturbs
+// stage E cannot shift the randomness of stages F/G.
+inline Rng worker_stage_rng(std::uint64_t seed, std::uint32_t tid, LcRngStage stage) {
+  return Rng(seed ^ tid).fork(static_cast<std::uint64_t>(stage));
+}
+
 // Phase durations are tracked as integral microseconds so the max can be
 // maintained with a plain atomic.
 class PhaseClock {
@@ -227,7 +248,7 @@ class Engine {
     std::vector<std::unique_ptr<Wat>> group_wats;
     WinnerTree winner;
     FatTree fat;
-    LcWat insert_wat;  // randomized phase-1 work allocation over all N jobs
+    LcWat insert_wat;  // randomized phase-1 allocation, one job per K-run
     LcMarks sum_marks;
     LcMarks place_marks;
     // The winner slice's sorted order (global element indices), built once
@@ -236,13 +257,14 @@ class Engine {
     std::atomic<const std::vector<std::int64_t>*> sorted_idx{nullptr};
 
     LcShared(std::uint32_t levels_in, std::uint64_t slice_in, std::uint32_t groups_in,
-             std::uint32_t threads, std::uint32_t copies, std::uint64_t n)
+             std::uint32_t threads, std::uint32_t copies, std::uint64_t n,
+             std::uint64_t insert_jobs)
         : levels(levels_in),
           slice_len(slice_in),
           groups(groups_in),
           winner(threads),
           fat(levels_in, copies),
-          insert_wat(n),
+          insert_wat(insert_jobs),
           sum_marks(n),
           place_marks(n) {}
     ~LcShared() { delete sorted_idx.load(std::memory_order_acquire); }
@@ -258,7 +280,8 @@ class Engine {
     const std::uint32_t copies =
         opts_.lc_copies != 0 ? opts_.lc_copies
                              : std::max<std::uint32_t>(2, isqrt(nominal_threads_));
-    lc_ = std::make_unique<LcShared>(levels, slice, groups, nominal_threads_, copies, n);
+    lc_ = std::make_unique<LcShared>(levels, slice, groups, nominal_threads_, copies, n,
+                                     batch_jobs(n, wat_batch_));
     for (std::uint32_t g = 0; g < groups; ++g) {
       auto keys = std::span<const Key>(data_.data() + g * slice, slice);
       lc_->group_states.push_back(
@@ -372,7 +395,6 @@ class Engine {
     [[maybe_unused]] bool tel_detail = false;
     if constexpr (kTel) tel_detail = tel->detail;
     LcShared& lc = *lc_;
-    Rng rng = Rng(opts_.seed).fork(tid);
     PhaseClock clock;
     clock.start();
     BuildTally tally;
@@ -429,7 +451,8 @@ class Engine {
 
     // Stage B: pick the winning group (paper step 2; Figure 9).
     if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kLcWinner);
-    const std::int64_t w = lc.winner.compete(tid, group, rng);
+    Rng rng_winner = worker_stage_rng(opts_.seed, tid, LcRngStage::kWinner);
+    const std::int64_t w = lc.winner.compete(tid, group, rng_winner);
 
     // Stage C: reconstruct the winner slice's sorted order (global element
     // indices).  The winner candidate was submitted by a worker that
@@ -468,7 +491,8 @@ class Engine {
     // into the main pivot tree.  All writes are idempotent (identical values
     // from every worker), so no coordination is needed.
     if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kLcFatten);
-    lc.fat.write_random_cells(sorted_idx, lc.fat.fill_quota(nominal_threads_), rng);
+    Rng rng_fatten = worker_stage_rng(opts_.seed, tid, LcRngStage::kFatten);
+    lc.fat.write_random_cells(sorted_idx, lc.fat.fill_quota(nominal_threads_), rng_fatten);
     const std::int64_t root = sorted_idx[lc.fat.rank_of(0)];
     st_.set_root(root);
     for (std::uint64_t f = 0; f < lc.fat.node_count(); ++f) {
@@ -486,76 +510,155 @@ class Engine {
     }
 
     // Stage E: insert every remaining element (paper step 3).  Work is
-    // allocated by random probing (LC-WAT), which doubles as the random
-    // insertion order that keeps the tree depth O(log N) on any input;
-    // descents go through the fat tree, dividing top-level contention.
+    // allocated by random probing (LC-WAT) — one job per STRIPE of
+    // ~wat_batch elements (job j covers {j, j+J, j+2J, ...} with J the job
+    // count; the paper's K of Lemma 2.7), so the coupon-collector probing
+    // cost is paid per stripe, not per element.  Stripes, unlike contiguous
+    // runs, keep the seed's depth guarantee: the per-element random order
+    // this work allocation doubles as is what bounds the tree depth on
+    // adversarial inputs, and a contiguous run of sorted input is a
+    // ready-made chain no claim order can unchain (blocks concatenate;
+    // measured depth 370 at N=4096 sorted).  A stripe is an even sample of
+    // the whole index range, so inserting it in bit-reversed order is
+    // globally self-balancing — first stripe claimed anywhere partitions
+    // the range like a balanced tree, and every later stripe lands spread
+    // across it.  Elements descend the fat tree eight at a time with a
+    // pre-drawn copy plane and prefetch (fat_handoffs), then enter the
+    // pivot tree through build_lanes with bounded CAS backoff.
     if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kLcInsert);
+    Rng rng_insert = worker_stage_rng(opts_.seed, tid, LcRngStage::kInsert);
     const std::int64_t wbase = static_cast<std::int64_t>(w) *
                                static_cast<std::int64_t>(lc.slice_len);
     const std::int64_t wend = wbase + static_cast<std::int64_t>(lc.slice_len);
+    const std::int64_t n = st_.n();
+    std::uint64_t fat_reads = 0;
+    std::vector<std::int64_t> run;
+    run.reserve(static_cast<std::size_t>(wat_batch_));
     [[maybe_unused]] std::uint64_t lcwat_probes = 0;  // step() calls since last claim
+    const auto insert_run = [&](std::uint64_t j) {
+      if constexpr (kTel) {
+        if (tel_detail) {
+          tel->count(telemetry::Counter::kWatClaims);
+          tel->count(telemetry::Counter::kWatProbes, lcwat_probes);
+          tel->rep.wat_probes.add(lcwat_probes);
+          lcwat_probes = 0;
+        }
+      }
+      const std::uint64_t stride = lc.insert_wat.jobs();
+      const std::uint64_t un = static_cast<std::uint64_t>(n);
+      const std::uint64_t len = (un - j + stride - 1) / stride;  // stripe size
+      const std::uint32_t bits = log2_ceil(next_pow2(len));
+      run.clear();
+      for (std::uint64_t k = 0; k < (std::uint64_t{1} << bits); ++k) {
+        const std::uint64_t off = bit_reverse(k, bits);
+        if (off >= len) continue;
+        const std::int64_t i = static_cast<std::int64_t>(j + off * stride);
+        if (i >= wbase && i < wend) continue;  // already in the tree (fat top)
+        run.push_back(i);
+      }
+      // The run is claimed (marked DONE) only after this returns, so the
+      // fault checkpoint stays OUTSIDE: a crashed worker's partial run is
+      // re-executed by whoever probes the leaf next, and every insert is
+      // idempotent.
+      const auto no_abort = [] { return true; };
+      for (std::size_t pos = 0; pos < run.size(); pos += kBuildLanes) {
+        const int cnt = static_cast<int>(
+            std::min<std::size_t>(kBuildLanes, run.size() - pos));
+        std::int64_t parents[kBuildLanes];
+        fat_handoffs(run.data() + pos, cnt, sorted_idx, rng_insert, fat_misses,
+                     fat_reads, parents);
+        build_lanes(st_, run.data() + pos, parents, cnt, opts_.backoff_limit,
+                    tally, no_abort, tel);
+      }
+    };
+    const auto flush_insert = [&] {
+      flush_build(tally);
+      if (fat_misses != 0) fat_misses_.fetch_add(fat_misses, std::memory_order_relaxed);
+      if constexpr (kTel) {
+        if (tel_detail) {
+          tel->count(telemetry::Counter::kFatMisses, fat_misses);
+          tel->count(telemetry::Counter::kFatHits, fat_reads - fat_misses);
+          tel->count(telemetry::Counter::kBackoffSpins, tally.backoff_spins);
+        }
+      }
+    };
     while (true) {
       if (!chk()) {
-        flush_build(tally);
-        if (fat_misses != 0) fat_misses_.fetch_add(fat_misses, std::memory_order_relaxed);
+        flush_insert();
         return false;
       }
       if constexpr (kTel) {
         if (tel_detail) ++lcwat_probes;
       }
-      const auto outcome = lc.insert_wat.step(rng, [&](std::uint64_t j) {
-        if constexpr (kTel) {
-          if (tel_detail) {
-            tel->count(telemetry::Counter::kWatClaims);
-            tel->count(telemetry::Counter::kWatProbes, lcwat_probes);
-            tel->rep.wat_probes.add(lcwat_probes);
-            lcwat_probes = 0;
-          }
-        }
-        const std::int64_t i = static_cast<std::int64_t>(j);
-        if (i >= wbase && i < wend) return;  // already in the tree (fat top)
-        insert_via_fat(i, sorted_idx, rng, tally, fat_misses, tel);
-      });
-      if (outcome == LcWat::Outcome::kQuit) break;
+      if (lc.insert_wat.step(rng_insert, insert_run) == LcWat::Outcome::kQuit) break;
     }
-    flush_build(tally);
-    if (fat_misses != 0) fat_misses_.fetch_add(fat_misses, std::memory_order_relaxed);
+    flush_insert();
 
     clock.lap(phase1_us_);
-    // Stages F, G: randomized summation and placement (Section 3.3).
+    // Stages F, G: randomized summation and placement (Section 3.3), with
+    // per-worker probe tallies flushed once per stage.
+    LcProbeTally probe_tally;
+    const auto flush_probes = [&] {
+      if constexpr (kTel) {
+        if (tel_detail) {
+          tel->count(telemetry::Counter::kLcProbes, probe_tally.probes);
+          tel->count(telemetry::Counter::kLcBurstVisits, probe_tally.visits);
+          probe_tally = {};
+        }
+      }
+    };
     if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kSum);
-    if (!lc_tree_sum(st_, lc.sum_marks, rng, chk)) return false;
+    Rng rng_sum = worker_stage_rng(opts_.seed, tid, LcRngStage::kSum);
+    const bool sum_ok =
+        lc_tree_sum(st_, lc.sum_marks, rng_sum, opts_.lc_burst, probe_tally, chk);
+    flush_probes();
+    if (!sum_ok) return false;
     clock.lap(phase2_us_);
     if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kPlace);
-    if (!lc_find_place_emit(st_, lc.place_marks, rng, chk)) return false;
+    Rng rng_place = worker_stage_rng(opts_.seed, tid, LcRngStage::kPlace);
+    const bool place_ok = lc_find_place_emit(st_, lc.place_marks, rng_place,
+                                             opts_.lc_burst, probe_tally, chk);
+    flush_probes();
+    if (!place_ok) return false;
     clock.lap(phase3_us_);
     return true;
   }
 
-  template <typename Tel = std::nullptr_t>
-  void insert_via_fat(std::int64_t i, std::span<const std::int64_t> sorted_idx, Rng& rng,
-                      BuildTally& tally, std::uint64_t& fat_misses, Tel tel = nullptr) {
-    constexpr bool kTel = telemetry::kTelEnabled<Tel>;
+  // Batched fat-tree descents for up to kBuildLanes elements: each element
+  // draws ONE copy plane for its whole descent (plane-major layout makes the
+  // path a compact prefix of that plane), the next node of every in-flight
+  // descent is prefetched, and an unfilled cell falls back to the
+  // authoritative slice.  Routing is identical to the one-at-a-time form —
+  // only the cache misses overlap.
+  void fat_handoffs(const std::int64_t* elems, int count,
+                    std::span<const std::int64_t> sorted_idx, Rng& rng,
+                    std::uint64_t& fat_misses, std::uint64_t& fat_reads,
+                    std::int64_t* parents) {
     LcShared& lc = *lc_;
-    std::uint64_t misses = 0;
-    [[maybe_unused]] std::uint64_t reads = 1;  // the leaf handoff read below
-    std::uint64_t f = 0;
-    while (!lc.fat.is_leaf(f)) {
-      const std::int64_t e = lc.fat.read(f, sorted_idx, rng, &misses);
-      if constexpr (kTel) ++reads;
-      f = st_.less(i, e) ? lc.fat.left(f) : lc.fat.right(f);
+    std::uint64_t node[kBuildLanes];
+    std::uint32_t copy[kBuildLanes];
+    bool done[kBuildLanes];
+    for (int k = 0; k < count; ++k) {
+      node[k] = 0;
+      copy[k] = lc.fat.draw_copy(rng);
+      done[k] = false;
+      lc.fat.prefetch(0, copy[k]);
     }
-    const std::int64_t handoff = lc.fat.read(f, sorted_idx, rng, &misses);
-    fat_misses += misses;
-    const BuildResult r = build_from(st_, i, handoff);
-    tally.add(r);
-    if constexpr (kTel) {
-      if (tel->detail) {
-        tel->count(telemetry::Counter::kFatMisses, misses);
-        tel->count(telemetry::Counter::kFatHits, reads - misses);
-        tel->rep.cas_retries.add(r.cas_failures);
-        tel->count(telemetry::Counter::kCasFailures, r.cas_failures);
-        if (r.installs != 0) tel->count(telemetry::Counter::kCasInstalls);
+    int remaining = count;
+    while (remaining > 0) {
+      for (int k = 0; k < count; ++k) {
+        if (done[k]) continue;
+        ++fat_reads;
+        std::int64_t e = lc.fat.read_copy(node[k], copy[k], &fat_misses);
+        if (e == FatTree::kEmptyCell) e = sorted_idx[lc.fat.rank_of(node[k])];
+        if (lc.fat.is_leaf(node[k])) {
+          parents[k] = e;
+          done[k] = true;
+          --remaining;
+          continue;
+        }
+        node[k] = st_.less(elems[k], e) ? lc.fat.left(node[k]) : lc.fat.right(node[k]);
+        lc.fat.prefetch(node[k], copy[k]);
       }
     }
   }

@@ -56,6 +56,21 @@ struct Options {
   // idempotent).  0 disables.  Default measured (docs/native_engine.md).
   std::uint64_t seq_cutoff = 128;
 
+  // Low-contention variant: node budget for one randomized summation /
+  // placement probe.  A probe that lands on actionable work expands it into
+  // a bounded local tree walk of at most this many node visits instead of
+  // returning to uniform probing after a single node — the walk stays
+  // idempotent and every visit still polls the fault checkpoint, so
+  // wait-freedom is untouched.  1 = the paper's literal one-node probes.
+  std::uint32_t lc_burst = 64;
+
+  // Low-contention variant: bounded exponential backoff on a lost install
+  // CAS during stage-E insertion.  A descent that loses its k-th CAS spins
+  // min(2^k, 2^backoff_limit) pause iterations before re-probing, keeping
+  // repeat losers off the contended line.  0 disables (the deterministic
+  // variant never backs off: its loss rate is the measurement).
+  std::uint32_t backoff_limit = 6;
+
   // Observability (docs/observability.md).  kOff — the default — costs the
   // hot path one null-pointer test per instrumentation site; kPhases records
   // per-worker, per-phase wall-time spans; kFull adds per-site contention

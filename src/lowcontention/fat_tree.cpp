@@ -3,14 +3,17 @@
 namespace wfsort {
 
 namespace {
-constexpr std::int64_t kEmptyCell = -1;
-}
+// Cells per 64-byte cache line; the plane stride is rounded up to this so
+// the planes of one node are always on distinct lines.
+constexpr std::uint64_t kCellsPerLine = 64 / sizeof(std::atomic<std::int64_t>);
+}  // namespace
 
 FatTree::FatTree(std::uint32_t levels, std::uint32_t copies)
     : levels_(levels),
       nodes_((std::uint64_t{1} << levels) - 1),
       copies_(copies),
-      cells_(nodes_ * copies) {
+      stride_((nodes_ + kCellsPerLine - 1) / kCellsPerLine * kCellsPerLine),
+      cells_(stride_ * copies) {
   WFSORT_CHECK(levels >= 1);
   WFSORT_CHECK(copies >= 1);
   reset();
@@ -48,42 +51,47 @@ std::uint64_t FatTree::node_of_rank(std::uint32_t levels, std::uint64_t rank) {
 }
 
 std::uint64_t FatTree::fill_quota(std::uint32_t participants) const {
-  return log2_ceil(std::uint64_t{participants} + 1) + 1;
+  const std::uint64_t cells = nodes_ * copies_;
+  const std::uint64_t total = cells * (log2_ceil(cells) + 2);
+  const std::uint64_t p = participants == 0 ? 1 : participants;
+  return (total + p - 1) / p;
 }
 
 void FatTree::write_cell(std::uint64_t node, std::uint32_t copy, std::int64_t element_index) {
   WFSORT_CHECK(node < nodes_ && copy < copies_);
-  cells_[node * copies_ + copy].store(element_index, std::memory_order_release);
+  cells_[copy * stride_ + node].store(element_index, std::memory_order_release);
 }
 
 void FatTree::write_random_cells(std::span<const std::int64_t> sorted_slice,
                                  std::uint64_t quota, Rng& rng) {
   WFSORT_CHECK(sorted_slice.size() >= nodes_);
   for (std::uint64_t k = 0; k < quota; ++k) {
-    const std::uint64_t cell = rng.below(cells_.size());
-    const std::uint64_t node = cell / copies_;
-    cells_[cell].store(sorted_slice[rank_of(node)], std::memory_order_release);
+    const std::uint64_t cell = rng.below(nodes_ * copies_);
+    const std::uint64_t node = cell % nodes_;
+    const std::uint64_t copy = cell / nodes_;
+    cells_[copy * stride_ + node].store(sorted_slice[rank_of(node)],
+                                        std::memory_order_release);
   }
 }
 
 std::int64_t FatTree::read(std::uint64_t f, std::span<const std::int64_t> sorted_slice,
                            Rng& rng, std::uint64_t* misses) const {
   WFSORT_CHECK(f < nodes_);
-  const std::uint64_t copy = rng.below(copies_);
-  const std::int64_t v = cells_[f * copies_ + copy].load(std::memory_order_acquire);
+  const std::int64_t v = read_copy(f, draw_copy(rng), misses);
   if (v != kEmptyCell) return v;
-  if (misses != nullptr) ++*misses;
   WFSORT_CHECK(sorted_slice.size() >= nodes_);
   return sorted_slice[rank_of(f)];
 }
 
 double FatTree::fill_fraction() const {
   std::uint64_t filled = 0;
-  for (const auto& c : cells_) {
-    if (c.load(std::memory_order_relaxed) != kEmptyCell) ++filled;
+  for (std::uint32_t c = 0; c < copies_; ++c) {
+    for (std::uint64_t f = 0; f < nodes_; ++f) {
+      if (cells_[c * stride_ + f].load(std::memory_order_relaxed) != kEmptyCell) ++filled;
+    }
   }
-  return cells_.empty() ? 1.0
-                        : static_cast<double>(filled) / static_cast<double>(cells_.size());
+  const std::uint64_t cells = nodes_ * copies_;
+  return cells == 0 ? 1.0 : static_cast<double>(filled) / static_cast<double>(cells);
 }
 
 }  // namespace wfsort

@@ -9,6 +9,15 @@
 // P concurrent readers — has sqrt(P) copies, so expected per-cell contention
 // drops to sqrt(P).
 //
+// Storage is PLANE-MAJOR: copy c of node f lives at cells_[c * stride + f],
+// with the stride rounded up to a full cache line of cells.  Copies of one
+// node therefore never share a cache line — with the naive node-major layout
+// (cells_[f * copies + c]) all copies of a hot node land on the SAME line
+// and the replication divides nothing at the coherence level, which is the
+// level contention actually happens at.  Plane-major also makes a reader's
+// descent path (root, child, grandchild... within one plane) a compact
+// prefix of one plane — friendly to prefetching (see prefetch()).
+//
 // Cells store *element indices* (into the array being sorted), not keys, so
 // the structure is key-type agnostic and tie-breaking by index keeps
 // working.  Filling is randomized ("write-most"): every processor writes
@@ -31,6 +40,9 @@ namespace wfsort {
 
 class FatTree {
  public:
+  // Sentinel stored in never-written cells (element indices are >= 0).
+  static constexpr std::int64_t kEmptyCell = -1;
+
   // `levels`: H, the number of BST levels (S = 2^H - 1 nodes).
   // `copies`: duplicates per node.
   FatTree(std::uint32_t levels, std::uint32_t copies);
@@ -55,9 +67,18 @@ class FatTree {
 
   // Write-most: write `quota` random cells, taking values from
   // `sorted_slice` (element indices of the winner slice in sorted order).
-  // The paper's quota is log P; fill_quota() returns it for convenience.
   void write_random_cells(std::span<const std::int64_t> sorted_slice, std::uint64_t quota,
                           Rng& rng);
+
+  // Per-participant write quota that fills every cell w.h.p.  The coupon
+  // collector over C cells needs ~C ln C total writes; participants * quota
+  // is C (log2 C + 2) >= C ln C with margin, so the post-fill read path is
+  // all-hits w.h.p. and the slice fallback stays what it is meant to be: a
+  // rare crash/straggler escape hatch, not the common case.  (The literal
+  // per-processor log P of the paper assumes P ~ C processors; with few
+  // processors and S sqrt(N) cells it leaves the tree almost entirely empty
+  // — the seed behaved that way, and telemetry showed ~99% of stage-E
+  // descents falling back to the shared slice.)
   std::uint64_t fill_quota(std::uint32_t participants) const;
 
   // Deterministic write of one cell (used by tests and by the PRAM variant's
@@ -70,6 +91,25 @@ class FatTree {
   std::int64_t read(std::uint64_t f, std::span<const std::int64_t> sorted_slice, Rng& rng,
                     std::uint64_t* misses = nullptr) const;
 
+  // Split form of read() for batched descents: the caller draws the copy
+  // once (draw_copy), prefetches the cells it will touch, then reads them —
+  // read_copy returns kEmptyCell on an unfilled cell and the caller applies
+  // its own fallback.
+  std::uint32_t draw_copy(Rng& rng) const {
+    return static_cast<std::uint32_t>(rng.below(copies_));
+  }
+  std::int64_t read_copy(std::uint64_t f, std::uint32_t copy,
+                         std::uint64_t* misses = nullptr) const {
+    WFSORT_DCHECK(f < nodes_ && copy < copies_);
+    const std::int64_t v =
+        cells_[copy * stride_ + f].load(std::memory_order_acquire);
+    if (v == kEmptyCell && misses != nullptr) ++*misses;
+    return v;
+  }
+  void prefetch(std::uint64_t f, std::uint32_t copy) const {
+    __builtin_prefetch(&cells_[copy * stride_ + f], 0 /*read*/, 1);
+  }
+
   // Fraction of cells filled (diagnostics for experiment E7).
   double fill_fraction() const;
 
@@ -79,7 +119,8 @@ class FatTree {
   std::uint32_t levels_;
   std::uint64_t nodes_;
   std::uint32_t copies_;
-  std::vector<std::atomic<std::int64_t>> cells_;  // nodes_ * copies_
+  std::uint64_t stride_;  // nodes_ rounded up to a cache line of cells
+  std::vector<std::atomic<std::int64_t>> cells_;  // copies_ planes of stride_
 };
 
 }  // namespace wfsort

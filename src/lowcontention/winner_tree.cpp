@@ -8,7 +8,7 @@ WinnerTree::WinnerTree(std::uint32_t slots, std::uint32_t wait_unit)
 }
 
 void WinnerTree::reset() {
-  for (auto& n : nodes_) n.store(kUndecided, std::memory_order_relaxed);
+  for (auto& n : nodes_) n.v.store(kUndecided, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_seq_cst);
 }
 
@@ -27,21 +27,21 @@ std::int64_t WinnerTree::compete(std::uint32_t slot, std::int64_t candidate, Rng
 
   // Climb from our leaf to the first decided node (or the root).
   std::uint64_t j = tree_.leaf(slot % tree_.leaves);
-  while (!tree_.is_root(j) && nodes_[j].load(std::memory_order_acquire) == kUndecided) {
+  while (!tree_.is_root(j) && nodes_[j].v.load(std::memory_order_acquire) == kUndecided) {
     j = tree_.parent(j);
   }
   if (tree_.is_root(j)) {
     std::int64_t expected = kUndecided;
-    nodes_[0].compare_exchange_strong(expected, candidate, std::memory_order_acq_rel,
+    nodes_[0].v.compare_exchange_strong(expected, candidate, std::memory_order_acq_rel,
                                       std::memory_order_acquire);
   }
 
-  const std::int64_t decided = nodes_[j].load(std::memory_order_acquire);
+  const std::int64_t decided = nodes_[j].v.load(std::memory_order_acquire);
   WFSORT_CHECK(decided != kUndecided);
   // Push the decision one level down (the paper's binary dissemination).
   if (!tree_.is_leaf(j)) {
-    nodes_[tree_.left(j)].store(decided, std::memory_order_release);
-    nodes_[tree_.right(j)].store(decided, std::memory_order_release);
+    nodes_[tree_.left(j)].v.store(decided, std::memory_order_release);
+    nodes_[tree_.right(j)].v.store(decided, std::memory_order_release);
   }
   return decided;
 }

@@ -36,14 +36,23 @@ class WinnerTree {
 
   // The decided value, or kUndecided if no competitor reached the root yet.
   static constexpr std::int64_t kUndecided = -1;
-  std::int64_t winner() const { return nodes_[0].load(std::memory_order_acquire); }
+  std::int64_t winner() const { return nodes_[0].v.load(std::memory_order_acquire); }
 
   void reset();
 
  private:
+  // One slot per cache line: Lemma 3.2 bounds per-NODE contention, but with
+  // eight unpadded slots per line the coherence traffic of adjacent nodes
+  // (a parent and its wave of climbers, say) lands on one line and the bound
+  // stops describing what the memory system sees.  The tree has at most
+  // 2 * next_pow2(P) - 1 slots, so the padding is O(P) cache lines — noise.
+  struct alignas(64) PaddedSlot {
+    std::atomic<std::int64_t> v;
+  };
+
   HeapTree tree_;
   std::uint32_t wait_unit_;
-  std::vector<std::atomic<std::int64_t>> nodes_;
+  std::vector<PaddedSlot> nodes_;
 };
 
 }  // namespace wfsort

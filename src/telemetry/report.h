@@ -71,6 +71,9 @@ enum class Counter : std::uint8_t {
   kSeqBlocks,         // place_block cutoff walks this worker performed
   kSeqBlockElems,     // elements emitted by those walks
   kSeqBlockRepeats,   // walks that lost the completion-flag CAS (duplicated work)
+  kLcProbes,          // LC sum/place uniform random probes (stages F-G)
+  kLcBurstVisits,     // nodes visited by LC probe bursts (stages F-G)
+  kBackoffSpins,      // pause iterations spent in stage-E CAS backoff
   kCounterCount
 };
 inline constexpr std::size_t kCounterCount =

@@ -24,6 +24,7 @@ constexpr Counter kContentionSites[] = {
     Counter::kWatProbes,
     Counter::kFatMisses,
     Counter::kSeqBlockRepeats,
+    Counter::kLcProbes,
 };
 
 Json native_contention_json(const SortStats& stats, const Report* rep) {
@@ -303,14 +304,53 @@ bool validate_stats_json(const Json& doc, std::string* error) {
   return true;
 }
 
+const char* build_type_name() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+namespace {
+
+// Shared provenance check for the bench/scaling envelopes.  A missing
+// build_type (pre-provenance documents) is tolerated unless the caller
+// demands a release build.
+bool check_build_type(const Json& doc, bool require_release,
+                      std::string* error) {
+  const Json* bt = doc.find("build_type");
+  if (bt == nullptr) {
+    if (require_release) {
+      *error = "missing key: build_type (release provenance required)";
+      return false;
+    }
+    return true;
+  }
+  if (bt->type() != Json::Type::kString) {
+    *error = "wrong type for key: build_type";
+    return false;
+  }
+  if (require_release && bt->as_string() != "release") {
+    *error = "build_type is \"" + bt->as_string() +
+             "\" but a release build is required";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 Json make_bench_doc() {
   Json doc = Json::object();
   doc.set("schema", kBenchSchema);
+  doc.set("build_type", build_type_name());
   doc.set("runs", Json::array());
   return doc;
 }
 
-bool validate_bench_json(const Json& doc, std::string* error) {
+bool validate_bench_json(const Json& doc, std::string* error,
+                         bool require_release) {
   error->clear();
   if (doc.type() != Json::Type::kObject) {
     *error = "bench document is not an object";
@@ -321,9 +361,70 @@ bool validate_bench_json(const Json& doc, std::string* error) {
     *error = "unexpected schema: " + doc.at("schema").as_string();
     return false;
   }
+  if (!check_build_type(doc, require_release, error)) return false;
   if (!check_key(doc, "runs", Json::Type::kArray, error)) return false;
   for (const Json& run : doc.at("runs").items()) {
     if (!validate_stats_json(run, error)) return false;
+  }
+  return true;
+}
+
+Json make_scaling_doc() {
+  Json doc = Json::object();
+  doc.set("schema", kScalingSchema);
+  doc.set("build_type", build_type_name());
+  doc.set("config", Json::object());
+  doc.set("threads", Json::array());
+  doc.set("variants", Json::object());
+  return doc;
+}
+
+bool validate_scaling_json(const Json& doc, std::string* error,
+                           bool require_release) {
+  error->clear();
+  if (doc.type() != Json::Type::kObject) {
+    *error = "scaling document is not an object";
+    return false;
+  }
+  if (!check_key(doc, "schema", Json::Type::kString, error)) return false;
+  if (doc.at("schema").as_string() != kScalingSchema) {
+    *error = "unexpected schema: " + doc.at("schema").as_string();
+    return false;
+  }
+  if (!check_build_type(doc, require_release, error)) return false;
+  if (!check_key(doc, "config", Json::Type::kObject, error)) return false;
+  if (!check_key(doc, "threads", Json::Type::kArray, error)) return false;
+  if (doc.at("threads").items().empty()) {
+    *error = "threads sweep is empty";
+    return false;
+  }
+  if (!check_key(doc, "variants", Json::Type::kObject, error)) return false;
+  for (const auto& [variant, vdoc] : doc.at("variants").object_items()) {
+    if (vdoc.type() != Json::Type::kObject) {
+      *error = "variant " + variant + " is not an object";
+      return false;
+    }
+    if (!check_key(vdoc, "points", Json::Type::kArray, error)) {
+      *error = "variant " + variant + ": " + *error;
+      return false;
+    }
+    for (const Json& pt : vdoc.at("points").items()) {
+      if (pt.type() != Json::Type::kObject ||
+          pt.find("threads") == nullptr || pt.find("wall_ms") == nullptr ||
+          pt.find("speedup") == nullptr) {
+        *error = "variant " + variant +
+                 ": point missing threads/wall_ms/speedup";
+        return false;
+      }
+      const Json* contention = pt.find("contention");
+      if (contention == nullptr ||
+          contention->type() != Json::Type::kObject ||
+          contention->find("max_site") == nullptr ||
+          contention->find("max_value") == nullptr) {
+        *error = "variant " + variant + ": point missing contention summary";
+        return false;
+      }
+    }
   }
   return true;
 }

@@ -34,6 +34,12 @@ namespace wfsort::telemetry {
 
 inline constexpr const char kStatsSchema[] = "wfsort-stats-v1";
 inline constexpr const char kBenchSchema[] = "wfsort-bench-v1";
+inline constexpr const char kScalingSchema[] = "wfsort-scaling-v1";
+
+// "release" or "debug", from the NDEBUG the telemetry library itself was
+// compiled with.  Stamped into every bench/scaling envelope so committed
+// BENCH files carry their provenance — a debug-build number is not a number.
+const char* build_type_name();
 
 // Config echo for a native run; fill by hand or from Options via
 // native_run_info().
@@ -76,9 +82,25 @@ Json sim_stats_json(const SimRunInfo& info, const pram::Metrics& metrics);
 // key types).  Returns false and sets *error on the first violation.
 bool validate_stats_json(const Json& doc, std::string* error);
 
-// {"schema":"wfsort-bench-v1","runs":[]} — callers push stats documents
-// onto "runs".
+// {"schema":"wfsort-bench-v1","build_type":...,"runs":[]} — callers push
+// stats documents onto "runs".
 Json make_bench_doc();
-bool validate_bench_json(const Json& doc, std::string* error);
+// `require_release`: additionally reject envelopes whose build_type is
+// missing or not "release" (bench provenance — used by the bench scripts and
+// CI before a BENCH file may be committed).
+bool validate_bench_json(const Json& doc, std::string* error,
+                         bool require_release = false);
+
+// Thread-scaling envelope ("wfsort-scaling-v1"):
+//   schema      "wfsort-scaling-v1"
+//   build_type  "release" | "debug"
+//   config      {n, seed, reps, hw_concurrency}
+//   threads     [1, 2, 4, ...] — the sweep
+//   variants    {"det": {"points": [...]}, "lc": {"points": [...]}}
+// Each point: {threads, wall_ms, speedup (vs the variant's t=1 point),
+// contention: {max_site, max_value, sites}}.
+Json make_scaling_doc();
+bool validate_scaling_json(const Json& doc, std::string* error,
+                           bool require_release = false);
 
 }  // namespace wfsort::telemetry

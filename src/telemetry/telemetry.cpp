@@ -49,6 +49,9 @@ const char* counter_name(Counter counter) {
     case Counter::kSeqBlocks: return "seq_blocks";
     case Counter::kSeqBlockElems: return "seq_block_elems";
     case Counter::kSeqBlockRepeats: return "seq_block_repeats";
+    case Counter::kLcProbes: return "lc_probes";
+    case Counter::kLcBurstVisits: return "lc_burst_visits";
+    case Counter::kBackoffSpins: return "backoff_spins";
     case Counter::kCounterCount: break;
   }
   return "?";

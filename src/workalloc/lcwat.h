@@ -9,6 +9,28 @@
 // Lemma 3.1: with P processors over P jobs, the tree completes in O(log P)
 // rounds with per-variable contention O(log P / log log P), w.h.p.
 //
+// Native fast-path refinements (docs/native_engine.md), all bounded and all
+// preserving the random-probe fallback, so the paper's probabilistic
+// termination argument is unchanged:
+//
+//   * Line harvesting: the state bytes are 1 B each, so the cache line a
+//     probe just paid for holds up to 64 neighbouring states.  A probe that
+//     lands on an EMPTY leaf claims every other EMPTY leaf in the same line
+//     too — one memory transaction amortized over up to 64 job claims.
+//   * Eager combining: after finishing a leaf, the processor walks up while
+//     both children are complete, setting DONE as it goes (bounded by the
+//     tree depth).  Interior nodes no longer wait for a random probe to
+//     happen to land on them after their children completed — the
+//     coupon-collector tail of pure probing is gone.
+//   * Full ALLDONE down-wave: the processor whose write turns the root
+//     ALLDONE immediately pushes the announcement down the ENTIRE tree (one
+//     bounded sweep of plain stores).  Every other processor's next probe —
+//     wherever it lands — observes ALLDONE and quits, instead of randomly
+//     hunting for the handful of announced nodes near the root.  The
+//     paper's one-level-per-quitter wave is kept as the crash-tolerant
+//     fallback: if the sweeper dies mid-sweep, quitting processors still
+//     spread the mark exactly as in Figure 8.
+//
 // Unlike the deterministic WAT this structure's termination bound is
 // probabilistic (expected / w.h.p.), which is exactly the trade the paper
 // makes for low contention.
@@ -28,6 +50,10 @@ class LcWat {
   enum class State : std::uint8_t { kEmpty = 0, kDone = 1, kAllDone = 2 };
   enum class Outcome { kWorking, kQuit };
 
+  // One state byte per node: 64 of them share a cache line, which is what
+  // line harvesting exploits.
+  static constexpr std::uint64_t kLineStates = 64;
+
   explicit LcWat(std::uint64_t jobs)
       : tree_(next_pow2(jobs)), jobs_(jobs), state_(tree_.nodes()) {
     reset();
@@ -45,24 +71,34 @@ class LcWat {
     const std::uint64_t i = rng.below(tree_.nodes());
     const State v = get(i);
     if (v == State::kEmpty) {
+      bool announced = false;
       if (tree_.is_leaf(i)) {
-        const std::uint64_t job = tree_.leaf_rank(i);
-        if (job < jobs_) func(job);
-        // Degenerate 1-job tree: the leaf is the root, so completing it is
-        // also the completion announcement.
-        set(i, tree_.is_root(i) ? State::kAllDone : State::kDone);
-      } else if (get(tree_.left(i)) == State::kDone && get(tree_.right(i)) == State::kDone) {
-        set(i, tree_.is_root(i) ? State::kAllDone : State::kDone);
+        announced = complete_leaf(i, func);
+        announced = harvest_line(i, func) || announced;
+        announced = combine_up(i) || announced;
+      } else if (get(tree_.left(i)) != State::kEmpty &&
+                 get(tree_.right(i)) != State::kEmpty) {
+        if (tree_.is_root(i)) {
+          set(i, State::kAllDone);
+          announce_all_done();
+          announced = true;
+        } else {
+          set(i, State::kDone);
+          announced = combine_up(i);
+        }
       }
-      return Outcome::kWorking;
+      // A processor that announced completion itself quits right away;
+      // everyone else quits on their next probe, which — thanks to the full
+      // down-wave — lands on an ALLDONE node wherever it falls.
+      return announced ? Outcome::kQuit : Outcome::kWorking;
     }
     if (v == State::kAllDone) {
       if (!tree_.is_leaf(i)) {
+        // Figure-8 fallback wave: push one level down, then quit.
         set(tree_.left(i), State::kAllDone);
         set(tree_.right(i), State::kAllDone);
-        return Outcome::kQuit;
       }
-      if (tree_.is_root(i)) return Outcome::kQuit;  // 1-job tree
+      return Outcome::kQuit;
     }
     return Outcome::kWorking;
   }
@@ -104,6 +140,78 @@ class LcWat {
   }
   void set(std::uint64_t i, State s) {
     state_[i].store(static_cast<std::uint8_t>(s), std::memory_order_release);
+  }
+
+  // Execute and mark leaf `i`; returns true if this was the announcement
+  // (degenerate 1-job tree whose leaf is the root).
+  template <typename Func>
+  bool complete_leaf(std::uint64_t i, Func&& func) {
+    const std::uint64_t job = tree_.leaf_rank(i);
+    if (job < jobs_) func(job);
+    if (tree_.is_root(i)) {
+      set(i, State::kAllDone);
+      announce_all_done();
+      return true;
+    }
+    set(i, State::kDone);
+    return false;
+  }
+
+  // Claim every other EMPTY leaf whose state byte shares probe `i`'s cache
+  // line — the line is already in this processor's cache, so the extra
+  // claims are free of memory traffic.  Bounded by the line size.  The line
+  // is walked in BIT-REVERSED order: callers (the sort's stage E) rely on
+  // job execution order being scattered — adjacent jobs cover adjacent data,
+  // and executing a line's 64 jobs in ascending order would re-create
+  // exactly the sorted-order insertion pattern random probing exists to
+  // avoid.
+  template <typename Func>
+  bool harvest_line(std::uint64_t i, Func&& func) {
+    bool announced = false;
+    const std::uint64_t lo = i & ~(kLineStates - 1);
+    const std::uint64_t len = std::min(kLineStates, tree_.nodes() - lo);
+    const std::uint32_t bits = log2_ceil(next_pow2(len));
+    for (std::uint64_t k = 0; k < (std::uint64_t{1} << bits); ++k) {
+      const std::uint64_t off = bit_reverse(k, bits);
+      if (off >= len) continue;
+      const std::uint64_t s = lo + off;
+      if (s == i || !tree_.is_leaf(s)) continue;
+      if (get(s) != State::kEmpty) continue;
+      announced = complete_leaf(s, func) || announced;
+    }
+    return announced;
+  }
+
+  // Eager bottom-up combining from `i`: while the sibling is also complete,
+  // mark the parent DONE and continue.  Bounded by the tree depth; racing
+  // processors write the same values, so duplicates are harmless.  Returns
+  // true if the walk reached and announced the root.
+  bool combine_up(std::uint64_t i) {
+    while (!tree_.is_root(i)) {
+      const std::uint64_t p = tree_.parent(i);
+      if (get(p) != State::kEmpty) return false;
+      if (get(tree_.left(p)) == State::kEmpty ||
+          get(tree_.right(p)) == State::kEmpty) {
+        return false;
+      }
+      if (tree_.is_root(p)) {
+        set(p, State::kAllDone);
+        announce_all_done();
+        return true;
+      }
+      set(p, State::kDone);
+      i = p;
+    }
+    return false;
+  }
+
+  // The full down-wave: one bounded sweep of plain stores marking every
+  // node ALLDONE.  Run by the processor that turned the root ALLDONE;
+  // idempotent if two processors race the root transition.
+  void announce_all_done() {
+    for (auto& s : state_) {
+      s.store(static_cast<std::uint8_t>(State::kAllDone), std::memory_order_release);
+    }
   }
 
   HeapTree tree_;

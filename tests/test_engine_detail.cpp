@@ -246,9 +246,12 @@ TEST(TreeStateDetail, LcPhasesCompleteOnHandBuiltTree) {
   LcMarks sum_marks(keys.size());
   LcMarks place_marks(keys.size());
   wfsort::Rng rng(5);
-  ASSERT_TRUE(wfsort::detail::lc_tree_sum(*st, sum_marks, rng, kKeepGoing));
+  wfsort::detail::LcProbeTally tally;
+  ASSERT_TRUE(wfsort::detail::lc_tree_sum(*st, sum_marks, rng, 4, tally, kKeepGoing));
   EXPECT_EQ(st->size_of(0), 7);
-  ASSERT_TRUE(wfsort::detail::lc_find_place_emit(*st, place_marks, rng, kKeepGoing));
+  EXPECT_GT(tally.probes, 0u);
+  EXPECT_GT(tally.visits, 0u);
+  ASSERT_TRUE(wfsort::detail::lc_find_place_emit(*st, place_marks, rng, 4, tally, kKeepGoing));
   const std::uint64_t expected[] = {20, 30, 40, 50, 60, 70, 80};
   for (int i = 0; i < 7; ++i) {
     EXPECT_EQ(st->out[static_cast<std::size_t>(i)].load(), expected[i]);
@@ -260,9 +263,10 @@ TEST(TreeStateDetail, LcPhasesSingleElement) {
   State st(std::span<const std::uint64_t>(keys), {});
   LcMarks sum_marks(1), place_marks(1);
   wfsort::Rng rng(1);
-  ASSERT_TRUE(wfsort::detail::lc_tree_sum(st, sum_marks, rng, kKeepGoing));
+  wfsort::detail::LcProbeTally tally;
+  ASSERT_TRUE(wfsort::detail::lc_tree_sum(st, sum_marks, rng, 1, tally, kKeepGoing));
   EXPECT_EQ(st.size_of(0), 1);
-  ASSERT_TRUE(wfsort::detail::lc_find_place_emit(st, place_marks, rng, kKeepGoing));
+  ASSERT_TRUE(wfsort::detail::lc_find_place_emit(st, place_marks, rng, 1, tally, kKeepGoing));
   EXPECT_EQ(st.place_of(0), 1);
 }
 

@@ -463,7 +463,20 @@ TEST(SortFaults, CannedAdversaryAtNonDefaultKnobs) {
         Options{.threads = kThreads,
                 .variant = Variant::kLowContention,
                 .wat_batch = 64,
-                .seq_cutoff = 512}}) {
+                .seq_cutoff = 512},
+        // LC fast-path knobs far from their defaults: paper-literal one-node
+        // probes with backoff disabled, and a deep-burst / aggressive-backoff
+        // extreme — the crash windows must stay closed at both ends.
+        Options{.threads = kThreads,
+                .variant = Variant::kLowContention,
+                .wat_batch = 1,
+                .lc_burst = 1,
+                .backoff_limit = 0},
+        Options{.threads = kThreads,
+                .variant = Variant::kLowContention,
+                .seq_cutoff = 0,
+                .lc_burst = 512,
+                .backoff_limit = 12}}) {
     auto v = make_workload(Workload::kRandom, 2048, 77);
     auto orig = v;
     wfsort::runtime::FaultPlan plan(kThreads);
@@ -475,6 +488,40 @@ TEST(SortFaults, CannedAdversaryAtNonDefaultKnobs) {
     expect_sorted_permutation(
         orig, v, "canned b" + std::to_string(opts.wat_batch) + "_c" +
                      std::to_string(opts.seq_cutoff));
+    EXPECT_GE(stats.completed_workers, 1u);
+  }
+}
+
+TEST(SortFaults, SuspendAndReviveLcAtNonDefaultKnobs) {
+  // The suspend-and-revive adversary — on the native substrate a long
+  // mid-phase sleep IS suspend-then-revive (the simulator's kSuspend/kRevive
+  // pair has no thread equivalent) — against the LC fast path with its knobs
+  // pushed off the defaults: revived workers must rejoin whatever stage the
+  // survivors advanced to, so stale burst stacks, claim runs, and backoff
+  // states must all be harmless.
+  constexpr std::uint32_t kThreads = 4;
+  for (const Options opts :
+       {Options{.threads = kThreads,
+                .variant = Variant::kLowContention,
+                .lc_burst = 1,
+                .backoff_limit = 0},
+        Options{.threads = kThreads,
+                .variant = Variant::kLowContention,
+                .wat_batch = 1,
+                .lc_burst = 256,
+                .backoff_limit = 10}}) {
+    auto v = make_workload(Workload::kRandom, 2048, 91);
+    auto orig = v;
+    wfsort::runtime::FaultPlan plan(kThreads);
+    for (std::uint32_t t = 1; t < kThreads; ++t) {
+      plan.sleep_at(t, 64 + 100 * t, std::chrono::microseconds(20000));
+    }
+    SortStats stats;
+    const bool ok =
+        wfsort::sort_with_faults(std::span<std::uint64_t>(v), opts, plan, &stats);
+    ASSERT_TRUE(ok);
+    expect_sorted_permutation(
+        orig, v, "revive burst=" + std::to_string(opts.lc_burst));
     EXPECT_GE(stats.completed_workers, 1u);
   }
 }

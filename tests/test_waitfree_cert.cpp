@@ -144,4 +144,27 @@ TEST(WaitFreeCert, NativeCheckpointBoundHolds) {
   EXPECT_GT(faulty.max_finish_steps, 0u);
 }
 
+// The LC fast path under the same calibrated bound: probe bursts, line
+// harvesting, the ALLDONE down-wave and the frontier fallback are all
+// bounded per checkpoint poll, so the randomized variant's own-step count
+// must stay inside the unchanged 14 * N * ceil(log2 N) budget — faultless
+// and with half the crew failing mid-run.
+TEST(WaitFreeCert, NativeLcCheckpointBoundHolds) {
+  rt::ScenarioSpec spec;
+  spec.substrate = rt::Substrate::kNative;
+  spec.variant = rt::SortKind::kLc;
+  spec.n = 4096;
+  spec.procs = 8;
+  spec.own_step_bound = certified_bound(spec.n);
+  const rt::ScenarioResult faultless = rt::run_scenario(spec);
+  EXPECT_TRUE(faultless.ok())
+      << rt::failure_kind_name(faultless.failure) << ": " << faultless.detail;
+
+  spec.script = rt::fail_stop_at_round(32, 4, 7);
+  const rt::ScenarioResult faulty = rt::run_scenario(spec);
+  EXPECT_TRUE(faulty.ok())
+      << rt::failure_kind_name(faulty.failure) << ": " << faulty.detail;
+  EXPECT_GT(faulty.max_finish_steps, 0u);
+}
+
 }  // namespace

@@ -5,17 +5,30 @@
 # this script on the bench host after any hot-path change and commit the
 # diff alongside it.
 #
-# Also emits BENCH_native_stats.json — one "wfsort-bench-v1" document (both
-# variants at full telemetry, docs/observability.md) — the committed sample
-# of the unified stats schema downstream tooling can diff against.
+# Also emits:
+#   BENCH_native_stats.json    one "wfsort-bench-v1" document (both variants
+#                              at full telemetry, docs/observability.md)
+#   BENCH_native_scaling.json  one "wfsort-scaling-v1" document — both
+#                              variants swept over t = 1, 2, 4, ... up to the
+#                              hardware concurrency, with per-point speedup
+#                              and max-contention attribution
+#
+# Provenance: the script refuses non-Release build directories, and every
+# emitted envelope is checked with `wfsort validate --require-release` before
+# the script succeeds — a debug-build number must never be committed.
 #
 # Usage:
 #   tools/run_native_bench.sh [build-dir] [extra benchmark args...]
 #
 # The build directory defaults to ./build-release and must already contain a
 # configured Release build; the script builds (only) the bench_e11_native
-# target in it.  Extra arguments are forwarded to the benchmark binary, e.g.:
+# and wfsort_cli targets in it.  Extra arguments are forwarded to the
+# benchmark binary, e.g.:
 #   tools/run_native_bench.sh build-release --benchmark_filter='Det/1048576'
+#
+# Scaling-sweep knobs (environment): WFSORT_SCALING_N (default 1048576),
+# WFSORT_SCALING_REPS (default 2), WFSORT_SCALING_THREADS (default: powers
+# of two up to the hardware concurrency).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -27,8 +40,15 @@ if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
   echo "hint: cmake -B \"$build_dir\" -S \"$repo_root\" -DCMAKE_BUILD_TYPE=Release" >&2
   exit 1
 fi
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")"
+if [[ "$build_type" != "Release" ]]; then
+  echo "error: '$build_dir' is configured as '${build_type:-<unset>}', not Release" >&2
+  echo "benchmark numbers from non-Release builds must not be committed" >&2
+  exit 1
+fi
 
 cmake --build "$build_dir" --target bench_e11_native wfsort_cli -j "$(nproc)"
+wfsort="$build_dir/tools/wfsort"
 
 out="$repo_root/BENCH_native_perf.json"
 "$build_dir/bench/bench_e11_native" \
@@ -36,8 +56,20 @@ out="$repo_root/BENCH_native_perf.json"
   --benchmark_out="$out" \
   --benchmark_out_format=json \
   "$@"
-
+if ! grep -q '"wfsort_build_type": "release"' "$out"; then
+  echo "error: $out was not produced by a release build" >&2
+  exit 1
+fi
 echo "wrote $out"
 
-"$build_dir/tools/wfsort" bench --n=262144 --threads=4 --reps=2 \
+"$wfsort" bench --n=262144 --threads=4 --reps=2 \
   --stats-json="$repo_root/BENCH_native_stats.json"
+"$wfsort" validate "$repo_root/BENCH_native_stats.json" --require-release
+
+scaling_args=( --n="${WFSORT_SCALING_N:-1048576}" --reps="${WFSORT_SCALING_REPS:-2}" )
+if [[ -n "${WFSORT_SCALING_THREADS:-}" ]]; then
+  scaling_args+=( --threads-list="$WFSORT_SCALING_THREADS" )
+fi
+"$wfsort" scaling "${scaling_args[@]}" \
+  --stats-json="$repo_root/BENCH_native_scaling.json"
+"$wfsort" validate "$repo_root/BENCH_native_scaling.json" --require-release

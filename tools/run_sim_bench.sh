@@ -24,6 +24,12 @@ if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
   echo "hint: cmake -B \"$build_dir\" -S \"$repo_root\" -DCMAKE_BUILD_TYPE=Release" >&2
   exit 1
 fi
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")"
+if [[ "$build_type" != "Release" ]]; then
+  echo "error: '$build_dir' is configured as '${build_type:-<unset>}', not Release" >&2
+  echo "benchmark numbers from non-Release builds must not be committed" >&2
+  exit 1
+fi
 
 cmake --build "$build_dir" --target bench_sim_perf wfsort_cli -j "$(nproc)"
 
@@ -33,8 +39,12 @@ out="$repo_root/BENCH_sim_perf.json"
   --benchmark_out="$out" \
   --benchmark_out_format=json \
   "$@"
-
+if ! grep -q '"wfsort_build_type": "release"' "$out"; then
+  echo "error: $out was not produced by a release build" >&2
+  exit 1
+fi
 echo "wrote $out"
 
 "$build_dir/tools/wfsort" sim --n=4096 --procs=256 \
   --stats-json="$repo_root/BENCH_sim_stats.json"
+"$build_dir/tools/wfsort" validate "$repo_root/BENCH_sim_stats.json"

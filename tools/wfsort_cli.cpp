@@ -4,6 +4,8 @@
 //   wfsort sort file.txt                 # sort whitespace-separated integers
 //   wfsort sim  --n=256 --procs=256 --variant=det --schedule=serial --trace=20
 //   wfsort bench --n=1048576 --threads=8 --reps=3 --stats-json=stats.json
+//   wfsort scaling --n=1048576 --reps=3 --stats-json=scaling.json
+//   wfsort validate BENCH_native_perf.json --require-release
 //   wfsort hunt --n=256 --procs=16 --prune=placed --out=repro.json
 //   wfsort replay repro.json
 //
@@ -11,11 +13,17 @@
 // files, or generates --n keys); `sim` runs the chosen variant on the CRCW
 // PRAM simulator and prints rounds, contention and (optionally) the tail of
 // the execution trace.  `bench` runs both native variants at full telemetry
-// and emits the unified stats document.  `hunt` unleashes the searching
-// adversary — fault scripts swept across scheduler families — and writes a
-// replay artifact if any scenario fails; `replay` re-executes such an
-// artifact and reports whether the failure reproduces (see
-// docs/fault_model.md and docs/observability.md).
+// and emits the unified stats document.  `scaling` sweeps both variants over
+// a thread count list (default: 1, 2, 4, ... up to the hardware concurrency)
+// and emits a "wfsort-scaling-v1" document of speedup curves and per-point
+// max contention.  `validate` structurally checks an emitted stats/bench/
+// scaling JSON file; with --require-release it additionally rejects
+// envelopes not produced by a release build (bench provenance — committed
+// BENCH files must pass this).  `hunt` unleashes the searching adversary —
+// fault scripts swept across scheduler families — and writes a replay
+// artifact if any scenario fails; `replay` re-executes such an artifact and
+// reports whether the failure reproduces (see docs/fault_model.md and
+// docs/observability.md).
 //
 // Observability flags (see docs/observability.md):
 //   --telemetry=off|phases|full   native per-worker recording level
@@ -26,8 +34,10 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cli.h"
@@ -47,6 +57,7 @@
 namespace {
 
 namespace tel = wfsort::telemetry;
+using wfsort::Json;
 
 // Write a JSON document to `path`; complains on stderr, returns exit-worthy
 // success.
@@ -231,6 +242,181 @@ int run_bench(const wfsort::CliFlags& flags) {
     std::fprintf(stderr, "wrote %s (load in Perfetto / chrome://tracing)\n",
                  trace_path.c_str());
   }
+  return 0;
+}
+
+// Scaling: sweep thread counts for both native variants, reporting each
+// point's best-of---reps wall time, speedup versus the variant's own t=1
+// point, and max-contention attribution.  The sweep is --threads-list
+// ("1,2,4"), defaulting to powers of two up to the hardware concurrency
+// (which is always appended if it is not itself a power of two).
+int run_scaling(const wfsort::CliFlags& flags) {
+  const std::uint64_t n = flags.u64("n");
+  const std::uint64_t reps = std::max<std::uint64_t>(flags.u64("reps"), 1);
+  const std::vector<std::uint64_t> input = wfsort::exp::make_u64_keys(
+      n, parse_dist(flags.str("dist")), flags.u64("seed"));
+
+  std::vector<std::uint32_t> threads;
+  const std::string list = flags.str("threads-list");
+  if (!list.empty()) {
+    std::uint32_t cur = 0;
+    bool any = false;
+    for (const char ch : list + ",") {
+      if (ch >= '0' && ch <= '9') {
+        cur = cur * 10 + static_cast<std::uint32_t>(ch - '0');
+        any = true;
+      } else if (ch == ',') {
+        if (any && cur > 0) threads.push_back(cur);
+        cur = 0;
+        any = false;
+      } else {
+        std::fprintf(stderr, "bad --threads-list '%s' (want e.g. 1,2,4)\n",
+                     list.c_str());
+        return 2;
+      }
+    }
+  } else {
+    const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+    for (std::uint32_t t = 1; t <= hw; t *= 2) threads.push_back(t);
+    if (threads.back() != hw) threads.push_back(hw);
+  }
+  if (threads.empty()) {
+    std::fprintf(stderr, "empty thread sweep\n");
+    return 2;
+  }
+
+  wfsort::Json doc = tel::make_scaling_doc();
+  Json config = Json::object();
+  config.set("n", n);
+  config.set("seed", flags.u64("seed"));
+  config.set("reps", reps);
+  config.set("dist", flags.str("dist"));
+  config.set("hw_concurrency",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  doc.set("config", std::move(config));
+  Json tlist = Json::array();
+  for (std::uint32_t t : threads) tlist.push_back(static_cast<std::uint64_t>(t));
+  doc.set("threads", std::move(tlist));
+
+  const std::pair<const char*, wfsort::Variant> variants[] = {
+      {"det", wfsort::Variant::kDeterministic},
+      {"lc", wfsort::Variant::kLowContention},
+  };
+  Json vdocs = Json::object();
+  bool ok = true;
+  for (const auto& [name, variant] : variants) {
+    Json points = Json::array();
+    double base_ms = 0.0;
+    for (std::uint32_t t : threads) {
+      double best_ms = 0.0;
+      Json best_contention;
+      for (std::uint64_t rep = 0; rep < reps; ++rep) {
+        std::vector<std::uint64_t> data = input;
+        wfsort::Options opts;
+        opts.threads = t;
+        opts.variant = variant;
+        opts.seed = flags.u64("seed") + rep;
+        opts.telemetry = tel::Level::kFull;
+        wfsort::SortStats stats;
+        wfsort::sort(std::span<std::uint64_t>(data), opts, &stats);
+        for (std::size_t i = 1; i < data.size(); ++i) ok &= data[i - 1] <= data[i];
+
+        const wfsort::Json run =
+            tel::native_stats_json(tel::native_run_info(opts, data.size()), stats);
+        const double ms = run.at("totals").at("wall_ms").as_double();
+        if (rep == 0 || ms < best_ms) {
+          best_ms = ms;
+          best_contention = run.at("contention");
+        }
+      }
+      if (t == threads.front()) base_ms = best_ms;
+      const double speedup = best_ms > 0.0 ? base_ms / best_ms : 0.0;
+      std::fprintf(stderr,
+                   "scaling %s t=%u: wall %.3f ms  speedup %.2fx  "
+                   "max contention %s=%llu\n",
+                   name, t, best_ms, speedup,
+                   best_contention.at("max_site").as_string().c_str(),
+                   static_cast<unsigned long long>(
+                       best_contention.at("max_value").as_u64()));
+      Json pt = Json::object();
+      pt.set("threads", static_cast<std::uint64_t>(t));
+      pt.set("wall_ms", best_ms);
+      pt.set("speedup", speedup);
+      pt.set("contention", std::move(best_contention));
+      points.push_back(std::move(pt));
+    }
+    Json v = Json::object();
+    v.set("points", std::move(points));
+    vdocs.set(name, std::move(v));
+  }
+  doc.set("variants", std::move(vdocs));
+  if (!ok) {
+    std::fprintf(stderr, "scaling: output NOT SORTED\n");
+    return 1;
+  }
+
+  std::string error;
+  if (!tel::validate_scaling_json(doc, &error)) {
+    std::fprintf(stderr, "internal error: emitted document invalid: %s\n",
+                 error.c_str());
+    return 2;
+  }
+  const std::string stats_path = flags.str("stats-json");
+  if (!stats_path.empty() && !write_json(doc, stats_path)) return 2;
+  return 0;
+}
+
+// Validate: structural check of an emitted JSON file, dispatched on its
+// "schema" key.  --require-release turns on the bench-provenance check.
+int run_validate(const wfsort::CliFlags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "usage: wfsort validate <file.json> [--require-release]\n");
+    return 2;
+  }
+  const std::string& path = flags.positional()[1];
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  std::string error;
+  const wfsort::Json doc = wfsort::Json::parse(text, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+
+  const bool require_release = flags.flag("require-release");
+  const wfsort::Json* schema = doc.find("schema");
+  const std::string name =
+      schema != nullptr && schema->type() == wfsort::Json::Type::kString
+          ? schema->as_string()
+          : "";
+  bool valid = false;
+  if (name == tel::kBenchSchema) {
+    valid = tel::validate_bench_json(doc, &error, require_release);
+  } else if (name == tel::kScalingSchema) {
+    valid = tel::validate_scaling_json(doc, &error, require_release);
+  } else if (name == tel::kStatsSchema) {
+    if (require_release) {
+      error = "stats documents carry no build_type; --require-release applies "
+              "to bench/scaling envelopes";
+    } else {
+      valid = tel::validate_stats_json(doc, &error);
+    }
+  } else {
+    error = "unknown schema: \"" + name + "\"";
+  }
+  if (!valid) {
+    std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  const wfsort::Json* bt = doc.find("build_type");
+  std::fprintf(stderr, "%s: ok (%s%s%s)\n", path.c_str(), name.c_str(),
+               bt != nullptr ? ", build_type=" : "",
+               bt != nullptr ? bt->as_string().c_str() : "");
   return 0;
 }
 
@@ -440,7 +626,7 @@ int run_replay(const wfsort::CliFlags& flags) {
 int main(int argc, char** argv) {
   wfsort::CliFlags flags(
       "wfsort — wait-free sorting (Shavit/Upfal/Zemach PODC'97)\n"
-      "usage: wfsort <sort|sim|bench|hunt|replay> [flags] [files...]");
+      "usage: wfsort <sort|sim|bench|scaling|validate|hunt|replay> [flags] [files...]");
   flags.add_u64("n", 100000, "number of keys to generate when no input file is given");
   flags.add_u64("threads", 4, "native worker threads (sort/bench mode)");
   flags.add_u64("procs", 256, "virtual processors (sim mode)");
@@ -456,7 +642,12 @@ int main(int argc, char** argv) {
   flags.add_u64("budget", 400, "hunt: max scenario executions");
   flags.add_string("out", "wfsort-repro.json", "hunt: replay artifact path");
   flags.add_bool("shrink", true, "hunt: delta-debug the failing script before writing");
-  flags.add_u64("reps", 1, "bench: repetitions per variant");
+  flags.add_u64("reps", 1, "bench/scaling: repetitions per variant (best kept)");
+  flags.add_string("threads-list", "",
+                   "scaling: comma-separated thread counts (default: powers of "
+                   "two up to the hardware concurrency)");
+  flags.add_bool("require-release", false,
+                 "validate: reject envelopes not from a release build");
   flags.add_string("telemetry", "off", "native recording level: off|phases|full");
   flags.add_string("stats-json", "", "write the run's stats document to this path");
   flags.add_string("trace-out", "", "write a Perfetto-loadable trace to this path");
@@ -474,8 +665,12 @@ int main(int argc, char** argv) {
   if (mode == "sort") return run_sort(flags);
   if (mode == "sim") return run_sim(flags);
   if (mode == "bench") return run_bench(flags);
+  if (mode == "scaling") return run_scaling(flags);
+  if (mode == "validate") return run_validate(flags);
   if (mode == "hunt") return run_hunt(flags);
   if (mode == "replay") return run_replay(flags);
-  std::fprintf(stderr, "unknown mode '%s' (sort|sim|bench|hunt|replay)\n", mode.c_str());
+  std::fprintf(stderr,
+               "unknown mode '%s' (sort|sim|bench|scaling|validate|hunt|replay)\n",
+               mode.c_str());
   return 2;
 }
