@@ -58,6 +58,19 @@ void BM_WaitFreeSortDet(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
+void BM_WaitFreeSortDetPartition(benchmark::State& state) {
+  const auto base = input(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    auto v = base;
+    wfsort::sort(std::span<std::uint64_t>(v),
+                 wfsort::Options{.threads = threads,
+                                 .phase1 = wfsort::Phase1::kPartition});
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
 void BM_WaitFreeSortLc(benchmark::State& state) {
   const auto base = input(static_cast<std::size_t>(state.range(0)));
   const auto threads = static_cast<std::uint32_t>(state.range(1));
@@ -121,6 +134,15 @@ BENCHMARK(BM_WaitFreeSortDet)
     ->Args({1 << 20, 4})
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.2);
+BENCHMARK(BM_WaitFreeSortDetPartition)
+    ->Args({1 << 14, 1})
+    ->Args({1 << 14, 4})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 4})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
 BENCHMARK(BM_WaitFreeSortLc)
     ->Args({1 << 14, 4})
     ->Args({1 << 20, 4})
@@ -134,6 +156,8 @@ BENCHMARK(BM_LockParallelQuicksort)
 BENCHMARK(BM_ParallelMergesort)
     ->Args({1 << 16, 1})
     ->Args({1 << 16, 4})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4})
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.2);
 BENCHMARK(BM_BitonicThreaded)

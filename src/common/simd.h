@@ -1,0 +1,222 @@
+// Runtime-dispatched SIMD key comparison for the batched tree descents.
+//
+// build_batch / build_lanes step up to kBuildLanes independent descents per
+// round, and every step starts with the same question: does this element go
+// to the small or the big child of its current parent?  For the common
+// uint64 / std::less case that question is pure integer arithmetic — key
+// compare, index tie-break — so one round's worth of answers can be computed
+// as a short vector operation instead of eight dependent branchy calls.
+//
+// descend_sides_u64 answers it for up to 8 (element, parent) pairs at once:
+// out[k] = 1 iff element k descends to the BIG child, i.e.
+//
+//   ekey[k] > pkey[k]  ||  (ekey[k] == pkey[k] && eidx[k] > pidx[k])
+//
+// which is exactly !TreeState::less(elem, parent) for Key = uint64_t with
+// Compare = std::less — the tie-break included, so routing is bit-identical
+// across every implementation.  Three implementations are provided:
+//
+//   scalar  portable reference (also the non-x86 build)
+//   sse2    2 lanes/op; 64-bit unsigned compare synthesized from the
+//           32-bit signed compare + equality (SSE2 has no 64-bit compare)
+//   avx2    4 lanes/op via _mm256_cmpgt_epi64 with the sign-flip trick
+//
+// Dispatch happens once per process via __builtin_cpu_supports and is cached
+// in a function-local static; the scalar fallback is the semantics, the SIMD
+// paths only restate it wider.  test_engine_detail cross-checks all compiled
+// implementations bit-for-bit on randomized and adversarial inputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define WFSORT_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define WFSORT_SIMD_X86 0
+#endif
+
+namespace wfsort::simd {
+
+enum class Isa : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+inline const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kSse2: return "sse2";
+    case Isa::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+// True when the batched descent of TreeState<Key, Compare> can be answered
+// by descend_sides_u64 (key compare + index tie-break in pure integers).
+template <typename Key, typename Compare>
+inline constexpr bool kSimdDescend =
+    std::is_same_v<Key, std::uint64_t> &&
+    std::is_same_v<Compare, std::less<Key>>;
+
+// Maximum pair count per call (one build round; kBuildLanes in build_phase.h).
+inline constexpr int kMaxLanes = 8;
+
+// ---- scalar reference -----------------------------------------------------
+
+inline void descend_sides_u64_scalar(const std::uint64_t* ekey,
+                                     const std::int64_t* eidx,
+                                     const std::uint64_t* pkey,
+                                     const std::int64_t* pidx, int count,
+                                     std::uint8_t* out) {
+  for (int k = 0; k < count; ++k) {
+    // Branch-free form of !less: indices are distinct, so the tie-break is
+    // a plain signed compare.
+    const bool gt = ekey[k] > pkey[k];
+    const bool eq = ekey[k] == pkey[k];
+    const bool tie = eidx[k] > pidx[k];
+    out[k] = static_cast<std::uint8_t>(gt | (eq & tie));
+  }
+}
+
+#if WFSORT_SIMD_X86
+
+// ---- SSE2 (x86-64 baseline) ----------------------------------------------
+
+namespace detail_sse2 {
+
+// Per-64-bit-lane a > b, unsigned, synthesized from 32-bit SSE2 ops:
+//   hi(a) >u hi(b)  ||  (hi(a) == hi(b) && lo(a) >u lo(b))
+// with the 32-bit unsigned compare done as a signed compare after flipping
+// the sign bit.
+inline __m128i cmpgt_epu64(__m128i a, __m128i b) {
+  const __m128i sign32 = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i gt32 = _mm_cmpgt_epi32(_mm_xor_si128(a, sign32),
+                                       _mm_xor_si128(b, sign32));
+  const __m128i eq32 = _mm_cmpeq_epi32(a, b);
+  const __m128i gt_hi = _mm_shuffle_epi32(gt32, _MM_SHUFFLE(3, 3, 1, 1));
+  const __m128i gt_lo = _mm_shuffle_epi32(gt32, _MM_SHUFFLE(2, 2, 0, 0));
+  const __m128i eq_hi = _mm_shuffle_epi32(eq32, _MM_SHUFFLE(3, 3, 1, 1));
+  return _mm_or_si128(gt_hi, _mm_and_si128(eq_hi, gt_lo));
+}
+
+// Per-64-bit-lane a == b from two 32-bit equalities.
+inline __m128i cmpeq_epi64_sse2(__m128i a, __m128i b) {
+  const __m128i eq32 = _mm_cmpeq_epi32(a, b);
+  return _mm_and_si128(_mm_shuffle_epi32(eq32, _MM_SHUFFLE(3, 3, 1, 1)),
+                       _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 2, 0, 0)));
+}
+
+}  // namespace detail_sse2
+
+inline void descend_sides_u64_sse2(const std::uint64_t* ekey,
+                                   const std::int64_t* eidx,
+                                   const std::uint64_t* pkey,
+                                   const std::int64_t* pidx, int count,
+                                   std::uint8_t* out) {
+  int k = 0;
+  for (; k + 2 <= count; k += 2) {
+    const __m128i ek = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ekey + k));
+    const __m128i pk = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pkey + k));
+    const __m128i ei = _mm_loadu_si128(reinterpret_cast<const __m128i*>(eidx + k));
+    const __m128i pi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pidx + k));
+    const __m128i key_gt = detail_sse2::cmpgt_epu64(ek, pk);
+    const __m128i key_eq = detail_sse2::cmpeq_epi64_sse2(ek, pk);
+    // Element indices are nonnegative, so unsigned order == signed order.
+    const __m128i idx_gt = detail_sse2::cmpgt_epu64(ei, pi);
+    const __m128i big =
+        _mm_or_si128(key_gt, _mm_and_si128(key_eq, idx_gt));
+    const int mask = _mm_movemask_pd(_mm_castsi128_pd(big));
+    out[k] = static_cast<std::uint8_t>(mask & 1);
+    out[k + 1] = static_cast<std::uint8_t>((mask >> 1) & 1);
+  }
+  if (k < count) descend_sides_u64_scalar(ekey + k, eidx + k, pkey + k, pidx + k,
+                                          count - k, out + k);
+}
+
+// ---- AVX2 (compiled with a target attribute; only called after CPUID) -----
+
+__attribute__((target("avx2"))) inline void descend_sides_u64_avx2(
+    const std::uint64_t* ekey, const std::int64_t* eidx,
+    const std::uint64_t* pkey, const std::int64_t* pidx, int count,
+    std::uint8_t* out) {
+  const __m256i sign64 = _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ull));
+  int k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const __m256i ek = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ekey + k));
+    const __m256i pk = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pkey + k));
+    const __m256i ei = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(eidx + k));
+    const __m256i pi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pidx + k));
+    // Unsigned 64-bit compare = signed compare after flipping the sign bit.
+    const __m256i key_gt = _mm256_cmpgt_epi64(_mm256_xor_si256(ek, sign64),
+                                              _mm256_xor_si256(pk, sign64));
+    const __m256i key_eq = _mm256_cmpeq_epi64(ek, pk);
+    const __m256i idx_gt = _mm256_cmpgt_epi64(ei, pi);  // indices: signed is fine
+    const __m256i big =
+        _mm256_or_si256(key_gt, _mm256_and_si256(key_eq, idx_gt));
+    const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(big));
+    out[k] = static_cast<std::uint8_t>(mask & 1);
+    out[k + 1] = static_cast<std::uint8_t>((mask >> 1) & 1);
+    out[k + 2] = static_cast<std::uint8_t>((mask >> 2) & 1);
+    out[k + 3] = static_cast<std::uint8_t>((mask >> 3) & 1);
+  }
+  if (k < count) descend_sides_u64_sse2(ekey + k, eidx + k, pkey + k, pidx + k,
+                                        count - k, out + k);
+}
+
+#endif  // WFSORT_SIMD_X86
+
+// ---- dispatch -------------------------------------------------------------
+
+using DescendSidesFn = void (*)(const std::uint64_t*, const std::int64_t*,
+                                const std::uint64_t*, const std::int64_t*, int,
+                                std::uint8_t*);
+
+namespace detail_dispatch {
+
+inline Isa detect_isa() {
+#if WFSORT_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  return Isa::kSse2;  // SSE2 is the x86-64 baseline
+#else
+  return Isa::kScalar;
+#endif
+}
+
+struct Dispatch {
+  Isa isa;
+  DescendSidesFn fn;
+  Dispatch() : isa(detect_isa()) {
+    switch (isa) {
+#if WFSORT_SIMD_X86
+      case Isa::kAvx2: fn = &descend_sides_u64_avx2; break;
+      case Isa::kSse2: fn = &descend_sides_u64_sse2; break;
+#endif
+      default: fn = &descend_sides_u64_scalar; break;
+    }
+  }
+};
+
+inline const Dispatch& dispatch() {
+  static const Dispatch d;
+  return d;
+}
+
+}  // namespace detail_dispatch
+
+// The ISA the process-wide dispatch selected (for reports and tests).
+inline Isa active_isa() { return detail_dispatch::dispatch().isa; }
+
+// The resolved comparison kernel, for callers that invoke it once per
+// descent round: hoist the pointer out of the loop instead of paying the
+// static-init guard and double indirection per call.
+inline DescendSidesFn descend_fn() { return detail_dispatch::dispatch().fn; }
+
+// out[k] = 1 iff pair k routes to the big child (see file comment).
+// `count` <= kMaxLanes.
+inline void descend_sides_u64(const std::uint64_t* ekey, const std::int64_t* eidx,
+                              const std::uint64_t* pkey, const std::int64_t* pidx,
+                              int count, std::uint8_t* out) {
+  detail_dispatch::dispatch().fn(ekey, eidx, pkey, pidx, count, out);
+}
+
+}  // namespace wfsort::simd

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/simd.h"
 #include "core/detail/tree_state.h"
 #include "telemetry/recorder.h"
 
@@ -63,7 +64,7 @@ BuildResult build_from(TreeState<Key, Compare>& st, std::int64_t i,
   while (true) {
     ++r.iterations;
     WFSORT_DCHECK(r.iterations <= static_cast<std::uint64_t>(st.n()));  // Lemma 2.4
-    const Side side = st.less(i, parent) ? kSmall : kBig;
+    const Side side = st.descend_side(i, parent);
     auto& slot = st.child_slot(parent, side);
     // Probe first (paper line 15 re-read, hoisted): only an EMPTY slot is
     // worth an RMW.
@@ -102,6 +103,32 @@ BuildResult build_one(TreeState<Key, Compare>& st, std::int64_t i) {
 // polled once per completed element (the engine's fault checkpoint
 // granularity); returns false if the worker was aborted.
 inline constexpr int kBuildLanes = 8;
+static_assert(kBuildLanes <= simd::kMaxLanes);
+
+// One round of descent sides for every in-flight lane, batched through the
+// runtime-dispatched SIMD kernel when Key/Compare qualify (element keys are
+// cached in the lanes; only the parent keys are gathered — those loads warm
+// the very node lines the step loop touches next).  The kernel is
+// bit-identical to TreeState::descend_side — same key compare, same index
+// tie-break (see common/simd.h).  When the key type does not qualify the
+// step loop computes its side inline (branch-free cmov via descend_side)
+// and this helper is never instantiated.
+template <typename Key, typename Compare, typename Lane>
+inline void batch_descend_sides(const TreeState<Key, Compare>& st,
+                                simd::DescendSidesFn descend, const Lane* lanes,
+                                int active, Side* sides) {
+  std::uint64_t ekey[kBuildLanes], pkey[kBuildLanes];
+  std::int64_t eidx[kBuildLanes], pidx[kBuildLanes];
+  std::uint8_t big[kBuildLanes];
+  for (int k = 0; k < active; ++k) {
+    ekey[k] = lanes[k].ekey;
+    eidx[k] = lanes[k].elem;
+    pkey[k] = st.key_of(lanes[k].parent);
+    pidx[k] = lanes[k].parent;
+  }
+  descend(ekey, eidx, pkey, pidx, active, big);
+  for (int k = 0; k < active; ++k) sides[k] = static_cast<Side>(big[k]);
+}
 
 template <typename Key, typename Compare, typename Check,
           typename Tel = std::nullptr_t>
@@ -111,6 +138,7 @@ bool build_batch(TreeState<Key, Compare>& st, std::int64_t lo, std::int64_t hi,
   struct Lane {
     std::int64_t elem;
     std::int64_t parent;
+    Key ekey;  // cached key of elem, gathered once at refill for the batch compare
     std::uint64_t iterations;
     std::uint64_t fails;  // per-lane only when kTel (feeds the histogram)
   };
@@ -125,7 +153,7 @@ bool build_batch(TreeState<Key, Compare>& st, std::int64_t lo, std::int64_t hi,
     while (next < hi) {
       const std::int64_t i = next++;
       if (i == root) continue;  // the root is never inserted
-      lanes[slot] = {i, root, 0, 0};
+      lanes[slot] = {i, root, st.key_of(i), 0, 0};
       st.prefetch(root);
       return true;
     }
@@ -146,15 +174,38 @@ bool build_batch(TreeState<Key, Compare>& st, std::int64_t lo, std::int64_t hi,
   const auto smaller_rival = [&](int l, const Lane& ln, Side side) {
     for (int k = 0; k < active; ++k) {
       if (k == l || lanes[k].elem >= ln.elem || lanes[k].parent != ln.parent) continue;
-      if ((st.less(lanes[k].elem, ln.parent) ? kSmall : kBig) == side) return true;
+      if (st.descend_side(lanes[k].elem, ln.parent) == side) return true;
     }
     return false;
   };
 
+  // When the key type qualifies AND the record array is cache-resident
+  // (simd_batch_descend), one round of sides is computed up front by the
+  // SIMD kernel; otherwise the step loop computes its side inline
+  // (descend_side — branch-free either way).  A retired slot inherits the
+  // side of the lane swapped into it (that lane has not stepped this
+  // round); a refilled slot recomputes scalar (refills happen once per
+  // element — off the per-step path).
+  constexpr bool kSimdOk = simd::kSimdDescend<Key, Compare>;
+  [[maybe_unused]] simd::DescendSidesFn descend = nullptr;
+  [[maybe_unused]] bool batch_sides = false;
+  if constexpr (kSimdOk) {
+    batch_sides = st.simd_batch_descend();
+    if (batch_sides) descend = simd::descend_fn();
+  }
+  [[maybe_unused]] Side sides[kBuildLanes];
   while (active > 0) {
+    if constexpr (kSimdOk) {
+      if (batch_sides) batch_descend_sides(st, descend, lanes, active, sides);
+    }
     for (int l = 0; l < active;) {
       Lane& ln = lanes[l];
-      const Side side = st.less(ln.elem, ln.parent) ? kSmall : kBig;
+      Side side;
+      if constexpr (kSimdOk) {
+        side = batch_sides ? sides[l] : st.descend_side(ln.elem, ln.parent);
+      } else {
+        side = st.descend_side(ln.elem, ln.parent);
+      }
       auto& slot = st.child_slot(ln.parent, side);
       std::int64_t c = slot.load(std::memory_order_acquire);
       bool installed = false;
@@ -193,10 +244,19 @@ bool build_batch(TreeState<Key, Compare>& st, std::int64_t lo, std::int64_t hi,
           }
           return false;
         }
-        if (!refill(l)) {
+        if (refill(l)) {
+          if constexpr (kSimdOk) {
+            if (batch_sides) {
+              sides[l] = st.descend_side(lanes[l].elem, lanes[l].parent);
+            }
+          }
+        } else {
           lanes[l] = lanes[--active];  // retire the lane
+          if constexpr (kSimdOk) {
+            if (batch_sides) sides[l] = sides[active];
+          }
         }
-        continue;  // new occupant of slot l steps next round
+        continue;  // the new occupant of slot l steps next
       }
       if constexpr (kTel) {
         ++ln.fails;
@@ -254,6 +314,7 @@ bool build_lanes(TreeState<Key, Compare>& st, const std::int64_t* elems,
   struct Lane {
     std::int64_t elem;
     std::int64_t parent;
+    Key ekey;  // cached key of elem, gathered once at startup for the batch compare
     std::uint64_t iterations;
     std::uint64_t fails;
     std::uint32_t lost;  // lost install CASes (drives the backoff schedule)
@@ -263,14 +324,30 @@ bool build_lanes(TreeState<Key, Compare>& st, const std::int64_t* elems,
   Lane lanes[kBuildLanes];
   int active = 0;
   for (int k = 0; k < count && active < kBuildLanes; ++k) {
-    lanes[active++] = {elems[k], parents[k], 0, 0, 0};
+    lanes[active++] = {elems[k], parents[k], st.key_of(elems[k]), 0, 0, 0};
     st.prefetch(parents[k]);
   }
 
+  constexpr bool kSimdOk = simd::kSimdDescend<Key, Compare>;
+  [[maybe_unused]] simd::DescendSidesFn descend = nullptr;
+  [[maybe_unused]] bool batch_sides = false;
+  if constexpr (kSimdOk) {
+    batch_sides = st.simd_batch_descend();
+    if (batch_sides) descend = simd::descend_fn();
+  }
+  [[maybe_unused]] Side sides[kBuildLanes];
   while (active > 0) {
+    if constexpr (kSimdOk) {
+      if (batch_sides) batch_descend_sides(st, descend, lanes, active, sides);
+    }
     for (int l = 0; l < active;) {
       Lane& ln = lanes[l];
-      const Side side = st.less(ln.elem, ln.parent) ? kSmall : kBig;
+      Side side;
+      if constexpr (kSimdOk) {
+        side = batch_sides ? sides[l] : st.descend_side(ln.elem, ln.parent);
+      } else {
+        side = st.descend_side(ln.elem, ln.parent);
+      }
       auto& slot = st.child_slot(ln.parent, side);
       std::int64_t c = slot.load(std::memory_order_acquire);
       bool installed = false;
@@ -308,6 +385,9 @@ bool build_lanes(TreeState<Key, Compare>& st, const std::int64_t* elems,
           return false;
         }
         lanes[l] = lanes[--active];  // retire the lane
+        if constexpr (kSimdOk) {
+          if (batch_sides) sides[l] = sides[active];
+        }
         continue;
       }
       if constexpr (kTel) {

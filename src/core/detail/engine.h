@@ -38,6 +38,7 @@
 #include "common/rng.h"
 #include "core/detail/build_phase.h"
 #include "core/detail/lc_phase.h"
+#include "core/detail/partition_phase.h"
 #include "core/detail/sum_place_phase.h"
 #include "core/detail/tree_state.h"
 #include "core/options.h"
@@ -131,6 +132,11 @@ class Engine {
       effective_variant_ = Variant::kDeterministic;
     }
     if (effective_variant_ == Variant::kLowContention) init_lc();
+    if (effective_variant_ == Variant::kDeterministic &&
+        opts.phase1 == Phase1::kPartition && data_.size() > 1) {
+      part_ = std::make_unique<PartitionShared<Key>>(
+          std::span<const Key>(data_.data(), data_.size()));
+    }
     if (opts.telemetry != telemetry::Level::kOff && data_.size() > 1) {
       recorder_ = std::make_unique<telemetry::Recorder>(
           opts.telemetry, std::max(nominal_threads_, kTelemetrySlots));
@@ -162,13 +168,15 @@ class Engine {
     // programs is the untraced hot path, identical to pre-telemetry code.
     bool ok;
     if (tel != nullptr) {
-      ok = effective_variant_ == Variant::kDeterministic
-               ? run_deterministic(tid, plan, tel)
-               : run_low_contention(tid, plan, tel);
+      ok = effective_variant_ != Variant::kDeterministic
+               ? run_low_contention(tid, plan, tel)
+               : (part_ != nullptr ? run_partition(tid, plan, tel)
+                                   : run_deterministic(tid, plan, tel));
     } else {
-      ok = effective_variant_ == Variant::kDeterministic
-               ? run_deterministic(tid, plan, nullptr)
-               : run_low_contention(tid, plan, nullptr);
+      ok = effective_variant_ != Variant::kDeterministic
+               ? run_low_contention(tid, plan, nullptr)
+               : (part_ != nullptr ? run_partition(tid, plan, nullptr)
+                                   : run_deterministic(tid, plan, nullptr));
     }
     if (!ok) {
       if (tel != nullptr) tel->rep.crashed = true;
@@ -383,6 +391,97 @@ class Engine {
     clock.lap(phase2_us_);
     if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kPlace);
     if (!find_place_emit(st_, tid, opts_.prune, seq_cutoff_, chk, tel)) return false;
+    clock.lap(phase3_us_);
+    return true;
+  }
+
+  // --- deterministic variant with the blocked-partition phase 1 ---
+  // Same worker contract as run_deterministic: helps every sweep to its own
+  // completion, crashes leave only idempotent state, nobody waits.  Sweep
+  // structure and its correctness argument live in partition_phase.h; the
+  // phase clock maps classify/scatter/buckets onto the phase1/2/3 slots.
+  template <typename Tel>
+  bool run_partition(std::uint32_t tid, runtime::FaultPlan* plan, Tel tel) {
+    constexpr bool kTel = telemetry::kTelEnabled<Tel>;
+    const auto chk = [plan, tid] { return plan == nullptr || plan->checkpoint(tid); };
+    [[maybe_unused]] bool tel_detail = false;
+    if constexpr (kTel) tel_detail = tel->detail;
+    PartitionShared<Key>& ps = *part_;
+    PartitionLocal<Key> local;
+
+    const auto flush = [&] {
+      if constexpr (kTel) {
+        if (tel_detail) {
+          tel->count(telemetry::Counter::kLeafBlocks, local.tally.blocks);
+          tel->count(telemetry::Counter::kLeafInsertionSorts,
+                     local.tally.insertion_sorts);
+          tel->count(telemetry::Counter::kLeafHeapsorts, local.tally.heapsorts);
+          tel->count(telemetry::Counter::kPartitionSwaps,
+                     local.tally.partition_swaps);
+          if (ps.buckets > 1) {
+            tel->count(telemetry::Counter::kSplitterSamples,
+                       static_cast<std::uint64_t>(ps.sample_size));
+          }
+        }
+      }
+    };
+    // Drive `wat` to completion, running `job` on every claimed leaf — the
+    // run_deterministic phase-1 loop, generalized over the job body.
+    [[maybe_unused]] std::uint64_t wat_probes = 1;
+    const auto drive = [&](Wat& wat, auto&& job) -> bool {
+      std::int64_t node = wat.initial_leaf(tid, nominal_threads_);
+      if constexpr (kTel) wat_probes = 1;
+      while (true) {
+        if (!chk()) return false;
+        if (wat.is_job_leaf(node)) {
+          if constexpr (kTel) {
+            if (tel_detail) {
+              tel->count(telemetry::Counter::kWatClaims);
+              tel->count(telemetry::Counter::kWatProbes, wat_probes);
+              tel->rep.wat_probes.add(wat_probes);
+              wat_probes = 0;
+            }
+          }
+          if (!job(static_cast<std::int64_t>(wat.job_of(node)))) return false;
+        }
+        node = wat.next_element(node);
+        if constexpr (kTel) {
+          if (tel_detail) ++wat_probes;
+        }
+        if (node == Wat::kAllJobsDone) return true;
+      }
+    };
+
+    PhaseClock clock;
+    clock.start();
+    if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kPartClassify);
+    bool ok = partition_prepare(st_, ps, local, chk) &&
+              drive(ps.classify_wat, [&](std::int64_t c) {
+                return partition_classify(st_, ps, local, c, chk);
+              });
+    if (!ok) {
+      flush();
+      return false;
+    }
+    clock.lap(phase1_us_);
+
+    if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kPartScatter);
+    ok = partition_offsets(ps, local, chk) &&
+         drive(ps.scatter_wat, [&](std::int64_t c) {
+           return partition_scatter(st_, ps, local, c, chk);
+         });
+    if (!ok) {
+      flush();
+      return false;
+    }
+    clock.lap(phase2_us_);
+
+    if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kPartSort);
+    ok = drive(ps.bucket_wat, [&](std::int64_t b) {
+      return partition_bucket(st_, ps, local, b, chk);
+    });
+    flush();
+    if (!ok) return false;
     clock.lap(phase3_us_);
     return true;
   }
@@ -673,6 +772,7 @@ class Engine {
   TreeState<Key, Compare> st_;
   Wat wat_;
   std::unique_ptr<LcShared> lc_;
+  std::unique_ptr<PartitionShared<Key>> part_;  // Phase1::kPartition only
 
   std::uint64_t copy_chunks_ = 0;
   std::atomic<std::uint64_t> copy_next_{0};

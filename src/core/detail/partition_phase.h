@@ -1,0 +1,321 @@
+// Alternative phase 1 — blocked in-place parallel partition
+// (Options::Phase1::kPartition).
+//
+// The paper's phase 1 inserts every element into a pivot tree: N descents of
+// ~log N dependent cache misses, each ending in a CAS.  That is where the
+// sequential gap against std::sort lives.  This phase replaces the tree with
+// the composition of two ideas from PAPERS.md — Kuszmaul & Westover's
+// blocked in-place parallel partition (linear work, no per-element CAS) and
+// Cole–Ramachandran's SPMS-style sampled splitters — while keeping the
+// paper's OWN machinery for everything concurrency-related: work is claimed
+// from Wats (batched, crash-recovering), every job is idempotent, and nobody
+// ever waits for anybody.
+//
+// Three linear sweeps, each a Wat whose jobs every worker helps drive to
+// completion:
+//
+//   classify   jobs = chunks of kChunk elements.  The worker histograms its
+//              chunk against the splitters, STORES the per-bucket counts
+//              (identical from every worker — idempotent) into the shared
+//              hist table, and caches each element's bucket id.
+//   scatter    jobs = the same chunks.  With the full histogram visible, the
+//              destination of every element is a deterministic function of
+//              (chunk, bucket, rank-in-chunk): worker reads the cached
+//              bucket ids and stores each element's (key, index) into its
+//              slot of the scattered arrays.  Concurrent duplicates write
+//              identical values to identical slots.
+//   buckets    jobs = buckets.  The worker copies one bucket's scattered
+//              pairs into PRIVATE scratch, sorts them with leaf_sort, and
+//              emits consecutive ranks from the bucket's base.  (The copy is
+//              load-bearing: two workers may sort the same bucket
+//              concurrently, and an in-place sort of shared memory would
+//              interleave swaps — each sorts its own copy; emits are
+//              idempotent.)
+//
+// Sweep ordering without barriers: a worker starts sweep k+1 only after ITS
+// sweep-k Wat loop returned kAllJobsDone, which acquire-read the done flags
+// of every job on the way — the Wat's release-mark/acquire-read discipline
+// makes all sweep-k writes visible (transitive happens-before), and a slow
+// worker is never waited for because fast workers redo its unmarked jobs.
+//
+// Splitters are deterministic and computed locally by every worker: a fixed
+// stride sample of kOversample*B elements, leaf-sorted by (key, index), with
+// every kOversample-th taken as a bucket boundary.  Bucketing by the number
+// of splitters strictly below an item (the same total order as
+// TreeState::less) makes bucket ranks a refinement of the global (key,
+// index) order, so the emitted output is bit-identical to the tree path's —
+// including on all-equal keys, where the index tie-break keeps both
+// splitters and buckets balanced.
+//
+// Wait-freedom: every worker executes O(n) own steps across the sweeps plus
+// O(jobs log jobs) Wat steps — far inside the certifier's 14·N·log2 N
+// own-step bound, which test_waitfree_cert checks on this variant too.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "core/detail/leaf_sort.h"
+#include "core/detail/tree_state.h"
+#include "workalloc/wat.h"
+
+namespace wfsort::detail {
+
+// Shared, write-idempotent state of one partition-phase run.
+template <typename Key>
+struct PartitionShared {
+  static constexpr std::int64_t kChunk = 2048;      // elements per classify/scatter job
+  static constexpr std::int64_t kMaxBuckets = 1024;
+  static constexpr std::int64_t kOversample = 8;    // sample items per bucket
+
+  std::int64_t n = 0;
+  std::int64_t chunks = 0;
+  std::int64_t buckets = 0;
+  std::int64_t sample_size = 0;  // kOversample * buckets, capped at n
+
+  // Flat, immutable key copy made before the workers start.  The classify
+  // and scatter sweeps stream every key once each; reading them out of the
+  // 64-byte packed node records would move 8x the necessary bytes (and the
+  // caller's buffer is off-limits once finished workers start copying the
+  // output back over it), so the partition phase keeps its own dense copy —
+  // sizeof(Key) per element, sequential.
+  std::vector<Key> keys;
+  // chunks x buckets per-chunk bucket counts (row-major).  Written with
+  // relaxed stores of identical values; completeness and visibility are
+  // gated by classify_wat's done flags, never by the values themselves.
+  std::vector<std::atomic<std::uint32_t>> hist;
+  // Per-element bucket id, filled by classify and read back by scatter so
+  // the splitter binary search runs once per element, not twice.  Same
+  // idempotent-store / ALLDONE-gated discipline as `hist`; uint16 because
+  // kMaxBuckets is 1024.
+  std::vector<std::atomic<std::uint16_t>> bucket_id;
+  // Scattered (key, index) pairs, one deterministic slot per element.  The
+  // index fits uint32 by the ctor CHECK below.
+  std::vector<std::atomic<Key>> skey;
+  std::vector<std::atomic<std::uint32_t>> sidx;
+
+  Wat classify_wat;
+  Wat scatter_wat;
+  Wat bucket_wat;
+
+  explicit PartitionShared(std::span<const Key> input)
+      : n(static_cast<std::int64_t>(input.size())),
+        chunks((n + kChunk - 1) / kChunk),
+        buckets(std::min(std::max<std::int64_t>(n / kChunk, 1), kMaxBuckets)),
+        sample_size(std::min(kOversample * buckets, n)),
+        keys(input.begin(), input.end()),
+        hist(static_cast<std::size_t>(chunks * buckets)),
+        bucket_id(static_cast<std::size_t>(n)),
+        skey(static_cast<std::size_t>(n)),
+        sidx(static_cast<std::size_t>(n)),
+        classify_wat(static_cast<std::uint64_t>(chunks)),
+        scatter_wat(static_cast<std::uint64_t>(chunks)),
+        bucket_wat(static_cast<std::uint64_t>(buckets)) {
+    WFSORT_CHECK(n > 0);
+    // Scatter-offset bookkeeping and sidx are uint32; 2^32 elements is
+    // 32 GiB of keys.
+    WFSORT_CHECK(n <= static_cast<std::int64_t>(UINT32_MAX));
+  }
+
+  const Key& key(std::int64_t i) const {
+    return keys[static_cast<std::size_t>(i)];
+  }
+};
+
+// Per-worker private state: deterministic splitters, classify scratch, the
+// scatter-offset table, and the bucket-sort scratch.  Nothing here is ever
+// read by another worker.
+template <typename Key>
+struct PartitionLocal {
+  std::vector<LeafItem<Key>> splitters;    // buckets-1 ascending boundaries
+  std::vector<std::uint32_t> counts;       // classify scratch (buckets)
+  std::vector<std::uint32_t> offsets;      // chunks x buckets absolute start slots
+  std::vector<std::int64_t> base;          // buckets+1 bucket base slots
+  std::vector<std::uint32_t> cursor;       // scatter scratch (buckets)
+  std::vector<LeafItem<Key>> items;        // bucket gather/sort scratch
+  bool offsets_ready = false;
+  LeafSortTally tally;                     // folded into telemetry by the engine
+};
+
+// Bucket of one (key, index) item: the number of splitters strictly below it
+// in the (key, index) total order.  Plain binary search — the comparison
+// feeds an index update rather than a code-path choice, so the compiler
+// lowers it to conditional moves (≤10 branch-free steps at kMaxBuckets).
+template <typename Key, typename Compare>
+inline std::int64_t partition_bucket_of(const PartitionLocal<Key>& local,
+                                        const LeafItemLess<Key, Compare>& less,
+                                        const LeafItem<Key>& it) {
+  std::int64_t lo = 0;
+  std::int64_t hi = static_cast<std::int64_t>(local.splitters.size());
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (less(local.splitters[static_cast<std::size_t>(mid)], it)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Compute this worker's splitters (identical for every worker): gather the
+// stride sample, leaf-sort it, keep every kOversample-th item as a
+// boundary.  Polls `keep_going` once per sampled element.
+template <typename Key, typename Compare, typename Check>
+bool partition_prepare(const TreeState<Key, Compare>& st,
+                       const PartitionShared<Key>& ps, PartitionLocal<Key>& local,
+                       Check&& keep_going) {
+  local.counts.assign(static_cast<std::size_t>(ps.buckets), 0);
+  local.cursor.assign(static_cast<std::size_t>(ps.buckets), 0);
+  local.splitters.clear();
+  if (ps.buckets <= 1) return true;
+  local.items.clear();
+  local.items.reserve(static_cast<std::size_t>(ps.sample_size));
+  for (std::int64_t k = 0; k < ps.sample_size; ++k) {
+    if (!keep_going()) return false;
+    // Fixed stride positions (k*n)/S — deterministic, spread over the whole
+    // input, distinct because S <= n.
+    const std::int64_t i = (k * ps.n) / ps.sample_size;
+    local.items.push_back({ps.key(i), i});
+  }
+  leaf_sort(local.items.data(), local.items.data() + local.items.size(),
+            LeafItemLess<Key, Compare>{st.cmp}, &local.tally);
+  local.splitters.reserve(static_cast<std::size_t>(ps.buckets - 1));
+  for (std::int64_t b = 1; b < ps.buckets; ++b) {
+    // Boundary b sits at the end of the b-th sample stripe; clamp for the
+    // capped-sample case (sample_size < kOversample * buckets).
+    const std::int64_t r =
+        std::min((b * ps.sample_size) / ps.buckets, ps.sample_size - 1);
+    local.splitters.push_back(local.items[static_cast<std::size_t>(r)]);
+  }
+  return true;
+}
+
+// Classify sweep, one chunk: histogram the chunk against the splitters and
+// store the counts.  Idempotent (identical values from every worker).
+template <typename Key, typename Compare, typename Check>
+bool partition_classify(const TreeState<Key, Compare>& st,
+                        PartitionShared<Key>& ps, PartitionLocal<Key>& local,
+                        std::int64_t chunk, Check&& keep_going) {
+  const LeafItemLess<Key, Compare> less{st.cmp};
+  const std::int64_t lo = chunk * PartitionShared<Key>::kChunk;
+  const std::int64_t hi = std::min(ps.n, lo + PartitionShared<Key>::kChunk);
+  std::uint32_t* counts = local.counts.data();
+  for (std::int64_t b = 0; b < ps.buckets; ++b) counts[b] = 0;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    if (!keep_going()) return false;
+    const LeafItem<Key> it{ps.key(i), i};
+    const std::int64_t b = partition_bucket_of(local, less, it);
+    ++counts[b];
+    ps.bucket_id[static_cast<std::size_t>(i)].store(
+        static_cast<std::uint16_t>(b), std::memory_order_relaxed);
+  }
+  std::atomic<std::uint32_t>* row =
+      ps.hist.data() + static_cast<std::size_t>(chunk * ps.buckets);
+  for (std::int64_t b = 0; b < ps.buckets; ++b) {
+    row[b].store(counts[b], std::memory_order_relaxed);
+  }
+  return true;
+}
+
+// Build the worker-local scatter-offset table from the complete histogram:
+// offsets[c][b] = bucket b's base + elements of b in chunks before c.  Call
+// only after this worker's classify Wat loop returned kAllJobsDone (that is
+// what makes `hist` complete and visible).  Polls once per table row.
+template <typename Key, typename Check>
+bool partition_offsets(const PartitionShared<Key>& ps, PartitionLocal<Key>& local,
+                       Check&& keep_going) {
+  if (local.offsets_ready) return true;
+  const std::size_t nb = static_cast<std::size_t>(ps.buckets);
+  local.base.assign(nb + 1, 0);
+  std::vector<std::int64_t>& base = local.base;
+  // Bucket totals, then exclusive prefix -> bucket bases.
+  for (std::int64_t c = 0; c < ps.chunks; ++c) {
+    if (!keep_going()) return false;
+    const std::atomic<std::uint32_t>* row =
+        ps.hist.data() + static_cast<std::size_t>(c * ps.buckets);
+    for (std::size_t b = 0; b < nb; ++b) {
+      base[b + 1] += row[b].load(std::memory_order_relaxed);
+    }
+  }
+  for (std::size_t b = 0; b < nb; ++b) base[b + 1] += base[b];
+  WFSORT_DCHECK(base[nb] == ps.n);
+  // Running per-bucket cursors -> absolute start slot of every (chunk,
+  // bucket) run.
+  local.offsets.resize(static_cast<std::size_t>(ps.chunks * ps.buckets));
+  std::vector<std::uint32_t> run(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    run[b] = static_cast<std::uint32_t>(base[b]);
+  }
+  for (std::int64_t c = 0; c < ps.chunks; ++c) {
+    if (!keep_going()) return false;
+    const std::atomic<std::uint32_t>* row =
+        ps.hist.data() + static_cast<std::size_t>(c * ps.buckets);
+    std::uint32_t* out = local.offsets.data() + static_cast<std::size_t>(c * ps.buckets);
+    for (std::size_t b = 0; b < nb; ++b) {
+      out[b] = run[b];
+      run[b] += row[b].load(std::memory_order_relaxed);
+    }
+  }
+  local.offsets_ready = true;
+  return true;
+}
+
+// Scatter sweep, one chunk: read each element's cached bucket id and store
+// its (key, index) into the deterministic slot.  Idempotent — slot and value
+// are functions of the input alone.  The bucket ids were filled by the
+// classify sweep, whose ALLDONE gate precedes this call.
+template <typename Key, typename Compare, typename Check>
+bool partition_scatter(const TreeState<Key, Compare>&,
+                       PartitionShared<Key>& ps, PartitionLocal<Key>& local,
+                       std::int64_t chunk, Check&& keep_going) {
+  const std::int64_t lo = chunk * PartitionShared<Key>::kChunk;
+  const std::int64_t hi = std::min(ps.n, lo + PartitionShared<Key>::kChunk);
+  const std::uint32_t* off =
+      local.offsets.data() + static_cast<std::size_t>(chunk * ps.buckets);
+  std::uint32_t* cursor = local.cursor.data();
+  for (std::int64_t b = 0; b < ps.buckets; ++b) cursor[b] = off[b];
+  for (std::int64_t i = lo; i < hi; ++i) {
+    if (!keep_going()) return false;
+    const std::int64_t b =
+        ps.bucket_id[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    const std::size_t slot = cursor[b]++;
+    ps.skey[slot].store(ps.key(i), std::memory_order_relaxed);
+    ps.sidx[slot].store(static_cast<std::uint32_t>(i), std::memory_order_relaxed);
+  }
+  return true;
+}
+
+// Bucket sweep, one bucket: copy the bucket's scattered pairs into private
+// scratch, leaf-sort, emit consecutive ranks.  The private copy is essential
+// — concurrent duplicates of this job must not sort shared memory in place.
+template <typename Key, typename Compare, typename Check>
+bool partition_bucket(TreeState<Key, Compare>& st, PartitionShared<Key>& ps,
+                      PartitionLocal<Key>& local, std::int64_t bucket,
+                      Check&& keep_going) {
+  const std::int64_t lo = local.base[static_cast<std::size_t>(bucket)];
+  const std::int64_t hi = local.base[static_cast<std::size_t>(bucket) + 1];
+  if (lo == hi) return true;  // empty bucket (skewed input vs the sample)
+  local.items.clear();
+  local.items.reserve(static_cast<std::size_t>(hi - lo));
+  for (std::int64_t s = lo; s < hi; ++s) {
+    if (!keep_going()) return false;
+    local.items.push_back(
+        {ps.skey[static_cast<std::size_t>(s)].load(std::memory_order_relaxed),
+         static_cast<std::int64_t>(
+             ps.sidx[static_cast<std::size_t>(s)].load(std::memory_order_relaxed))});
+  }
+  leaf_sort(local.items.data(), local.items.data() + local.items.size(),
+            LeafItemLess<Key, Compare>{st.cmp}, &local.tally);
+  std::int64_t rank = lo;
+  for (const LeafItem<Key>& it : local.items) {
+    if (!keep_going()) return false;
+    st.emit(it.idx, ++rank);
+  }
+  return true;
+}
+
+}  // namespace wfsort::detail

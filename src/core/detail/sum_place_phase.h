@@ -28,11 +28,13 @@
 //            This is the default.
 //
 // Sequential cutoff.  With `seq_cutoff > 0`, find_place_emit handles any
-// subtree of at most that many elements with one local in-order walk
-// (place_block) instead of the frame machinery: consecutive ranks are
-// assigned in sorted order, so the output block is emitted with streaming
-// writes and no per-node completion flags.  The walk is exactly the
-// sequential sort of that block — the tree already encodes the order.  The
+// subtree of at most that many elements locally (sort_block): the subtree's
+// (key, index) pairs are gathered into contiguous scratch, sorted with the
+// pdqsort-style leaf_sort, and emitted as consecutive ranks with streaming
+// writes and no per-node completion flags.  The result is identical to an
+// in-order walk (place_block, kept for reference and tests) — the tree
+// already encodes the order — but the gather overlaps its cache misses and
+// the sort runs on cache-resident memory, so much larger cutoffs pay.  The
 // completion flag of the block's ROOT is published only after the walk
 // (try_claim_place_done), so a crashed walker leaves nothing claimed and
 // any other worker redoes the block idempotently: wait-freedom is
@@ -44,6 +46,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/detail/leaf_sort.h"
 #include "core/detail/tree_state.h"
 #include "core/options.h"
 #include "telemetry/recorder.h"
@@ -161,9 +164,53 @@ bool place_block(TreeState<Key, Compare>& st, std::int64_t node, std::int64_t su
   return true;
 }
 
+// Sequential block placement, sort-based: gather the subtree's (key, index)
+// pairs into contiguous scratch with a traversal that prefetches BOTH
+// children (independent misses overlap, unlike place_block's dependent
+// in-order chain), sort them with leaf_sort, and emit consecutive ranks in
+// one streaming pass.  The comparator is TreeState::less verbatim (key by
+// Compare, index breaks ties), so the emitted ranks are identical to
+// place_block's — the tree already encodes this order; the sort just
+// recomputes it from cache-friendly memory.  All writes are idempotent.
+// `keep_going` is polled once per gathered node and once per emitted
+// element; the sort between them is bounded local work on private scratch.
+template <typename Key, typename Compare, typename Check>
+bool sort_block(TreeState<Key, Compare>& st, std::int64_t node, std::int64_t sub,
+                std::vector<LeafItem<Key>>& items,
+                std::vector<std::int64_t>& scratch, LeafSortTally& tally,
+                Check&& keep_going) {
+  items.clear();
+  scratch.clear();
+  scratch.push_back(node);
+  while (!scratch.empty()) {
+    const std::int64_t cur = scratch.back();
+    scratch.pop_back();
+    if (!keep_going()) return false;
+    items.push_back({st.key_of(cur), cur});
+    const std::int64_t small = st.child_of(cur, kSmall);
+    const std::int64_t big = st.child_of(cur, kBig);
+    if (small != kNoIdx) {
+      st.prefetch(small);
+      scratch.push_back(small);
+    }
+    if (big != kNoIdx) {
+      st.prefetch(big);
+      scratch.push_back(big);
+    }
+  }
+  leaf_sort(items.data(), items.data() + items.size(),
+            LeafItemLess<Key, Compare>{st.cmp}, &tally);
+  std::int64_t rank = sub;
+  for (const LeafItem<Key>& it : items) {
+    if (!keep_going()) return false;
+    st.emit(it.idx, ++rank);
+  }
+  return true;
+}
+
 // Phase 3 with output emission: place every element and store it into
 // st.out at its final rank.  Subtrees of at most `seq_cutoff` elements are
-// handled by place_block (0 disables the cutoff).
+// handled by sort_block (0 disables the cutoff).
 template <typename Key, typename Compare, typename Check,
           typename Tel = std::nullptr_t>
 bool find_place_emit(TreeState<Key, Compare>& st, std::uint32_t pid, PrunePlaced prune,
@@ -179,9 +226,12 @@ bool find_place_emit(TreeState<Key, Compare>& st, std::uint32_t pid, PrunePlaced
   std::vector<Frame> stack;
   stack.reserve(96);
   std::vector<std::int64_t> scratch;
+  std::vector<LeafItem<Key>> items;
   if (seq_cutoff != 0) {
-    scratch.reserve(static_cast<std::size_t>(
-        std::min<std::uint64_t>(seq_cutoff, static_cast<std::uint64_t>(st.n()))));
+    const std::size_t cap = static_cast<std::size_t>(
+        std::min<std::uint64_t>(seq_cutoff, static_cast<std::uint64_t>(st.n())));
+    scratch.reserve(cap);
+    items.reserve(cap);
   }
   stack.push_back({st.root_idx(), 0, 0, 0});
 
@@ -204,7 +254,10 @@ bool find_place_emit(TreeState<Key, Compare>& st, std::uint32_t pid, PrunePlaced
 
     if (seq_cutoff != 0 &&
         static_cast<std::uint64_t>(st.size_of(f.node)) <= seq_cutoff) {
-      if (!place_block(st, f.node, f.sub, scratch, keep_going)) return false;
+      LeafSortTally lt;
+      if (!sort_block(st, f.node, f.sub, items, scratch, lt, keep_going)) {
+        return false;
+      }
       if constexpr (kTel) {
         bool claimed = true;
         if (prune == PrunePlaced::kDone) claimed = st.try_claim_place_done(f.node);
@@ -215,6 +268,10 @@ bool find_place_emit(TreeState<Key, Compare>& st, std::uint32_t pid, PrunePlaced
           // A lost completion-flag CAS means another worker already walked
           // this block: the walk just performed was duplicated work.
           if (!claimed) tel->count(telemetry::Counter::kSeqBlockRepeats);
+          tel->count(telemetry::Counter::kLeafBlocks, lt.blocks);
+          tel->count(telemetry::Counter::kLeafInsertionSorts, lt.insertion_sorts);
+          tel->count(telemetry::Counter::kLeafHeapsorts, lt.heapsorts);
+          tel->count(telemetry::Counter::kPartitionSwaps, lt.partition_swaps);
         }
       } else {
         if (prune == PrunePlaced::kDone) st.try_claim_place_done(f.node);

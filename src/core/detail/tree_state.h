@@ -96,6 +96,27 @@ struct TreeState {
     return a < b;
   }
 
+  // Which child of `p` the descent of element `e` continues into.  Written
+  // as an arithmetic use of the comparison result (not a select between two
+  // code paths) so the compiler lowers the child choice to setcc + indexed
+  // load — the descent's only unpredictable branch disappears into the
+  // child[] index.  e != p (an element never descends through itself).
+  Side descend_side(std::int64_t e, std::int64_t p) const {
+    return static_cast<Side>(!less(e, p));
+  }
+
+  // True when the record array is small enough that batching one round of
+  // descent compares into a SIMD call pays.  The batched kernel touches all
+  // in-flight parent lines at one program point; when the records exceed
+  // the fast cache levels that clustering un-hides the line latency the
+  // round-robin interleave exists to overlap (measured on the bench host:
+  // ~3% win at 1 MiB of records, 15–20% loss at 64 MiB), so the batch is
+  // only used while the array fits comfortably in L2.
+  bool simd_batch_descend() const {
+    return static_cast<std::size_t>(n()) * sizeof(PackedNode<Key>) <=
+           (std::size_t{1} << 20);
+  }
+
   // Hint the hardware that `node`'s record is about to be visited.
   void prefetch(std::int64_t node) const {
     __builtin_prefetch(&nodes[static_cast<std::size_t>(node)], 0, 1);

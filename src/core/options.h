@@ -29,10 +29,31 @@ enum class Variant {
 // remaining work; bench fig_e12 quantifies all three.
 enum class PrunePlaced { kNo, kYes, kDone };
 
+// How the deterministic variant turns the unsorted input into placeable
+// structure (phase 1).
+//
+// kTree is the paper's CAS pivot-tree insertion: optimal own-step bound,
+// but every element pays a root-to-leaf pointer chase with a CAS at the
+// end — the dominant cost of the sequential gap vs std::sort.
+//
+// kPartition replaces the tree with a blocked in-place parallel partition
+// (Kuszmaul–Westover style blocks against SPMS-style sampled splitters):
+// WAT-claimed chunks are histogrammed against deterministic splitters,
+// scattered into per-bucket regions, and each bucket is finished with the
+// sequential leaf sort — three linear passes of streaming work instead of
+// N log N cache-missing descents.  Work allocation and crash recovery stay
+// on the batched WAT for all three passes, so the 14·N·log2(N) own-step
+// certificate holds on this variant too (test_waitfree_cert), and the
+// output order (key, then index) is identical to kTree's.  The
+// low-contention variant ignores this knob.  docs/native_engine.md
+// "Closing the gap" has the diagram and measurements.
+enum class Phase1 { kTree, kPartition };
+
 struct Options {
   std::uint32_t threads = 0;  // 0 = std::thread::hardware_concurrency()
   Variant variant = Variant::kDeterministic;
   PrunePlaced prune = PrunePlaced::kDone;
+  Phase1 phase1 = Phase1::kTree;
   std::uint64_t seed = 0x50535a97ULL;  // randomized-variant randomness
 
   // Low-contention variant: duplicates per fat-tree node (0 = automatic,

@@ -42,6 +42,17 @@ bool parse_sort_kind(const std::string& name, SortKind* out) {
   return true;
 }
 
+const char* phase1_kind_name(Phase1Kind p) {
+  return p == Phase1Kind::kPartition ? "partition" : "tree";
+}
+
+bool parse_phase1_kind(const std::string& name, Phase1Kind* out) {
+  if (name == "tree") *out = Phase1Kind::kTree;
+  else if (name == "partition") *out = Phase1Kind::kPartition;
+  else return false;
+  return true;
+}
+
 const char* prune_name(sim::PlacePrune p) {
   switch (p) {
     case sim::PlacePrune::kNone: return "none";
@@ -222,6 +233,8 @@ ScenarioResult run_native_scenario(const ScenarioSpec& spec) {
   opts.threads = spec.procs;
   opts.variant = spec.variant == SortKind::kLc ? Variant::kLowContention : Variant::kDeterministic;
   opts.prune = to_native_prune(spec.prune);
+  opts.phase1 = spec.phase1 == Phase1Kind::kPartition ? Phase1::kPartition
+                                                      : Phase1::kTree;
   opts.seed = spec.sort_seed;
   // Full telemetry: adversarial runs are small, and the per-phase timeline
   // plus contention attribution is what makes a failure artifact diagnosable.
@@ -319,6 +332,7 @@ Json spec_to_json(const ScenarioSpec& spec) {
   j.set("procs", static_cast<std::uint64_t>(spec.procs));
   j.set("variant", sort_kind_name(spec.variant));
   j.set("prune", prune_name(spec.prune));
+  j.set("phase1", phase1_kind_name(spec.phase1));
   j.set("random_first", spec.random_first);
   j.set("machine_seed", spec.machine_seed);
   j.set("memory", memory_name(spec.memory));
@@ -369,6 +383,9 @@ bool spec_from_json(const Json& j, ScenarioSpec* out, std::string* error) {
   }
   if (!parse_prune(str_field("prune", "completed"), &spec.prune)) {
     return fail("unknown prune policy");
+  }
+  if (!parse_phase1_kind(str_field("phase1", "tree"), &spec.phase1)) {
+    return fail("unknown phase1 strategy");
   }
   const Json* rf = j.find("random_first");
   spec.random_first = rf != nullptr && rf->as_bool();

@@ -27,6 +27,9 @@ namespace wfsort::runtime {
 
 enum class Substrate : std::uint8_t { kSim, kNative };
 enum class SortKind : std::uint8_t { kDet, kLc };
+// Native deterministic phase-1 strategy (Options::phase1).  The simulator
+// and the low-contention variant ignore it.
+enum class Phase1Kind : std::uint8_t { kTree, kPartition };
 
 struct ScenarioSpec {
   Substrate substrate = Substrate::kSim;
@@ -41,6 +44,7 @@ struct ScenarioSpec {
   SortKind variant = SortKind::kDet;
   sim::PlacePrune prune = sim::PlacePrune::kCompleted;
   bool random_first = false;
+  Phase1Kind phase1 = Phase1Kind::kTree;
 
   // Simulator machine + schedule.
   std::uint64_t machine_seed = 0x9a7a1e5ed0c0ffeeULL;

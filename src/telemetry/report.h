@@ -51,6 +51,9 @@ enum class PhaseId : std::uint8_t {
   kLcSortedIdx,   // LC stage C: reconstructing the winner's sorted order
   kLcFatten,      // LC stage D: write-most fat-tree fill + tree stitching
   kLcInsert,      // LC stage E: LC-WAT randomized insertion of the rest
+  kPartClassify,  // partition phase 1a: chunk histograms vs splitters
+  kPartScatter,   // partition phase 1b: scatter into bucket regions
+  kPartSort,      // partition phase 1c: per-bucket leaf sort + emission
   kPhaseCount
 };
 inline constexpr std::size_t kPhaseCount =
@@ -74,6 +77,11 @@ enum class Counter : std::uint8_t {
   kLcProbes,          // LC sum/place uniform random probes (stages F-G)
   kLcBurstVisits,     // nodes visited by LC probe bursts (stages F-G)
   kBackoffSpins,      // pause iterations spent in stage-E CAS backoff
+  kLeafBlocks,        // leaf_sort blocks this worker sorted (cutoff + buckets)
+  kLeafInsertionSorts,  // leaf_sort ranges finished by insertion sort
+  kLeafHeapsorts,     // leaf_sort bad-pivot heapsort fallbacks taken
+  kPartitionSwaps,    // element swaps performed by leaf_sort partitions
+  kSplitterSamples,   // elements sampled to build partition splitters
   kCounterCount
 };
 inline constexpr std::size_t kCounterCount =

@@ -17,6 +17,39 @@ const char* prune_name(PrunePlaced prune) {
   return "?";
 }
 
+const char* phase1_name(Phase1 phase1) {
+  switch (phase1) {
+    case Phase1::kTree: return "tree";
+    case Phase1::kPartition: return "partition";
+  }
+  return "?";
+}
+
+// Shared provenance check for stats documents and the bench/scaling
+// envelopes.  A missing build_type (pre-provenance documents) is tolerated
+// unless the caller demands a release build.
+bool check_build_type(const Json& doc, bool require_release,
+                      std::string* error) {
+  const Json* bt = doc.find("build_type");
+  if (bt == nullptr) {
+    if (require_release) {
+      *error = "missing key: build_type (release provenance required)";
+      return false;
+    }
+    return true;
+  }
+  if (bt->type() != Json::Type::kString) {
+    *error = "wrong type for key: build_type";
+    return false;
+  }
+  if (require_release && bt->as_string() != "release") {
+    *error = "build_type is \"" + bt->as_string() +
+             "\" but a release build is required";
+    return false;
+  }
+  return true;
+}
+
 // The native contention sites: counters that each count one absorbed
 // memory-contention event on a distinct shared structure.
 constexpr Counter kContentionSites[] = {
@@ -81,6 +114,7 @@ NativeRunInfo native_run_info(const Options& opts, std::uint64_t n) {
   info.seq_cutoff = opts.seq_cutoff;
   info.lc_copies = opts.lc_copies;
   info.prune = prune_name(opts.prune);
+  info.phase1 = phase1_name(opts.phase1);
   info.level = opts.telemetry;
   return info;
 }
@@ -105,6 +139,7 @@ Json native_stats_json(const NativeRunInfo& info, const SortStats& stats) {
   Json doc = Json::object();
   doc.set("schema", kStatsSchema);
   doc.set("substrate", "native");
+  doc.set("build_type", build_type_name());
 
   Json config = Json::object();
   config.set("variant", info.variant);
@@ -115,6 +150,7 @@ Json native_stats_json(const NativeRunInfo& info, const SortStats& stats) {
   config.set("seq_cutoff", info.seq_cutoff);
   config.set("lc_copies", static_cast<std::uint64_t>(info.lc_copies));
   config.set("prune", info.prune);
+  config.set("phase1", info.phase1);
   config.set("telemetry",
              level_name(rep != nullptr ? rep->level : info.level));
   doc.set("config", std::move(config));
@@ -202,6 +238,7 @@ Json sim_stats_json(const SimRunInfo& info, const pram::Metrics& metrics) {
   Json doc = Json::object();
   doc.set("schema", kStatsSchema);
   doc.set("substrate", "sim");
+  doc.set("build_type", build_type_name());
 
   Json config = Json::object();
   config.set("program", info.program);
@@ -256,7 +293,8 @@ Json sim_stats_json(const SimRunInfo& info, const pram::Metrics& metrics) {
   return doc;
 }
 
-bool validate_stats_json(const Json& doc, std::string* error) {
+bool validate_stats_json(const Json& doc, std::string* error,
+                         bool require_release) {
   error->clear();
   if (doc.type() != Json::Type::kObject) {
     *error = "stats document is not an object";
@@ -267,6 +305,7 @@ bool validate_stats_json(const Json& doc, std::string* error) {
     *error = "unexpected schema: " + doc.at("schema").as_string();
     return false;
   }
+  if (!check_build_type(doc, require_release, error)) return false;
   if (!check_key(doc, "substrate", Json::Type::kString, error)) return false;
   const std::string& substrate = doc.at("substrate").as_string();
   if (substrate != "native" && substrate != "sim") {
@@ -312,39 +351,19 @@ const char* build_type_name() {
 #endif
 }
 
-namespace {
-
-// Shared provenance check for the bench/scaling envelopes.  A missing
-// build_type (pre-provenance documents) is tolerated unless the caller
-// demands a release build.
-bool check_build_type(const Json& doc, bool require_release,
-                      std::string* error) {
-  const Json* bt = doc.find("build_type");
-  if (bt == nullptr) {
-    if (require_release) {
-      *error = "missing key: build_type (release provenance required)";
-      return false;
-    }
-    return true;
-  }
-  if (bt->type() != Json::Type::kString) {
-    *error = "wrong type for key: build_type";
-    return false;
-  }
-  if (require_release && bt->as_string() != "release") {
-    *error = "build_type is \"" + bt->as_string() +
-             "\" but a release build is required";
-    return false;
-  }
-  return true;
-}
-
-}  // namespace
-
 Json make_bench_doc() {
   Json doc = Json::object();
   doc.set("schema", kBenchSchema);
   doc.set("build_type", build_type_name());
+  // Envelope-level measurement caveats: stated once here so individual docs
+  // and reports don't need to repeat them as footnotes.
+  Json caveats = Json::object();
+  caveats.set("library_build_type",
+              "google-benchmark's context.library_build_type describes the "
+              "distro libbenchmark package (often \"debug\"), NOT this "
+              "repo's binaries; wfsort provenance is this envelope's "
+              "build_type and the wfsort_build_type benchmark counter");
+  doc.set("caveats", std::move(caveats));
   doc.set("runs", Json::array());
   return doc;
 }

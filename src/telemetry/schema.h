@@ -5,6 +5,7 @@
 // Top-level keys (all always present; see docs/observability.md):
 //   schema      "wfsort-stats-v1"
 //   substrate   "native" | "sim"
+//   build_type  "release" | "debug" — provenance of the producing binary
 //   config      run parameters (variant, n, threads/procs, seed, knobs)
 //   totals      scalar outcomes (wall_ms, workers, rounds, ...)
 //   phases      array of {name, max_ms, total_ms, workers} — empty for sim
@@ -51,7 +52,8 @@ struct NativeRunInfo {
   std::uint32_t wat_batch = 0;
   std::uint64_t seq_cutoff = 0;
   std::uint32_t lc_copies = 0;
-  std::string prune;  // "no" | "yes" | "done"
+  std::string prune;   // "no" | "yes" | "done"
+  std::string phase1;  // "tree" | "partition"
   Level level = Level::kOff;
 };
 
@@ -80,10 +82,15 @@ Json sim_stats_json(const SimRunInfo& info, const pram::Metrics& metrics);
 
 // Structural validation of a stats document (schema name, required keys,
 // key types).  Returns false and sets *error on the first violation.
-bool validate_stats_json(const Json& doc, std::string* error);
+// `require_release`: additionally reject documents whose build_type is
+// missing or not "release" (same provenance gate as the envelopes).
+bool validate_stats_json(const Json& doc, std::string* error,
+                         bool require_release = false);
 
-// {"schema":"wfsort-bench-v1","build_type":...,"runs":[]} — callers push
-// stats documents onto "runs".
+// {"schema":"wfsort-bench-v1","build_type":...,"caveats":{...},"runs":[]} —
+// callers push stats documents onto "runs".  The caveats object records
+// measurement caveats ONCE per envelope (e.g. the distro libbenchmark note)
+// instead of as per-document footnotes.
 Json make_bench_doc();
 // `require_release`: additionally reject envelopes whose build_type is
 // missing or not "release" (bench provenance — used by the bench scripts and

@@ -33,6 +33,9 @@ const char* phase_name(PhaseId phase) {
     case PhaseId::kLcSortedIdx: return "lc_sorted_idx";
     case PhaseId::kLcFatten: return "lc_fatten";
     case PhaseId::kLcInsert: return "lc_insert";
+    case PhaseId::kPartClassify: return "part_classify";
+    case PhaseId::kPartScatter: return "part_scatter";
+    case PhaseId::kPartSort: return "part_sort";
     case PhaseId::kPhaseCount: break;
   }
   return "?";
@@ -52,6 +55,11 @@ const char* counter_name(Counter counter) {
     case Counter::kLcProbes: return "lc_probes";
     case Counter::kLcBurstVisits: return "lc_burst_visits";
     case Counter::kBackoffSpins: return "backoff_spins";
+    case Counter::kLeafBlocks: return "leaf_blocks";
+    case Counter::kLeafInsertionSorts: return "leaf_insertion_sorts";
+    case Counter::kLeafHeapsorts: return "leaf_heapsorts";
+    case Counter::kPartitionSwaps: return "partition_swaps";
+    case Counter::kSplitterSamples: return "splitter_samples";
     case Counter::kCounterCount: break;
   }
   return "?";

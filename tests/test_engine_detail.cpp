@@ -4,12 +4,16 @@
 // value can be stated explicitly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/detail/build_phase.h"
 #include "core/detail/lc_phase.h"
+#include "core/detail/leaf_sort.h"
+#include "core/detail/partition_phase.h"
 #include "core/detail/sum_place_phase.h"
 #include "core/detail/tree_state.h"
 
@@ -280,6 +284,239 @@ TEST(TreeStateDetail, SpreadSideIsBalancedAcrossPids) {
     EXPECT_GT(small, 400) << depth;
     EXPECT_LT(small, 600) << depth;
   }
+}
+
+// ---- leaf sort ----------------------------------------------------------
+
+std::vector<std::uint64_t> pattern_input(const std::string& pattern, std::size_t n) {
+  std::vector<std::uint64_t> v(n);
+  wfsort::Rng rng(0xabcdefULL + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pattern == "random") v[i] = rng.next();
+    else if (pattern == "presorted") v[i] = i;
+    else if (pattern == "reverse") v[i] = n - i;
+    else if (pattern == "dup-heavy") v[i] = rng.next() % 8;
+    else if (pattern == "all-equal") v[i] = 42;
+    else v[i] = i < n / 2 ? i : n - i;  // organ-pipe
+  }
+  return v;
+}
+
+TEST(LeafSort, MatchesStdSortAcrossPatterns) {
+  for (const char* pattern :
+       {"random", "presorted", "reverse", "dup-heavy", "all-equal", "organ-pipe"}) {
+    for (std::size_t n : {0u, 1u, 2u, 23u, 24u, 25u, 100u, 1000u, 5000u}) {
+      auto v = pattern_input(pattern, n);
+      auto expected = v;
+      std::sort(expected.begin(), expected.end());
+      wfsort::detail::LeafSortTally tally;
+      wfsort::detail::leaf_sort(v.data(), v.data() + v.size(),
+                                std::less<std::uint64_t>{}, &tally);
+      EXPECT_EQ(v, expected) << pattern << " n=" << n;
+      EXPECT_EQ(tally.blocks, 1u);
+    }
+  }
+}
+
+TEST(LeafSort, ItemLessTieBreaksByIndex) {
+  using Item = wfsort::detail::LeafItem<std::uint64_t>;
+  std::vector<Item> items;
+  for (std::int64_t i = 9; i >= 0; --i) items.push_back({7, i});
+  wfsort::detail::LeafSortTally tally;
+  wfsort::detail::leaf_sort(items.data(), items.data() + items.size(),
+                            wfsort::detail::LeafItemLess<std::uint64_t,
+                                                         std::less<std::uint64_t>>{},
+                            &tally);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(items[static_cast<std::size_t>(i)].idx, i);
+  }
+}
+
+TEST(LeafSort, ExhaustedBudgetFallsBackToHeapsort) {
+  auto v = pattern_input("random", 4096);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  wfsort::detail::LeafSortTally tally;
+  wfsort::detail::leaf_sort_with_budget(v.data(), v.data() + v.size(),
+                                        std::less<std::uint64_t>{}, /*budget=*/0,
+                                        &tally);
+  EXPECT_EQ(v, expected);
+  EXPECT_EQ(tally.heapsorts, 1u);      // the whole range fell back at once
+  EXPECT_EQ(tally.insertion_sorts, 0u);
+}
+
+TEST(LeafSort, AdversarialMedian3KillerStaysCorrect) {
+  // Musser's median-of-3 killer: forces the med3 choice toward small pivots.
+  // The bad-pivot budget must keep the sort O(n log n) (= it terminates
+  // quickly here) and, above all, correct.
+  const std::size_t n = 128;  // at/below kPseudomedianThreshold: plain med-3
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    v[2 * i] = i + 1;
+    v[2 * i + 1] = i + 1 + n / 2;
+  }
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  wfsort::detail::LeafSortTally tally;
+  wfsort::detail::leaf_sort(v.data(), v.data() + v.size(),
+                            std::less<std::uint64_t>{}, &tally);
+  EXPECT_EQ(v, expected);
+  // And with the budget forced to 1, the same input trips the fallback path.
+  auto w = pattern_input("random", 2000);
+  auto wexp = w;
+  std::sort(wexp.begin(), wexp.end());
+  wfsort::detail::LeafSortTally t2;
+  wfsort::detail::leaf_sort_with_budget(w.data(), w.data() + w.size(),
+                                        std::less<std::uint64_t>{}, /*budget=*/1,
+                                        &t2);
+  EXPECT_EQ(w, wexp);
+  EXPECT_GE(t2.heapsorts, 1u);
+}
+
+// ---- SIMD descent -------------------------------------------------------
+
+TEST(SimdDescend, DispatchedMatchesScalarBitExactly) {
+  namespace simd = wfsort::simd;
+  // Hand-picked lanes covering every compare outcome, including the 32-bit
+  // boundary cases the SSE2 64-bit synthesis gets wrong if the hi/lo
+  // combination is off, plus key-equal index tie-breaks both ways.
+  const std::uint64_t ek[] = {5, 9, 7, 7, 0x1'00000000ULL, 0xFFFFFFFFULL,
+                              ~0ULL, 0};
+  const std::uint64_t pk[] = {9, 5, 7, 7, 0xFFFFFFFFULL, 0x1'00000000ULL,
+                              0, ~0ULL};
+  const std::int64_t ei[] = {0, 1, 2, 9, 4, 5, 6, 7};
+  const std::int64_t pi[] = {1, 0, 9, 2, 5, 4, 7, 6};
+  for (std::size_t count = 1; count <= 8; ++count) {
+    std::uint8_t scalar[8] = {}, dispatched[8] = {};
+    simd::descend_sides_u64_scalar(ek, ei, pk, pi, count, scalar);
+    simd::descend_sides_u64(ek, ei, pk, pi, count, dispatched);
+    for (std::size_t k = 0; k < count; ++k) {
+      EXPECT_EQ(dispatched[k], scalar[k])
+          << simd::isa_name(simd::active_isa()) << " count=" << count
+          << " lane=" << k;
+    }
+  }
+  // And a randomized sweep with frequent equal keys.
+  wfsort::Rng rng(123);
+  for (int round = 0; round < 500; ++round) {
+    std::uint64_t rek[8], rpk[8];
+    std::int64_t rei[8], rpi[8];
+    for (int k = 0; k < 8; ++k) {
+      rek[k] = rng.next() % 4;
+      rpk[k] = rng.next() % 4;
+      rei[k] = static_cast<std::int64_t>(rng.next() % 100);
+      rpi[k] = static_cast<std::int64_t>(rng.next() % 100);
+      if (rpi[k] == rei[k]) ++rpi[k];  // descent never compares e with itself
+    }
+    std::uint8_t scalar[8] = {}, dispatched[8] = {};
+    simd::descend_sides_u64_scalar(rek, rei, rpk, rpi, 8, scalar);
+    simd::descend_sides_u64(rek, rei, rpk, rpi, 8, dispatched);
+    for (int k = 0; k < 8; ++k) {
+      EXPECT_EQ(dispatched[k], scalar[k]) << "round=" << round << " lane=" << k;
+    }
+  }
+}
+
+// ---- partition phase ----------------------------------------------------
+
+// Drive the three partition sweeps to completion single-threaded, the way
+// one surviving worker would.
+void run_partition(State& st, wfsort::detail::PartitionShared<std::uint64_t>& ps,
+                   wfsort::detail::PartitionLocal<std::uint64_t>& local) {
+  ASSERT_TRUE(wfsort::detail::partition_prepare(st, ps, local, kKeepGoing));
+  for (std::int64_t c = 0; c < ps.chunks; ++c) {
+    ASSERT_TRUE(wfsort::detail::partition_classify(st, ps, local, c, kKeepGoing));
+  }
+  ASSERT_TRUE(wfsort::detail::partition_offsets(ps, local, kKeepGoing));
+  for (std::int64_t c = 0; c < ps.chunks; ++c) {
+    ASSERT_TRUE(wfsort::detail::partition_scatter(st, ps, local, c, kKeepGoing));
+  }
+  for (std::int64_t b = 0; b < ps.buckets; ++b) {
+    ASSERT_TRUE(wfsort::detail::partition_bucket(st, ps, local, b, kKeepGoing));
+  }
+}
+
+TEST(PartitionPhase, SingleBucketBelowChunkSize) {
+  auto keys = pattern_input("random", 100);  // < kChunk: one bucket, no splitters
+  State st(std::span<const std::uint64_t>(keys), {});
+  wfsort::detail::PartitionShared<std::uint64_t> ps{std::span<const std::uint64_t>(keys)};
+  EXPECT_EQ(ps.buckets, 1);
+  wfsort::detail::PartitionLocal<std::uint64_t> local;
+  run_partition(st, ps, local);
+  EXPECT_TRUE(local.splitters.empty());
+  EXPECT_TRUE(st.all_placed());
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(st.out[i].load(), expected[i]);
+  }
+}
+
+TEST(PartitionPhase, ManyChunksDuplicateHeavyMatchesSort) {
+  auto keys = pattern_input("dup-heavy", 10000);  // 5 chunks -> 4 buckets
+  State st(std::span<const std::uint64_t>(keys), {});
+  wfsort::detail::PartitionShared<std::uint64_t> ps{std::span<const std::uint64_t>(keys)};
+  EXPECT_GT(ps.buckets, 1);
+  wfsort::detail::PartitionLocal<std::uint64_t> local;
+  run_partition(st, ps, local);
+  EXPECT_TRUE(st.all_placed());
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(st.out[i].load(), expected[i]) << i;
+  }
+}
+
+TEST(PartitionPhase, AllEqualKeysSplittersStayBalanced) {
+  // Every key identical: only the index tie-break separates splitters, and
+  // it must keep the buckets balanced instead of collapsing them into one.
+  auto keys = pattern_input("all-equal", 8192);
+  State st(std::span<const std::uint64_t>(keys), {});
+  wfsort::detail::PartitionShared<std::uint64_t> ps{std::span<const std::uint64_t>(keys)};
+  ASSERT_GT(ps.buckets, 1);
+  wfsort::detail::PartitionLocal<std::uint64_t> local;
+  run_partition(st, ps, local);
+  EXPECT_TRUE(st.all_placed());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(st.out[i].load(), 42u);
+  }
+  // place is the (key, index) rank: with equal keys, element i ranks i+1.
+  for (std::int64_t i = 0; i < st.n(); ++i) {
+    EXPECT_EQ(st.place_of(i), i + 1);
+  }
+  const std::int64_t cap = 2 * ps.n / ps.buckets;
+  for (std::size_t b = 0; b + 1 < local.base.size(); ++b) {
+    const std::int64_t size = local.base[b + 1] - local.base[b];
+    EXPECT_GT(size, 0) << b;
+    EXPECT_LE(size, cap) << b;
+  }
+}
+
+TEST(PartitionPhase, EmptyBucketIsSkipped) {
+  std::vector<std::uint64_t> keys{3, 1, 2};
+  State st(std::span<const std::uint64_t>(keys), {});
+  wfsort::detail::PartitionShared<std::uint64_t> ps{std::span<const std::uint64_t>(keys)};
+  wfsort::detail::PartitionLocal<std::uint64_t> local;
+  // Hand-crafted bases with an empty bucket 0 (skewed input vs the sample):
+  // the job must return success without touching any element.
+  local.base = {0, 0, 0};
+  EXPECT_TRUE(wfsort::detail::partition_bucket(st, ps, local, 0, kKeepGoing));
+  for (std::int64_t i = 0; i < st.n(); ++i) {
+    EXPECT_EQ(st.place_of(i), 0) << i;
+  }
+}
+
+TEST(PartitionPhase, AbortedSweepsReturnFalse) {
+  auto keys = pattern_input("random", 10000);
+  State st(std::span<const std::uint64_t>(keys), {});
+  wfsort::detail::PartitionShared<std::uint64_t> ps{std::span<const std::uint64_t>(keys)};
+  wfsort::detail::PartitionLocal<std::uint64_t> local;
+  int budget = 5;
+  auto limited = [&budget] { return budget-- > 0; };
+  EXPECT_FALSE(wfsort::detail::partition_prepare(st, ps, local, limited));
+  ASSERT_TRUE(wfsort::detail::partition_prepare(st, ps, local, kKeepGoing));
+  budget = 5;
+  EXPECT_FALSE(wfsort::detail::partition_classify(st, ps, local, 0, limited));
 }
 
 TEST(TreeStateDetail, AllPlacedAndMeasureDepth) {

@@ -17,6 +17,7 @@
 namespace {
 
 using wfsort::Options;
+using wfsort::Phase1;
 using wfsort::PrunePlaced;
 using wfsort::Rng;
 using wfsort::SortStats;
@@ -245,20 +246,23 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, SortSweep, testing::ValuesIn(make_sweep()
 
 // ------------------------------------------------------------ engine knobs
 
-// Every (wat_batch, seq_cutoff) combination must sort identically — the
-// knobs trade traversal overhead for batching, never correctness.  The grid
-// deliberately includes the degenerate settings (batch 1 = one WAT traversal
-// per element, cutoff 0 = pure frame machinery) and a cutoff larger than
-// most subtrees.
+// Every (wat_batch, seq_cutoff, phase1) combination must sort identically —
+// the knobs trade traversal overhead for batching, never correctness.  The
+// grid deliberately includes the degenerate settings (batch 1 = one WAT
+// traversal per element, cutoff 0 = pure frame machinery) and a cutoff
+// larger than most subtrees, and runs the deterministic rows under both
+// phase-1 strategies (pivot tree and blocked partition).
 struct KnobParam {
   std::uint32_t wat_batch;
   std::uint64_t seq_cutoff;
   Variant variant;
+  Phase1 phase1 = Phase1::kTree;
 };
 
 std::string knob_label(const KnobParam& p) {
   return "b" + std::to_string(p.wat_batch) + "_c" + std::to_string(p.seq_cutoff) +
-         (p.variant == Variant::kDeterministic ? "_det" : "_lc");
+         (p.variant == Variant::kDeterministic ? "_det" : "_lc") +
+         (p.phase1 == Phase1::kPartition ? "_part" : "");
 }
 
 class KnobSweep : public testing::TestWithParam<KnobParam> {};
@@ -271,6 +275,7 @@ TEST_P(KnobSweep, SortsToPermutation) {
   wfsort::sort(std::span<std::uint64_t>(v),
                Options{.threads = 3,
                        .variant = p.variant,
+                       .phase1 = p.phase1,
                        .wat_batch = p.wat_batch,
                        .seq_cutoff = p.seq_cutoff},
                &stats);
@@ -282,9 +287,10 @@ TEST_P(KnobSweep, SortsToPermutation) {
 std::vector<KnobParam> make_knob_sweep() {
   std::vector<KnobParam> out;
   for (std::uint32_t b : {1u, 4u, 16u}) {
-    for (std::uint64_t c : {0u, 32u, 256u}) {
+    for (std::uint64_t c : {0u, 64u, 128u}) {  // off, small, the re-picked default
       out.push_back({b, c, Variant::kDeterministic});
       out.push_back({b, c, Variant::kLowContention});
+      out.push_back({b, c, Variant::kDeterministic, Phase1::kPartition});
     }
   }
   return out;
@@ -294,6 +300,26 @@ INSTANTIATE_TEST_SUITE_P(Grid, KnobSweep, testing::ValuesIn(make_knob_sweep()),
                          [](const testing::TestParamInfo<KnobParam>& info) {
                            return knob_label(info.param);
                          });
+
+// The blocked-partition phase 1 must be observationally identical to the
+// pivot-tree phase 1, not just "also sorted": both place element i at the
+// rank of (key, i) in the index-tie-broken total order, so the output
+// PERMUTATION — visible through sort_permutation on duplicate-heavy input —
+// must match rank for rank.
+TEST(SortNative, PartitionPhasePermutationMatchesTreeBitExactly) {
+  const Workload workloads[] = {Workload::kRandom, Workload::kAllEqual,
+                                Workload::kFewDistinct, Workload::kOrganPipe};
+  for (Workload w : workloads) {
+    const auto v = make_workload(w, 6000, 321);
+    const auto tree_perm = wfsort::sort_permutation(
+        std::span<const std::uint64_t>(v),
+        Options{.threads = 4, .phase1 = Phase1::kTree});
+    const auto part_perm = wfsort::sort_permutation(
+        std::span<const std::uint64_t>(v),
+        Options{.threads = 4, .phase1 = Phase1::kPartition});
+    EXPECT_EQ(tree_perm, part_perm) << workload_name(w);
+  }
+}
 
 // ------------------------------------------------------------ variants
 
@@ -460,6 +486,18 @@ TEST(SortFaults, CannedAdversaryAtNonDefaultKnobs) {
   for (const Options opts :
        {Options{.threads = kThreads, .wat_batch = 1, .seq_cutoff = 512},
         Options{.threads = kThreads, .wat_batch = 64, .seq_cutoff = 0},
+        // The blocked-partition phase 1 at both knob extremes: its three
+        // WAT-driven sweeps (classify, scatter, bucket-sort) must tolerate
+        // the same kills as the tree path — every write is idempotent and
+        // the kAllJobsDone gates publish each sweep exactly once.
+        Options{.threads = kThreads,
+                .phase1 = Phase1::kPartition,
+                .wat_batch = 1,
+                .seq_cutoff = 512},
+        Options{.threads = kThreads,
+                .phase1 = Phase1::kPartition,
+                .wat_batch = 64,
+                .seq_cutoff = 0},
         Options{.threads = kThreads,
                 .variant = Variant::kLowContention,
                 .wat_batch = 64,
@@ -487,9 +525,32 @@ TEST(SortFaults, CannedAdversaryAtNonDefaultKnobs) {
     ASSERT_TRUE(ok);
     expect_sorted_permutation(
         orig, v, "canned b" + std::to_string(opts.wat_batch) + "_c" +
-                     std::to_string(opts.seq_cutoff));
+                     std::to_string(opts.seq_cutoff) +
+                     (opts.phase1 == Phase1::kPartition ? "_part" : ""));
     EXPECT_GE(stats.completed_workers, 1u);
   }
+}
+
+TEST(SortFaults, PartitionPathStaggeredCrashes) {
+  // Large enough that the partition path has many chunks (n / 2048) and
+  // several buckets, so the staggered kills land inside all three sweeps;
+  // the lone survivor must drain every WAT and finish the sort alone.
+  auto v = make_workload(Workload::kFewDistinct, 50000, 13);
+  auto orig = v;
+  constexpr std::uint32_t kThreads = 6;
+  wfsort::runtime::FaultPlan plan(kThreads);
+  plan.crash_at(1, 3);
+  plan.crash_at(2, 50);
+  plan.crash_at(3, 500);
+  plan.crash_at(4, 5000);
+  plan.crash_at(5, 20000);
+  SortStats stats;
+  const bool ok = wfsort::sort_with_faults(
+      std::span<std::uint64_t>(v),
+      Options{.threads = kThreads, .phase1 = Phase1::kPartition}, plan, &stats);
+  ASSERT_TRUE(ok);
+  expect_sorted_permutation(orig, v, "partition-staggered");
+  EXPECT_GE(stats.completed_workers, 1u);
 }
 
 TEST(SortFaults, SuspendAndReviveLcAtNonDefaultKnobs) {

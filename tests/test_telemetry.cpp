@@ -179,6 +179,50 @@ TEST(NativeTelemetry, FullLevelDetCountersAreExact) {
             rep.merged_cas_retries().sum);
 }
 
+TEST(NativeTelemetry, FullLevelLeafSortCounters) {
+  auto v = random_data(20000, 42);
+  Options opts;
+  opts.threads = 4;
+  opts.telemetry = tel::Level::kFull;
+  SortStats stats;
+  wfsort::sort(std::span<std::uint64_t>(v), opts, &stats);
+  ASSERT_TRUE(std::is_sorted(v.begin(), v.end()));
+  ASSERT_NE(stats.telemetry, nullptr);
+  const tel::Report& rep = *stats.telemetry;
+  // With the default seq_cutoff, phase 3 bottoms out in leaf-sorted blocks,
+  // and small blocks go through the insertion-sort dispatch.
+  EXPECT_GT(rep.counter_total(tel::Counter::kLeafBlocks), 0u);
+  EXPECT_GT(rep.counter_total(tel::Counter::kLeafInsertionSorts), 0u);
+}
+
+TEST(NativeTelemetry, FullLevelPartitionCountersAndPhases) {
+  auto v = random_data(20000, 43);
+  Options opts;
+  opts.threads = 4;
+  opts.phase1 = wfsort::Phase1::kPartition;
+  opts.telemetry = tel::Level::kFull;
+  SortStats stats;
+  wfsort::sort(std::span<std::uint64_t>(v), opts, &stats);
+  ASSERT_TRUE(std::is_sorted(v.begin(), v.end()));
+  ASSERT_NE(stats.telemetry, nullptr);
+  const tel::Report& rep = *stats.telemetry;
+  const auto present = rep.phases_present();
+  for (tel::PhaseId p : {tel::PhaseId::kPartClassify, tel::PhaseId::kPartScatter,
+                         tel::PhaseId::kPartSort}) {
+    EXPECT_NE(std::find(present.begin(), present.end(), p), present.end())
+        << tel::phase_name(p);
+  }
+  // n = 20000 yields several buckets, so splitters were sampled and every
+  // bucket went through the leaf sort.
+  EXPECT_GT(rep.counter_total(tel::Counter::kSplitterSamples), 0u);
+  EXPECT_GT(rep.counter_total(tel::Counter::kLeafBlocks), 0u);
+  const Json doc =
+      tel::native_stats_json(tel::native_run_info(opts, v.size()), stats);
+  EXPECT_EQ(doc.at("config").at("phase1").as_string(), "partition");
+  std::string error;
+  EXPECT_TRUE(tel::validate_stats_json(doc, &error)) << error;
+}
+
 TEST(NativeTelemetry, FullLevelLcRecordsStageSpans) {
   const SortStats stats =
       sorted_run(20000, Variant::kLowContention, tel::Level::kFull);
@@ -222,24 +266,37 @@ TEST(StatsSchema, GoldenNativeShape) {
   const Json doc = tel::native_stats_json(tel::native_run_info(opts, v.size()), stats);
   // Golden pin: the document's top-level shape is the schema contract.
   EXPECT_EQ(object_keys(doc),
-            (std::vector<std::string>{"schema", "substrate", "config", "totals",
-                                      "phases", "counters", "histograms",
-                                      "contention"}));
+            (std::vector<std::string>{"schema", "substrate", "build_type",
+                                      "config", "totals", "phases", "counters",
+                                      "histograms", "contention"}));
   EXPECT_EQ(doc.at("schema").as_string(), "wfsort-stats-v1");
   EXPECT_EQ(doc.at("substrate").as_string(), "native");
   EXPECT_EQ(object_keys(doc.at("config")),
             (std::vector<std::string>{"variant", "n", "threads", "seed", "wat_batch",
-                                      "seq_cutoff", "lc_copies", "prune",
+                                      "seq_cutoff", "lc_copies", "prune", "phase1",
                                       "telemetry"}));
+  EXPECT_EQ(doc.at("config").at("phase1").as_string(), "tree");
   EXPECT_EQ(doc.at("config").at("telemetry").as_string(), "full");
   EXPECT_EQ(object_keys(doc.at("histograms")),
             (std::vector<std::string>{"cas_retries", "wat_probes"}));
   EXPECT_EQ(object_keys(doc.at("contention")),
             (std::vector<std::string>{"max_site", "max_value", "sites"}));
   EXPECT_FALSE(doc.at("phases").items().empty());
+  // Golden pin: the full-level counters object names the leaf-sort and
+  // partition instrumentation — dashboards key on these exact strings.
+  const Json& counters = doc.at("counters");
+  for (const char* name : {"leaf_blocks", "leaf_insertion_sorts",
+                           "leaf_heapsorts", "partition_swaps",
+                           "splitter_samples"}) {
+    EXPECT_NE(counters.find(name), nullptr) << name;
+  }
 
   std::string error;
   EXPECT_TRUE(tel::validate_stats_json(doc, &error)) << error;
+  // Stats documents carry build provenance and honor the release gate.
+  const bool is_release = std::string(tel::build_type_name()) == "release";
+  EXPECT_EQ(tel::validate_stats_json(doc, &error, /*require_release=*/true),
+            is_release);
 }
 
 TEST(StatsSchema, NativeOffLevelStillValidates) {
@@ -283,6 +340,10 @@ TEST(StatsSchema, BenchEnvelopeValidates) {
   opts.threads = 4;
   opts.telemetry = tel::Level::kFull;
   Json bench = tel::make_bench_doc();
+  // The envelope carries the distro-libbenchmark caveat once, instead of
+  // per-document footnotes.
+  ASSERT_NE(bench.find("caveats"), nullptr);
+  EXPECT_NE(bench.at("caveats").find("library_build_type"), nullptr);
   Json runs = bench.at("runs");
   runs.push_back(tel::native_stats_json(tel::native_run_info(opts, 20000), stats));
   bench.set("runs", std::move(runs));

@@ -144,6 +144,30 @@ TEST(WaitFreeCert, NativeCheckpointBoundHolds) {
   EXPECT_GT(faulty.max_finish_steps, 0u);
 }
 
+// The blocked-partition phase 1 under the same calibrated bound: its three
+// WAT-driven sweeps (classify, scatter, bucket-sort) replace the pivot-tree
+// build, but the own-step promise is unchanged — every sweep is a
+// fixed-size job pool claimed through the same batched WAT, so per-worker
+// work stays O(N/P + log) per sweep and the 14 * N * ceil(log2 N) budget
+// must hold with the identical margin discipline as the tree path.
+TEST(WaitFreeCert, NativePartitionCheckpointBoundHolds) {
+  rt::ScenarioSpec spec;
+  spec.substrate = rt::Substrate::kNative;
+  spec.n = 4096;
+  spec.procs = 8;
+  spec.phase1 = rt::Phase1Kind::kPartition;
+  spec.own_step_bound = certified_bound(spec.n);
+  const rt::ScenarioResult faultless = rt::run_scenario(spec);
+  EXPECT_TRUE(faultless.ok())
+      << rt::failure_kind_name(faultless.failure) << ": " << faultless.detail;
+
+  spec.script = rt::fail_stop_at_round(32, 4, 7);
+  const rt::ScenarioResult faulty = rt::run_scenario(spec);
+  EXPECT_TRUE(faulty.ok())
+      << rt::failure_kind_name(faulty.failure) << ": " << faulty.detail;
+  EXPECT_GT(faulty.max_finish_steps, 0u);
+}
+
 // The LC fast path under the same calibrated bound: probe bursts, line
 // harvesting, the ALLDONE down-wave and the frontier fallback are all
 // bounded per checkpoint poll, so the randomized variant's own-step count

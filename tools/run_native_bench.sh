@@ -6,8 +6,10 @@
 # diff alongside it.
 #
 # Also emits:
-#   BENCH_native_stats.json    one "wfsort-bench-v1" document (both variants
-#                              at full telemetry, docs/observability.md)
+#   BENCH_native_stats.json    one "wfsort-bench-v1" document (det tree,
+#                              det partition and lc at full telemetry plus
+#                              in-process baselines and the derived
+#                              gap-vs-std::sort table, docs/observability.md)
 #   BENCH_native_scaling.json  one "wfsort-scaling-v1" document — both
 #                              variants swept over t = 1, 2, 4, ... up to the
 #                              hardware concurrency, with per-point speedup
@@ -56,10 +58,7 @@ out="$repo_root/BENCH_native_perf.json"
   --benchmark_out="$out" \
   --benchmark_out_format=json \
   "$@"
-if ! grep -q '"wfsort_build_type": "release"' "$out"; then
-  echo "error: $out was not produced by a release build" >&2
-  exit 1
-fi
+"$wfsort" validate "$out" --require-release
 echo "wrote $out"
 
 "$wfsort" bench --n=262144 --threads=4 --reps=2 \

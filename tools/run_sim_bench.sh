@@ -6,6 +6,10 @@
 # simulated run (docs/observability.md) — the committed sample of the
 # simulator side of the unified stats schema.
 #
+# Provenance: every emitted file is checked with `wfsort validate
+# --require-release` before the script succeeds — a debug-build number must
+# never be committed.
+#
 # Usage:
 #   tools/run_sim_bench.sh [build-dir] [extra benchmark args...]
 #
@@ -39,12 +43,9 @@ out="$repo_root/BENCH_sim_perf.json"
   --benchmark_out="$out" \
   --benchmark_out_format=json \
   "$@"
-if ! grep -q '"wfsort_build_type": "release"' "$out"; then
-  echo "error: $out was not produced by a release build" >&2
-  exit 1
-fi
+"$build_dir/tools/wfsort" validate "$out" --require-release
 echo "wrote $out"
 
 "$build_dir/tools/wfsort" sim --n=4096 --procs=256 \
   --stats-json="$repo_root/BENCH_sim_stats.json"
-"$build_dir/tools/wfsort" validate "$repo_root/BENCH_sim_stats.json"
+"$build_dir/tools/wfsort" validate "$repo_root/BENCH_sim_stats.json" --require-release

@@ -12,8 +12,10 @@
 // `sort` runs the native wait-free sorter (reads integers from positional
 // files, or generates --n keys); `sim` runs the chosen variant on the CRCW
 // PRAM simulator and prints rounds, contention and (optionally) the tail of
-// the execution trace.  `bench` runs both native variants at full telemetry
-// and emits the unified stats document.  `scaling` sweeps both variants over
+// the execution trace.  `bench` runs the native configurations (det tree,
+// det partition, lc) at full telemetry plus in-process std::sort /
+// parallel-mergesort baselines and emits the unified stats envelope with a
+// derived gap-vs-std::sort table.  `scaling` sweeps both variants over
 // a thread count list (default: 1, 2, 4, ... up to the hardware concurrency)
 // and emits a "wfsort-scaling-v1" document of speedup curves and per-point
 // max contention.  `validate` structurally checks an emitted stats/bench/
@@ -31,6 +33,7 @@
 //                                 (sort/sim/bench; hunt writes search stats)
 //   --trace-out=PATH              write a Perfetto/chrome://tracing trace
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -40,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "baselines/parallel_mergesort.h"
 #include "common/cli.h"
 #include "common/json.h"
 #include "core/sort.h"
@@ -103,6 +107,32 @@ bool contention_summary(const wfsort::Json& stats, std::uint64_t* value,
   return true;
 }
 
+wfsort::Phase1 parse_phase1(const std::string& s) {
+  if (s == "tree") return wfsort::Phase1::kTree;
+  if (s == "partition") return wfsort::Phase1::kPartition;
+  std::fprintf(stderr, "unknown --phase1 '%s' (tree|partition)\n", s.c_str());
+  std::exit(2);
+}
+
+// Best-of-`reps` wall milliseconds of `body(data)` on fresh copies of
+// `input` — the in-process baseline timings the bench envelope derives its
+// gap rows from (same process, same input, same moment as the wfsort runs).
+template <typename Body>
+double time_best_ms(const std::vector<std::uint64_t>& input, std::uint64_t reps,
+                    Body&& body) {
+  double best = 0.0;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    std::vector<std::uint64_t> data = input;
+    const auto t0 = std::chrono::steady_clock::now();
+    body(data);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
 wfsort::exp::Dist parse_dist(const std::string& s) {
   wfsort::exp::Dist d{};
   if (!wfsort::exp::parse_dist(s, &d)) {
@@ -136,6 +166,7 @@ int run_sort(const wfsort::CliFlags& flags) {
   opts.threads = static_cast<std::uint32_t>(flags.u64("threads"));
   opts.variant = flags.str("variant") == "lc" ? wfsort::Variant::kLowContention
                                               : wfsort::Variant::kDeterministic;
+  opts.phase1 = parse_phase1(flags.str("phase1"));
   opts.seed = flags.u64("seed");
   opts.telemetry = requested_level(flags);
   wfsort::SortStats stats;
@@ -177,12 +208,16 @@ int run_sort(const wfsort::CliFlags& flags) {
   return ok ? 0 : 1;
 }
 
-// Bench: both native variants at full telemetry, --reps runs each, one
-// "wfsort-bench-v1" envelope of per-run stats documents and (optionally) one
-// combined Perfetto trace with a process per variant.
+// Bench: all three native configurations (deterministic tree, deterministic
+// partition, low-contention) at full telemetry, --reps runs each, plus
+// in-process std::sort and parallel-mergesort baselines on the same input —
+// one "wfsort-bench-v1" envelope of per-run stats documents, a "baselines"
+// object, a derived gap-vs-std::sort table, and (optionally) one combined
+// Perfetto trace with a process per variant.
 int run_bench(const wfsort::CliFlags& flags) {
   const std::uint64_t n = flags.u64("n");
   const std::uint64_t reps = std::max<std::uint64_t>(flags.u64("reps"), 1);
+  const auto threads = static_cast<std::uint32_t>(flags.u64("threads"));
   const std::vector<std::uint64_t> input = wfsort::exp::make_u64_keys(
       n, parse_dist(flags.str("dist")), flags.u64("seed"));
 
@@ -190,19 +225,29 @@ int run_bench(const wfsort::CliFlags& flags) {
   wfsort::Json runs = bench.at("runs");
   wfsort::Json trace = tel::chrome_trace_doc();
 
-  const std::pair<const char*, wfsort::Variant> variants[] = {
-      {"det", wfsort::Variant::kDeterministic},
-      {"lc", wfsort::Variant::kLowContention},
+  struct BenchVariant {
+    const char* name;
+    wfsort::Variant variant;
+    wfsort::Phase1 phase1;
+  };
+  const BenchVariant variants[] = {
+      {"det", wfsort::Variant::kDeterministic, wfsort::Phase1::kTree},
+      {"det-partition", wfsort::Variant::kDeterministic,
+       wfsort::Phase1::kPartition},
+      {"lc", wfsort::Variant::kLowContention, wfsort::Phase1::kTree},
   };
   int pid = 0;
   bool ok = true;
-  for (const auto& [name, variant] : variants) {
+  Json best_ms = Json::object();  // per-variant best wall_ms, for the gap rows
+  for (const auto& [name, variant, phase1] : variants) {
     ++pid;
+    double best = 0.0;
     for (std::uint64_t rep = 0; rep < reps; ++rep) {
       std::vector<std::uint64_t> data = input;
       wfsort::Options opts;
-      opts.threads = static_cast<std::uint32_t>(flags.u64("threads"));
+      opts.threads = threads;
       opts.variant = variant;
+      opts.phase1 = phase1;
       opts.seed = flags.u64("seed") + rep;
       opts.telemetry = tel::Level::kFull;
       wfsort::SortStats stats;
@@ -211,9 +256,10 @@ int run_bench(const wfsort::CliFlags& flags) {
 
       const wfsort::Json doc =
           tel::native_stats_json(tel::native_run_info(opts, data.size()), stats);
+      const double wall = doc.at("totals").at("wall_ms").as_double();
+      if (rep == 0 || wall < best) best = wall;
       std::fprintf(stderr, "bench %s rep %llu: wall %.3f ms  max contention %s=%llu\n",
-                   name, static_cast<unsigned long long>(rep + 1),
-                   doc.at("totals").at("wall_ms").as_double(),
+                   name, static_cast<unsigned long long>(rep + 1), wall,
                    doc.at("contention").at("max_site").as_string().c_str(),
                    static_cast<unsigned long long>(
                        doc.at("contention").at("max_value").as_u64()));
@@ -223,11 +269,50 @@ int run_bench(const wfsort::CliFlags& flags) {
                                  std::string("wfsort ") + name);
       }
     }
+    best_ms.set(name, best);
   }
   bench.set("runs", std::move(runs));
   if (!ok) {
     std::fprintf(stderr, "bench: output NOT SORTED\n");
     return 1;
+  }
+
+  // In-process baselines on the identical input, then the derived gap table:
+  // gap_vs_stdsort.<variant> = best wfsort wall_ms / best std::sort wall_ms.
+  const double std_sort_ms = time_best_ms(
+      input, reps, [](std::vector<std::uint64_t>& v) {
+        std::sort(v.begin(), v.end());
+      });
+  const double merge_ms = time_best_ms(
+      input, reps, [threads](std::vector<std::uint64_t>& v) {
+        wfsort::baselines::parallel_mergesort(std::span<std::uint64_t>(v),
+                                              threads);
+      });
+  std::fprintf(stderr, "bench std::sort: wall %.3f ms\n", std_sort_ms);
+  std::fprintf(stderr, "bench parallel_mergesort(t=%u): wall %.3f ms\n",
+               threads, merge_ms);
+  Json baselines = Json::object();
+  baselines.set("std_sort_ms", std_sort_ms);
+  baselines.set("parallel_mergesort_ms", merge_ms);
+  baselines.set("parallel_mergesort_threads",
+                static_cast<std::uint64_t>(threads));
+  bench.set("baselines", std::move(baselines));
+  Json gaps = Json::object();
+  for (const auto& [name, value] : best_ms.object_items()) {
+    const double wall = value.as_double();
+    const double gap = std_sort_ms > 0.0 ? wall / std_sort_ms : 0.0;
+    std::fprintf(stderr, "bench gap_vs_stdsort %s: %.2fx\n", name.c_str(), gap);
+    gaps.set(name, gap);
+  }
+  Json derived = Json::object();
+  derived.set("gap_vs_stdsort", std::move(gaps));
+  bench.set("derived", std::move(derived));
+
+  std::string verr;
+  if (!tel::validate_bench_json(bench, &verr)) {
+    std::fprintf(stderr, "internal error: emitted envelope invalid: %s\n",
+                 verr.c_str());
+    return 2;
   }
 
   const std::string stats_path = flags.str("stats-json");
@@ -390,21 +475,34 @@ int run_validate(const wfsort::CliFlags& flags) {
 
   const bool require_release = flags.flag("require-release");
   const wfsort::Json* schema = doc.find("schema");
-  const std::string name =
+  std::string name =
       schema != nullptr && schema->type() == wfsort::Json::Type::kString
           ? schema->as_string()
           : "";
   bool valid = false;
+  const wfsort::Json* bt = doc.find("build_type");
   if (name == tel::kBenchSchema) {
     valid = tel::validate_bench_json(doc, &error, require_release);
   } else if (name == tel::kScalingSchema) {
     valid = tel::validate_scaling_json(doc, &error, require_release);
   } else if (name == tel::kStatsSchema) {
-    if (require_release) {
-      error = "stats documents carry no build_type; --require-release applies "
-              "to bench/scaling envelopes";
+    valid = tel::validate_stats_json(doc, &error, require_release);
+  } else if (doc.find("context") != nullptr && doc.find("benchmarks") != nullptr) {
+    // A google-benchmark report.  Its context carries a fixed
+    // "library_build_type" describing the distro LIBRARY, which is not this
+    // repo's provenance; our bench mains stamp "wfsort_build_type" instead
+    // and that is what the release gate reads.
+    name = "google-benchmark";
+    const wfsort::Json& ctx = doc.at("context");
+    bt = ctx.find("wfsort_build_type");
+    if (bt == nullptr || bt->type() != wfsort::Json::Type::kString) {
+      error = "missing context.wfsort_build_type (is this a wfsort bench "
+              "binary's report?)";
+    } else if (require_release && bt->as_string() != "release") {
+      error = "context.wfsort_build_type is \"" + bt->as_string() +
+              "\" but a release build is required";
     } else {
-      valid = tel::validate_stats_json(doc, &error);
+      valid = true;
     }
   } else {
     error = "unknown schema: \"" + name + "\"";
@@ -413,7 +511,6 @@ int run_validate(const wfsort::CliFlags& flags) {
     std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(), error.c_str());
     return 1;
   }
-  const wfsort::Json* bt = doc.find("build_type");
   std::fprintf(stderr, "%s: ok (%s%s%s)\n", path.c_str(), name.c_str(),
                bt != nullptr ? ", build_type=" : "",
                bt != nullptr ? bt->as_string().c_str() : "");
@@ -518,6 +615,9 @@ wfsort::runtime::ScenarioSpec spec_from_flags(const wfsort::CliFlags& flags) {
       flags.u64(spec.substrate == wfsort::runtime::Substrate::kSim ? "procs" : "threads"));
   spec.variant = flags.str("variant") == "lc" ? wfsort::runtime::SortKind::kLc
                                               : wfsort::runtime::SortKind::kDet;
+  spec.phase1 = parse_phase1(flags.str("phase1")) == wfsort::Phase1::kPartition
+                    ? wfsort::runtime::Phase1Kind::kPartition
+                    : wfsort::runtime::Phase1Kind::kTree;
   const std::string prune = flags.str("prune");
   if (prune == "none") spec.prune = wfsort::sim::PlacePrune::kNone;
   else if (prune == "placed") spec.prune = wfsort::sim::PlacePrune::kPlaced;
@@ -633,6 +733,8 @@ int main(int argc, char** argv) {
   flags.add_u64("seed", 1, "workload / randomized-variant seed");
   flags.add_u64("trace", 0, "sim: keep and print the last K trace events");
   flags.add_string("variant", "det", "det | lc | classic (sim only)");
+  flags.add_string("phase1", "tree",
+                   "native det phase 1: tree | partition (sort/hunt mode)");
   flags.add_string("dist", "uniform", "uniform|shuffled|sorted|reversed|few|pipe");
   flags.add_string("schedule", "sync", "sim: sync|serial|subset|freeze");
   flags.add_string("memory", "crcw", "sim: crcw | stall");
