@@ -1,10 +1,24 @@
 #include "pram/machine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <span>
 
 #include "common/check.h"
+#include "pram/round_pool.h"
 
 namespace pram {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 Machine::Machine(MachineOptions opts) : opts_(opts), arb_rng_(opts.seed ^ 0xa5b5c5d5e5f50505ULL) {}
 
@@ -87,6 +101,21 @@ bool Machine::eligible(const Proc& p) const {
 }
 
 RunResult Machine::run(Scheduler& sched, const StopPredicate& stop) {
+  // Lazily bring up the shard pool on the first run() of a multi-threaded
+  // machine.  Striping is round-robin over 64-cell blocks so each shard owns
+  // its CellSlot / Word / cell_count_ cache lines exclusively (64 cells cover
+  // a whole line of each) while hot regions still spread across all shards.
+  if (opts_.sim_threads > 1 && pool_ == nullptr) {
+    const unsigned shards = static_cast<unsigned>(
+        std::min<std::uint32_t>(opts_.sim_threads, kOwnerStripes));
+    pool_ = std::make_unique<detail::RoundPool>(shards);
+    stripe_owner_.resize(kOwnerStripes);
+    for (unsigned s = 0; s < kOwnerStripes; ++s) {
+      stripe_owner_[s] = static_cast<std::uint8_t>(s % shards);
+    }
+    commit_stats_.shards = shards;
+    commit_stats_.shard_busy_ns.assign(shards, 0);
+  }
   RunResult res;
   while (true) {
     for (const RoundHook& hook : round_hooks_) hook(*this, round_);
@@ -149,7 +178,13 @@ RunResult Machine::run(Scheduler& sched, const StopPredicate& stop) {
     }
 
     metrics_.begin_round(mem_);
-    serve_round(stepping_list_);
+    if (pool_ != nullptr && stepping_list_.size() >= opts_.par_round_min) {
+      serve_round_parallel(stepping_list_);
+      ++commit_stats_.par_rounds;
+    } else {
+      serve_round(stepping_list_);
+      if (pool_ != nullptr) ++commit_stats_.seq_rounds;
+    }
     metrics_.end_round();
 
     ++round_;
@@ -387,6 +422,334 @@ void Machine::serve_round(const std::vector<ProcId>& stepping) {
     yp.ctx.pending_.result = 0;
     finish_op(pid, yp);
   }
+}
+
+void Machine::finish_op_parallel(ProcId pid, Proc& p, ShardScratch& sh,
+                                 std::uint32_t op_idx) {
+  metrics_.record_proc_op_sharded(pid, sh.metrics);
+  MemRequest& req = p.ctx.pending_;
+  if (tracer_ != nullptr) {
+    // Events are staged into the operation's canonical-order slot and flushed
+    // to the tracer sequentially at commit 2, so the tracer observes exactly
+    // the stream the sequential engine emits.
+    trace_buf_[op_idx] =
+        TraceEvent{round_, pid, req.kind, req.addr, req.arg0, req.arg1, req.result};
+  }
+  req.kind = OpKind::kNone;
+  advance_parallel(p, sh, op_idx);
+}
+
+void Machine::advance_parallel(Proc& p, ShardScratch& sh, std::uint32_t op_idx) {
+  // Parallel-safe advance(): the resume itself only touches per-processor
+  // state (the coroutine frame, the Ctx, the thread-local frame pool), and
+  // the completion bookkeeping below writes per-processor slots directly —
+  // one writer per processor per round — while the shared counters become
+  // shard deltas applied at commit 2.
+  p.ctx.current().resume();
+  if (!p.ctx.finished_) return;
+  const ProcId pid = p.ctx.pid();
+  if (!p.done_counted) {
+    p.done_counted = true;
+    ++sh.finished;  // stepping processors are never killed mid-round
+    metrics_.record_proc_finish_presized(pid);
+  }
+  if (eligible_scratch_[pid]) {
+    eligible_scratch_[pid] = 0;
+    ++sh.eligible_off;
+  }
+  if (std::exception_ptr e = p.task.failure()) {
+    // Keep the canonically-first failure (lowest global serve index) so the
+    // exception the run loop sees does not depend on shard interleaving.
+    if (!sh.exn || op_idx < sh.exn_key) {
+      sh.exn = e;
+      sh.exn_key = op_idx;
+    }
+  }
+}
+
+void Machine::serve_round_parallel(const std::vector<ProcId>& stepping) {
+  // Sharded round engine; see the member-block comment in machine.h for the
+  // five-step structure and the determinism argument.
+  const unsigned nshards = commit_stats_.shards;
+  const bool stall = opts_.memory_model == MemoryModel::kStall;
+
+  // Cold growth, as in serve_round: tracks memory/processor growth only.
+  if (cell_slots_.size() < mem_.size()) cell_slots_.resize(mem_.size());
+  if (cell_count_.size() < mem_.size()) cell_count_.resize(mem_.size(), 0);
+  if (next_in_cell_.size() < procs_.size()) next_in_cell_.resize(procs_.size(), kNoProc);
+  if (shards_.size() < nshards) shards_.resize(nshards);
+  for (unsigned t = 0; t < nshards; ++t) {
+    if (shards_[t].to_owner.size() < nshards) shards_[t].to_owner.resize(nshards);
+    metrics_.init_shard(shards_[t].metrics);
+  }
+  ++cell_epoch_;
+  const std::size_t nstep = stepping.size();
+
+  // Phase A: each shard scans a contiguous slice of the stepping list and
+  // scatters requests into per-owner buckets.  Slices are contiguous and
+  // ascending, so bucket order is global stepping order once the buckets are
+  // drained shard-by-shard.
+  std::uint64_t t0 = now_ns();
+  pool_->run([&](unsigned t) {
+    const std::uint64_t w0 = now_ns();
+    ShardScratch& sh = shards_[t];
+    for (std::vector<ReqEntry>& bucket : sh.to_owner) bucket.clear();
+    sh.yielders.clear();
+    const std::size_t lo = nstep * t / nshards;
+    const std::size_t hi = nstep * (t + 1) / nshards;
+    for (std::size_t si = lo; si < hi; ++si) {
+      if (si + 8 < hi) __builtin_prefetch(&procs_[stepping[si + 8]].ctx);
+      const ProcId pid = stepping[si];
+      const MemRequest& req = procs_[pid].ctx.pending_;
+      WFSORT_CHECK(req.kind != OpKind::kNone);
+      if (req.kind == OpKind::kYield) {
+        sh.yielders.push_back(pid);
+        continue;
+      }
+      WFSORT_CHECK(req.addr < mem_.size());
+      sh.to_owner[owner_of(req.addr)].push_back(
+          ReqEntry{req.addr, pid, static_cast<std::uint32_t>(si)});
+    }
+    commit_stats_.shard_busy_ns[t] += now_ns() - w0;
+  });
+  std::uint64_t t1 = now_ns();
+  commit_stats_.collect_ns += t1 - t0;
+
+  // Phase B-pre: each owner drains the buckets addressed to it in shard
+  // order — global stepping order — building the same epoch-stamped
+  // intrusive chains as the sequential engine, restricted to cells it owns.
+  // Owners touch disjoint cell stripes, so the chain/count/slot writes never
+  // collide; next_in_cell_[pid] is written by the owner of pid's target
+  // cell, and a processor has exactly one pending request.
+  pool_->run([&](unsigned o) {
+    const std::uint64_t w0 = now_ns();
+    ShardScratch& own = shards_[o];
+    own.touched.clear();
+    for (unsigned t = 0; t < nshards; ++t) {
+      for (const ReqEntry& e : shards_[t].to_owner[o]) {
+        next_in_cell_[e.pid] = kNoProc;
+        CellSlot& slot = cell_slots_[e.addr];
+        if (slot.stamp != cell_epoch_) {
+          slot.stamp = cell_epoch_;
+          slot.head = e.pid;
+          cell_count_[e.addr] = 1;
+          own.touched.push_back(TouchedCell{e.addr, e.si, 0, 0, 0});
+        } else {
+          next_in_cell_[slot.tail] = e.pid;
+          ++cell_count_[e.addr];
+        }
+        slot.tail = e.pid;
+      }
+    }
+    commit_stats_.shard_busy_ns[o] += now_ns() - w0;
+  });
+  t0 = now_ns();
+  commit_stats_.group_ns += t0 - t1;
+
+  // Commit 1 (sequential): T-way merge of the owners' touched lists by
+  // first-touch index.  Each owner's list is already ascending (it was built
+  // in global stepping order), so the merge visits cells in exactly the
+  // first-touch order the sequential engine serves them in — which is the
+  // order that pins arbitration-RNG consumption.  Single-requester cells
+  // draw nothing (matching the sequential fast path); kStall cells draw one
+  // winner index; kCrcw cells materialize their chain into arb_pool_ and
+  // shuffle it in place.
+  merge_cursor_.assign(nshards, 0);
+  arb_pool_.clear();
+  std::size_t total_cells = 0;
+  for (unsigned t = 0; t < nshards; ++t) total_cells += shards_[t].touched.size();
+  std::uint32_t op_idx = 0;
+  for (std::size_t rank = 0; rank < total_cells; ++rank) {
+    unsigned best = nshards;
+    std::uint32_t best_si = 0;
+    for (unsigned t = 0; t < nshards; ++t) {
+      if (merge_cursor_[t] >= shards_[t].touched.size()) continue;
+      const std::uint32_t si = shards_[t].touched[merge_cursor_[t]].first_si;
+      if (best == nshards || si < best_si) {
+        best = t;
+        best_si = si;
+      }
+    }
+    TouchedCell& tc = shards_[best].touched[merge_cursor_[best]++];
+    tc.rank = static_cast<std::uint32_t>(rank);
+    tc.op_base = op_idx;
+    const std::uint32_t cnt = cell_count_[tc.addr];
+    if (cnt == 1) {
+      ++op_idx;
+    } else if (stall) {
+      tc.arb = static_cast<std::uint32_t>(arb_rng_.below(cnt));
+      ++op_idx;  // only the winner is served; losers retry next round
+    } else {
+      const std::size_t off = arb_pool_.size();
+      for (ProcId p = cell_slots_[tc.addr].head; p != kNoProc; p = next_in_cell_[p]) {
+        arb_pool_.push_back(p);
+      }
+      arb_rng_.shuffle(std::span<ProcId>(arb_pool_.data() + off, cnt));
+      tc.arb = static_cast<std::uint32_t>(off);
+      op_idx += cnt;
+    }
+  }
+  // Yielders serve after every memory operation, collector-shard order —
+  // which is stepping order, the same position they take sequentially.
+  std::uint32_t yield_cursor = op_idx;
+  for (unsigned t = 0; t < nshards; ++t) {
+    shards_[t].yield_base = yield_cursor;
+    yield_cursor += static_cast<std::uint32_t>(shards_[t].yielders.size());
+  }
+  const std::size_t total_ops = yield_cursor;
+  if (tracer_ != nullptr && trace_buf_.size() < total_ops) trace_buf_.resize(total_ops);
+  t1 = now_ns();
+  commit_stats_.arb_ns += t1 - t0;
+
+  // Phase B: owners serve their cells with the pre-drawn arbitration and
+  // resume the served processors, then their collected yielders.  Resumes
+  // only touch per-processor state, so cross-cell serve order is free; every
+  // observable is routed through canonical-order slots (trace_buf_) or
+  // rank-carrying shard records (metrics) and sequenced at commit 2.
+  pool_->run([&](unsigned o) {
+    const std::uint64_t w0 = now_ns();
+    ShardScratch& sh = shards_[o];
+    const std::size_t ncells = sh.touched.size();
+    for (std::size_t ci = 0; ci < ncells; ++ci) {
+      if (ci + 8 < ncells) {
+        const Addr far = sh.touched[ci + 8].addr;
+        __builtin_prefetch(cell_slots_.data() + far);
+        mem_.prefetch(far);
+      }
+      if (ci + 4 < ncells) {
+        __builtin_prefetch(&procs_[cell_slots_[sh.touched[ci + 4].addr].head].ctx);
+      }
+      const TouchedCell& tc = sh.touched[ci];
+      const Addr addr = tc.addr;
+      const std::uint32_t cnt = cell_count_[addr];
+      sh.metrics.record_cell(addr, cnt, mem_.region_id_of(addr), tc.rank);
+      const ProcId head = cell_slots_[addr].head;
+      const Word pre = mem_.load(addr);
+
+      if (cnt == 1) {
+        Proc& hp = procs_[head];
+        MemRequest& req = hp.ctx.pending_;
+        switch (req.kind) {
+          case OpKind::kRead:
+            req.result = pre;
+            break;
+          case OpKind::kWrite:
+            req.result = pre;
+            mem_.store(addr, req.arg0);
+            break;
+          case OpKind::kCas:
+            req.result = pre;
+            if (pre == req.arg0) mem_.store(addr, req.arg1);
+            break;
+          case OpKind::kFaa:
+            req.result = pre;
+            mem_.store(addr, pre + req.arg0);
+            break;
+          default:
+            WFSORT_CHECK(false);
+        }
+        finish_op_parallel(head, hp, sh, tc.op_base);
+        continue;
+      }
+
+      if (stall) {
+        ProcId winner = head;
+        for (std::uint32_t k = 0; k < tc.arb; ++k) winner = next_in_cell_[winner];
+        sh.metrics.record_stall(cnt - 1);
+        Proc& wp = procs_[winner];
+        MemRequest& req = wp.ctx.pending_;
+        switch (req.kind) {
+          case OpKind::kRead:
+            req.result = pre;
+            break;
+          case OpKind::kWrite:
+            req.result = pre;
+            mem_.store(addr, req.arg0);
+            break;
+          case OpKind::kCas:
+            req.result = pre;
+            if (pre == req.arg0) mem_.store(addr, req.arg1);
+            break;
+          case OpKind::kFaa:
+            req.result = pre;
+            mem_.store(addr, pre + req.arg0);
+            break;
+          default:
+            WFSORT_CHECK(false);
+        }
+        finish_op_parallel(winner, wp, sh, tc.op_base);
+        continue;
+      }
+
+      const ProcId* group = arb_pool_.data() + tc.arb;
+      Word cur = pre;
+      for (std::uint32_t gi = 0; gi < cnt; ++gi) {
+        if (gi + 4 < cnt) __builtin_prefetch(&procs_[group[gi + 4]].ctx);
+        if (gi + 2 < cnt) {
+          __builtin_prefetch(procs_[group[gi + 2]].ctx.current().address());
+        }
+        const ProcId pid = group[gi];
+        Proc& gp = procs_[pid];
+        MemRequest& req = gp.ctx.pending_;
+        switch (req.kind) {
+          case OpKind::kRead:
+            req.result = pre;
+            break;
+          case OpKind::kWrite:
+            req.result = cur;
+            cur = req.arg0;
+            break;
+          case OpKind::kCas:
+            req.result = cur;
+            if (cur == req.arg0) cur = req.arg1;
+            break;
+          case OpKind::kFaa:
+            req.result = cur;
+            cur += req.arg0;
+            break;
+          default:
+            WFSORT_CHECK(false);
+        }
+        finish_op_parallel(pid, gp, sh, tc.op_base + gi);
+      }
+      if (cur != pre) mem_.store(addr, cur);
+    }
+
+    std::uint32_t yi = 0;
+    for (ProcId pid : sh.yielders) {
+      Proc& yp = procs_[pid];
+      yp.ctx.pending_.result = 0;
+      finish_op_parallel(pid, yp, sh, sh.yield_base + yi++);
+    }
+    commit_stats_.shard_busy_ns[o] += now_ns() - w0;
+  });
+  t0 = now_ns();
+  commit_stats_.serve_ns += t0 - t1;
+
+  // Commit 2 (sequential): flush the trace in canonical order, fold the
+  // metrics shards and run-loop counter deltas, then rethrow the
+  // canonically-first program exception if one escaped.
+  if (tracer_ != nullptr) {
+    for (std::size_t i = 0; i < total_ops; ++i) tracer_->on_event(trace_buf_[i]);
+  }
+  std::exception_ptr exn;
+  std::uint32_t exn_key = 0;
+  for (unsigned t = 0; t < nshards; ++t) {
+    ShardScratch& sh = shards_[t];
+    metrics_.merge_shard(sh.metrics);
+    eligible_count_ -= sh.eligible_off;
+    eligible_dead_ += sh.eligible_off;
+    sh.eligible_off = 0;
+    unfinished_live_ -= sh.finished;
+    sh.finished = 0;
+    if (sh.exn && (!exn || sh.exn_key < exn_key)) {
+      exn = sh.exn;
+      exn_key = sh.exn_key;
+    }
+    sh.exn = nullptr;
+  }
+  commit_stats_.merge_ns += now_ns() - t0;
+  if (exn) std::rethrow_exception(exn);
 }
 
 }  // namespace pram

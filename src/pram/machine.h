@@ -54,6 +54,10 @@ namespace pram {
 
 class Machine;
 
+namespace detail {
+class RoundPool;
+}
+
 // Per-processor execution context handed to programs.  Address-stable for
 // the processor's lifetime (coroutines hold a pointer to it).
 class Ctx {
@@ -129,6 +133,31 @@ struct MachineOptions {
   std::uint64_t seed = 0x9a7a1e5ed0c0ffeeULL;
   MemoryModel memory_model = MemoryModel::kCrcw;
   std::uint64_t max_rounds = 100'000'000;  // safety cap against runaway programs
+  // Real OS threads sharding the round engine (1 = the sequential engine).
+  // Any value produces bit-identical observables — trace stream, metrics,
+  // arbitration — so this is purely a throughput knob; the determinism suite
+  // pins the equivalence (tests/test_determinism.cpp).
+  std::uint32_t sim_threads = 1;
+  // Rounds stepping fewer processors than this are served sequentially even
+  // when sim_threads > 1: dispatching the pool costs a few microseconds,
+  // which only pays for itself on wide rounds.  0 or 1 forces every round
+  // through the parallel engine (the tests do, to exercise it at small N).
+  std::size_t par_round_min = 256;
+};
+
+// Accounting for the parallel round engine's two-phase commit, exposed for
+// the "sim_commit" counter group and per-shard spans in wfsort-stats-v1
+// (telemetry/schema.h).  All zeros when sim_threads == 1.
+struct CommitStats {
+  std::uint64_t par_rounds = 0;  // rounds served by the sharded engine
+  std::uint64_t seq_rounds = 0;  // rounds served sequentially (below threshold)
+  std::uint32_t shards = 1;
+  std::uint64_t collect_ns = 0;  // phase A: parallel request collection
+  std::uint64_t group_ns = 0;    // phase B-pre: parallel per-owner cell grouping
+  std::uint64_t arb_ns = 0;      // commit 1: sequential arbitration pre-draw
+  std::uint64_t serve_ns = 0;    // phase B: parallel serve + resume
+  std::uint64_t merge_ns = 0;    // commit 2: trace flush + shard merge
+  std::vector<std::uint64_t> shard_busy_ns;  // per-shard work time, all phases
 };
 
 struct RunResult {
@@ -197,6 +226,9 @@ class Machine {
 
   std::uint64_t current_round() const { return round_; }
 
+  // Parallel-commit accounting (see CommitStats); zeros for 1-thread runs.
+  const CommitStats& commit_stats() const { return commit_stats_; }
+
  private:
   struct Proc {
     Ctx ctx;
@@ -219,6 +251,43 @@ class Machine {
   // request consumption, then resume the processor's coroutine.  `p` is
   // procs_[pid], which every caller already has at hand.
   void finish_op(ProcId pid, Proc& p);
+
+  // ---- Parallel round engine (see the member-block comment below) ----
+  struct ReqEntry {
+    Addr addr;
+    ProcId pid;
+    std::uint32_t si;  // index in the round's stepping list
+  };
+  struct TouchedCell {
+    Addr addr;
+    std::uint32_t first_si;  // stepping index of the cell's first requester
+    std::uint32_t rank;      // position in the merged global first-touch order
+    std::uint32_t op_base;   // global serve index of the cell's first served op
+    std::uint32_t arb;       // kCrcw: offset into arb_pool_; kStall: winner index
+  };
+  struct ShardScratch {
+    std::vector<std::vector<ReqEntry>> to_owner;  // phase A: one bucket per owner
+    std::vector<TouchedCell> touched;  // owned cells, ascending first_si
+    std::vector<ProcId> yielders;      // collected from this shard's stepping slice
+    std::uint32_t yield_base = 0;      // global serve index of the first one
+    Metrics::Shard metrics;
+    std::uint64_t eligible_off = 0;  // procs flipped eligible 1 -> 0 this round
+    std::uint64_t finished = 0;      // programs that returned this round
+    std::exception_ptr exn;          // canonically-first program exception...
+    std::uint32_t exn_key = 0;       // ...and its global serve index
+  };
+  void serve_round_parallel(const std::vector<ProcId>& stepping);
+  // finish_op / advance with the shared bookkeeping routed through shard
+  // deltas; op_idx is the operation's index in the round's canonical serve
+  // order (trace slot and exception tie-break key).
+  void finish_op_parallel(ProcId pid, Proc& p, ShardScratch& sh, std::uint32_t op_idx);
+  void advance_parallel(Proc& p, ShardScratch& sh, std::uint32_t op_idx);
+  // Shard that serves cell `a`: 64-cell blocks striped over the shards, so
+  // one shard owns each CellSlot/Word cache line exclusively while hot
+  // regions still spread across all shards.
+  unsigned owner_of(Addr a) const {
+    return stripe_owner_[(a >> 6) & (kOwnerStripes - 1)];
+  }
   // Flip p's bit in the incrementally-maintained eligibility mask and keep
   // the companion pid list in sync (lazily: turning a processor OFF leaves a
   // tombstone that iteration skips; turning one ON — rare after start-up —
@@ -298,6 +367,43 @@ class Machine {
   // skips them; procs_ is append-only and kill is permanent, making the
   // index monotone.
   std::size_t unstarted_head_ = 0;
+
+  // ---- Parallel round engine state (sim_threads > 1) ----
+  //
+  // serve_round_parallel serves the same round in five steps with the same
+  // observables as serve_round:
+  //
+  //   phase A   (parallel by stepping slice)  each shard scans a contiguous
+  //             slice of the stepping list, scattering requests into
+  //             per-owner buckets and collecting yielders;
+  //   phase B-  (parallel by cell owner)      each owner drains the buckets
+  //   pre       addressed to it in slice order — which is global stepping
+  //             order — building the same epoch-stamped intrusive chains as
+  //             the sequential engine, but only for cells it owns;
+  //   commit 1  (sequential)                  a T-way merge of the owners'
+  //             touched lists by first-touch index walks the cells in the
+  //             canonical global order, consuming the arbitration RNG
+  //             exactly as the sequential engine would (multi-requester
+  //             cells only) and assigning each cell its rank, its trace
+  //             slots, and its pre-drawn arbitration;
+  //   phase B   (parallel by cell owner)      owners serve their cells with
+  //             the pre-drawn arbitration and resume the served processors
+  //             (resumes only touch per-processor state, never shared
+  //             memory, so cross-cell order is free), then serve their
+  //             collected yielders;
+  //   commit 2  (sequential)                  the trace buffer is flushed in
+  //             canonical order, metrics shards merge, eligibility counters
+  //             apply, and the canonically-first program exception (if any)
+  //             rethrows.
+  static constexpr unsigned kOwnerStripes = 256;
+  std::vector<std::uint8_t> stripe_owner_;   // 64-cell stripe -> owning shard
+  std::unique_ptr<detail::RoundPool> pool_;  // lazily created on first run()
+  std::vector<ShardScratch> shards_;
+  std::vector<std::uint32_t> cell_count_;  // per cell: requesters this round
+  std::vector<ProcId> arb_pool_;     // pre-shuffled kCrcw groups, back to back
+  std::vector<TraceEvent> trace_buf_;  // canonical-order slots (tracing only)
+  std::vector<std::size_t> merge_cursor_;  // commit 1 scratch
+  CommitStats commit_stats_;
 };
 
 }  // namespace pram

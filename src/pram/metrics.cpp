@@ -16,6 +16,36 @@ void Metrics::begin_round(const Memory& mem) {
   }
 }
 
+void Metrics::merge_shard(Shard& s) {
+  total_ops_ += s.ops;
+  s.ops = 0;
+  stalls_ += s.stalls;
+  s.stalls = 0;
+  if (s.round_max > round_max_) round_max_ = s.round_max;
+  s.round_max = 0;
+  // Histogram buckets are already clamped (Shard::record_cell indexes by the
+  // same rule Histogram::add applies), so add(b, weight) lands each tally in
+  // its sequential bucket.
+  for (const std::uint32_t b : s.hist_touched) {
+    contention_hist_.add(b, s.hist[b]);
+    s.hist[b] = 0;
+  }
+  s.hist_touched.clear();
+  if (s.best_count > round_best_count_ ||
+      (s.best_count == round_best_count_ && s.best_count != 0 &&
+       s.best_rank < round_best_rank_)) {
+    round_best_count_ = s.best_count;
+    round_best_rank_ = s.best_rank;
+    round_best_addr_ = s.best_addr;
+  }
+  s.best_count = 0;
+  // Per-region maxima are run-level, so the shard's copy is a running max
+  // (never reset); folding with max every round is idempotent.
+  for (std::size_t r = 0; r < s.region_max.size(); ++r) {
+    if (region_max_[r] < s.region_max[r]) region_max_[r] = s.region_max[r];
+  }
+}
+
 std::map<std::string, std::size_t> Metrics::region_contention() const {
   std::map<std::string, std::size_t> out;
   for (std::size_t id = 0; id < region_max_.size(); ++id) {

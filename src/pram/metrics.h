@@ -15,6 +15,16 @@
 // region) — Metrics keeps no per-cell scratch of its own.  Region
 // attribution goes through the memory's O(1) cell -> region-id table into a
 // flat per-region vector; names are mirrored cold in begin_round.
+//
+// Parallel rounds record through per-thread Shard scratch instead, merged
+// by merge_shard at round commit.  The merge reproduces the sequential
+// accumulation exactly — including the order-sensitive hottest-cell rule,
+// which a shard resolves by carrying each candidate's first-touch rank (its
+// position in the round's canonical cell serving order) so the commit can
+// pick the cell the sequential loop would have latched.  Per-processor
+// counters (proc_ops_, finish_steps_) stay direct-write even in parallel
+// rounds: a processor is served by exactly one thread per round, and
+// ensure_procs pre-sizes both vectors so no thread ever grows them.
 #pragma once
 
 #include <cstdint>
@@ -65,14 +75,98 @@ class Metrics {
   }
   void record_stall(std::uint64_t n = 1) { stalls_ += n; }
   void end_round() {
+    // Apply the round's merged hottest-cell candidate (parallel rounds only;
+    // sequential record_cell updates the maximum directly and leaves the
+    // candidate empty).  Same rule as the inline update: strictly greater
+    // wins, so the earliest round — and, within a round, the earliest cell
+    // in first-touch order — keeps the title on ties.
+    if (round_best_count_ > max_contention_) {
+      max_contention_ = round_best_count_;
+      hottest_addr_ = round_best_addr_;
+      hottest_round_ = rounds_ + 1;
+    }
+    round_best_count_ = 0;
     ++rounds_;
     qrqw_time_ += round_max_;  // rounds with no memory traffic cost 1
   }
 
+  // --- sharded recording (parallel round engine) ---
+  //
+  // One Shard per real thread.  Cell-level records go into the shard;
+  // per-processor records write the shared vectors directly (single writer
+  // per processor per round) while counting deltas in the shard.  The
+  // machine calls merge_shard once per shard before end_round.
+  struct Shard {
+    std::uint64_t ops = 0;     // record_proc_op_sharded calls (total_ops delta)
+    std::uint64_t stalls = 0;
+    std::uint32_t round_max = 0;   // max per-cell multiplicity seen this round
+    std::uint32_t best_count = 0;  // hottest-cell candidate (0 = none)...
+    std::uint64_t best_rank = 0;   // ...with its first-touch rank and address
+    Addr best_addr = 0;
+    // Dense per-bucket tallies with a touched list, so the per-round reset in
+    // merge_shard is O(distinct counts), not O(buckets).
+    std::vector<std::uint64_t> hist;
+    std::vector<std::uint32_t> hist_touched;
+    std::vector<std::size_t> region_max;  // running per-region max (whole run)
+
+    void record_cell(Addr a, std::uint32_t count, Memory::RegionId region,
+                     std::uint64_t rank) {
+      if (count > round_max) round_max = count;
+      const std::size_t b = count < hist.size() ? count : hist.size() - 1;
+      if (hist[b]++ == 0) hist_touched.push_back(static_cast<std::uint32_t>(b));
+      if (count > best_count || (count == best_count && rank < best_rank)) {
+        best_count = count;
+        best_rank = rank;
+        best_addr = a;
+      }
+      if (region != Memory::kNoRegion) {
+        WFSORT_DCHECK(region < region_max.size());
+        if (region_max[region] < count) region_max[region] = count;
+      }
+    }
+    void record_stall(std::uint64_t n) { stalls += n; }
+  };
+
+  // Size a shard's scratch for the current bucket/region universe; call once
+  // per parallel round, after begin_round (no-op once warm).
+  void init_shard(Shard& s) const {
+    if (s.hist.size() < contention_hist_.buckets()) {
+      s.hist.resize(contention_hist_.buckets(), 0);
+    }
+    if (s.region_max.size() < region_max_.size()) {
+      s.region_max.resize(region_max_.size(), 0);
+    }
+  }
+
+  // Single-writer-per-processor variants of record_proc_op/record_proc_finish
+  // for parallel rounds: the per-processor slot is written directly, shared
+  // counters become shard deltas, and nothing resizes (ensure_procs already
+  // covers every spawned processor).
+  void record_proc_op_sharded(ProcId p, Shard& s) {
+    WFSORT_DCHECK(p < proc_ops_.size());
+    ++proc_ops_[p];
+    ++s.ops;
+  }
+  void record_proc_finish_presized(ProcId p) {
+    WFSORT_DCHECK(p < finish_steps_.size());
+    finish_steps_[p] = proc_ops_[p];
+  }
+
+  // Fold one shard's round records into this Metrics and reset the shard's
+  // round-scoped state.  Equivalent to having issued the shard's record_*
+  // calls sequentially (proved by tests/test_metrics_shard.cpp); the
+  // hottest-cell candidate is staged in the round candidate and applied by
+  // end_round so cross-shard ties resolve by first-touch rank.
+  void merge_shard(Shard& s);
+
   // Preallocate per-processor counters; called by Machine::spawn so the hot
-  // path never grows proc_ops_ one element at a time.
+  // path never grows proc_ops_ one element at a time.  finish_steps_ is
+  // pre-sized too (0 = still running, same meaning the accessors give
+  // missing entries) so parallel rounds can record finishes without a
+  // resize racing other shards.
   void ensure_procs(std::size_t n) {
     if (proc_ops_.size() < n) proc_ops_.resize(n, 0);
+    if (finish_steps_.size() < n) finish_steps_.resize(n, 0);
   }
 
   // --- queries ---
@@ -126,6 +220,12 @@ class Metrics {
   std::size_t max_contention_ = 0;
   Addr hottest_addr_ = 0;
   std::uint64_t hottest_round_ = 0;
+
+  // Round-scoped hottest-cell candidate, fed by merge_shard and applied by
+  // end_round.  Sequential rounds leave it at count 0.
+  std::uint32_t round_best_count_ = 0;
+  std::uint64_t round_best_rank_ = 0;
+  Addr round_best_addr_ = 0;
 
   wfsort::Histogram contention_hist_;
   std::vector<std::size_t> region_max_;     // indexed by Memory::RegionId

@@ -1,0 +1,99 @@
+// Persistent worker pool for the parallel round engine.
+//
+// RoundPool(T) owns T-1 OS threads; run(job) executes job(tid) for every
+// tid in [0, T), with the calling thread taking shard 0, and returns once
+// all shards have finished.  The pool exists to make a round phase cheap to
+// launch — one notify_all and one countdown wait per phase — not to
+// schedule work: partitioning shards deterministically is the caller's job
+// (see Machine::serve_round_parallel).
+//
+// All handoff goes through one mutex (dispatch is a generation counter,
+// completion a countdown), so every phase boundary is a full happens-before
+// edge: whatever shard i wrote in phase k, any shard may read in phase k+1
+// without further synchronization.  That property is what lets the round
+// engine keep its scratch in plain vectors instead of atomics.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pram::detail {
+
+class RoundPool {
+ public:
+  explicit RoundPool(unsigned shards) : shards_(shards) {
+    for (unsigned t = 1; t < shards_; ++t) {
+      threads_.emplace_back([this, t] { worker_loop(t); });
+    }
+  }
+
+  RoundPool(const RoundPool&) = delete;
+  RoundPool& operator=(const RoundPool&) = delete;
+
+  ~RoundPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& th : threads_) th.join();
+  }
+
+  unsigned shards() const { return shards_; }
+
+  // Run job(tid) on every shard; returns when all shards have finished.  Not
+  // reentrant: the job must not call run() again.
+  void run(const std::function<void(unsigned)>& job) {
+    if (shards_ <= 1) {
+      job(0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &job;
+      pending_ = shards_ - 1;
+      ++gen_;
+    }
+    work_cv_.notify_all();
+    job(0);  // the calling thread is shard 0
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void worker_loop(unsigned tid) {
+    std::uint64_t seen = 0;
+    while (true) {
+      const std::function<void(unsigned)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return stop_ || gen_ != seen; });
+        if (stop_) return;
+        seen = gen_;
+        job = job_;
+      }
+      (*job)(tid);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  unsigned shards_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t gen_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pram::detail

@@ -76,6 +76,13 @@ class Task {
   // Run the coroutine until its next suspension point (or completion).
   void resume() { handle_.resume(); }
 
+  // The exception that escaped the coroutine body, or nullptr.  Lets the
+  // parallel round engine capture a failure on a worker thread and rethrow
+  // it from the round commit instead of unwinding across the thread pool.
+  std::exception_ptr failure() const {
+    return handle_ && handle_.done() ? handle_.promise().exception : nullptr;
+  }
+
   // Rethrow any exception that escaped the coroutine body.
   void rethrow_if_failed() const {
     if (handle_ && handle_.done() && handle_.promise().exception) {

@@ -126,6 +126,11 @@ ScenarioResult run_sim_scenario(const ScenarioSpec& spec) {
   mopts.seed = spec.machine_seed;
   mopts.memory_model = spec.memory;
   mopts.max_rounds = spec.max_rounds != 0 ? spec.max_rounds : default_round_cap(spec);
+  mopts.sim_threads = spec.sim_threads;
+  // Adversary crews are small (tens of processors), so the default width
+  // threshold would route every round through the sequential engine and a
+  // multi-threaded spec would silently test nothing; force the sharded path.
+  if (spec.sim_threads > 1) mopts.par_round_min = 1;
   pram::Machine m(mopts);
   const std::unique_ptr<pram::Scheduler> sched = make_scheduler(spec.sched);
 
@@ -179,7 +184,8 @@ ScenarioResult run_sim_scenario(const ScenarioSpec& spec) {
     info.procs = spec.procs;
     info.sched = sched_family_name(spec.sched.family);
     info.seed = spec.machine_seed;
-    res.stats = telemetry::sim_stats_json(info, m.metrics());
+    info.sim_threads = spec.sim_threads;
+    res.stats = telemetry::sim_stats_json(info, m.metrics(), &m.commit_stats());
   }
 
   if (oracle != nullptr && oracle->violated()) {

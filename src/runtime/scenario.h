@@ -51,6 +51,12 @@ struct ScenarioSpec {
   pram::MemoryModel memory = pram::MemoryModel::kCrcw;
   std::uint64_t max_rounds = 0;  // 0 = default_round_cap()
   SchedSpec sched;
+  // Real threads sharding the round engine.  Deliberately NOT serialized
+  // into scenario/artifact JSON: observables are bit-identical at any value
+  // (tests/test_determinism.cpp), so it is a property of the run host, not
+  // of the scenario — an artifact recorded at 4 threads replays exactly on
+  // a 1-thread machine and vice versa.
+  std::uint32_t sim_threads = 1;
 
   // Native engine randomness (Options::seed).
   std::uint64_t sort_seed = 0x50535a97ULL;

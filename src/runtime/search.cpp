@@ -159,6 +159,8 @@ ProbeReport probe_scenario(const ScenarioSpec& spec) {
   mopts.seed = spec.machine_seed;
   mopts.memory_model = spec.memory;
   mopts.max_rounds = spec.max_rounds != 0 ? spec.max_rounds : default_round_cap(spec);
+  mopts.sim_threads = spec.sim_threads;
+  if (spec.sim_threads > 1) mopts.par_round_min = 1;  // as in run_sim_scenario
   pram::Machine m(mopts);
   const std::unique_ptr<pram::Scheduler> sched = make_scheduler(spec.sched);
 

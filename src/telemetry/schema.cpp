@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/options.h"
+#include "pram/machine.h"
 #include "pram/metrics.h"
 
 namespace wfsort::telemetry {
@@ -234,7 +235,8 @@ Json native_stats_json(const NativeRunInfo& info, const SortStats& stats) {
   return doc;
 }
 
-Json sim_stats_json(const SimRunInfo& info, const pram::Metrics& metrics) {
+Json sim_stats_json(const SimRunInfo& info, const pram::Metrics& metrics,
+                    const pram::CommitStats* commit) {
   Json doc = Json::object();
   doc.set("schema", kStatsSchema);
   doc.set("substrate", "sim");
@@ -246,6 +248,8 @@ Json sim_stats_json(const SimRunInfo& info, const pram::Metrics& metrics) {
   config.set("procs", static_cast<std::uint64_t>(info.procs));
   config.set("sched", info.sched);
   config.set("seed", info.seed);
+  config.set("engine", info.sim_threads > 1 ? "par" : "seq");
+  config.set("sim_threads", static_cast<std::uint64_t>(info.sim_threads));
   doc.set("config", std::move(config));
 
   Json totals = Json::object();
@@ -257,11 +261,37 @@ Json sim_stats_json(const SimRunInfo& info, const pram::Metrics& metrics) {
   totals.set("max_finish_steps", metrics.max_finish_steps());
   doc.set("totals", std::move(totals));
 
-  doc.set("phases", Json::array());
+  // Per-shard busy-time spans for parallel runs (sequential runs keep the
+  // empty phases array the schema has always emitted).
+  Json phases = Json::array();
+  if (commit != nullptr && info.sim_threads > 1) {
+    for (std::size_t t = 0; t < commit->shard_busy_ns.size(); ++t) {
+      const double ms = static_cast<double>(commit->shard_busy_ns[t]) / 1e6;
+      Json ph = Json::object();
+      ph.set("name", "shard" + std::to_string(t));
+      ph.set("max_ms", ms);
+      ph.set("total_ms", ms);
+      ph.set("workers", std::uint64_t{1});
+      phases.push_back(std::move(ph));
+    }
+  }
+  doc.set("phases", std::move(phases));
 
   Json counters = Json::object();
   counters.set("total_ops", metrics.total_ops());
   counters.set("stalls", metrics.stalls());
+  if (commit != nullptr && info.sim_threads > 1) {
+    Json sc = Json::object();
+    sc.set("par_rounds", commit->par_rounds);
+    sc.set("seq_rounds", commit->seq_rounds);
+    sc.set("shards", static_cast<std::uint64_t>(commit->shards));
+    sc.set("collect_ns", commit->collect_ns);
+    sc.set("group_ns", commit->group_ns);
+    sc.set("arb_ns", commit->arb_ns);
+    sc.set("serve_ns", commit->serve_ns);
+    sc.set("merge_ns", commit->merge_ns);
+    counters.set("sim_commit", std::move(sc));
+  }
   doc.set("counters", std::move(counters));
 
   Json hists = Json::object();
@@ -313,6 +343,25 @@ bool validate_stats_json(const Json& doc, std::string* error,
     return false;
   }
   if (!check_key(doc, "config", Json::Type::kObject, error)) return false;
+  if (substrate == "sim") {
+    // A run stamped as parallel-engine must say how parallel: downstream
+    // throughput comparisons are meaningless without the shard count, so
+    // reject engine="par" documents that omit or contradict it.
+    const Json& config = doc.at("config");
+    const Json* engine = config.find("engine");
+    if (engine != nullptr && engine->type() == Json::Type::kString &&
+        engine->as_string() == "par") {
+      const Json* threads = config.find("sim_threads");
+      if (threads == nullptr) {
+        *error = "sim config has engine=par but no sim_threads";
+        return false;
+      }
+      if (threads->as_u64() < 2) {
+        *error = "sim config has engine=par but sim_threads < 2";
+        return false;
+      }
+    }
+  }
   if (!check_key(doc, "totals", Json::Type::kObject, error)) return false;
   if (!check_key(doc, "phases", Json::Type::kArray, error)) return false;
   if (!check_key(doc, "counters", Json::Type::kObject, error)) return false;

@@ -24,6 +24,7 @@
 
 namespace pram {
 class Metrics;
+struct CommitStats;
 }
 
 namespace wfsort {
@@ -66,6 +67,7 @@ struct SimRunInfo {
   std::uint32_t procs = 0;
   std::string sched;
   std::uint64_t seed = 0;
+  std::uint32_t sim_threads = 1;  // round-engine shards (config.engine = "par" when > 1)
 };
 
 // Log2 histogram -> {"kind":"log2", total, sum, max, mean, counts:[...]}
@@ -77,8 +79,13 @@ Json histogram_json(const LogHistogram& h);
 // counters and phase times at Level::kOff.
 Json native_stats_json(const NativeRunInfo& info, const SortStats& stats);
 
-// One simulated run, from the machine's Metrics.
-Json sim_stats_json(const SimRunInfo& info, const pram::Metrics& metrics);
+// One simulated run, from the machine's Metrics.  When `commit` is given and
+// the run used the sharded round engine, the document additionally carries
+// the "sim_commit" counter group (per-phase nanoseconds and round counts of
+// the two-phase commit) and one phase span per shard ("shard<i>", busy time
+// across all round phases).
+Json sim_stats_json(const SimRunInfo& info, const pram::Metrics& metrics,
+                    const pram::CommitStats* commit = nullptr);
 
 // Structural validation of a stats document (schema name, required keys,
 // key types).  Returns false and sets *error on the first violation.

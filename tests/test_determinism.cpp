@@ -15,14 +15,24 @@
 // one-winner-per-round CAS property, wait-free step bounds) hold in both.
 // First-touch order is the defined behavior from here on.
 //
+// Every golden is checked at sim_threads 1, 2, and 4 (par_round_min = 1 so
+// even narrow rounds go through the sharded engine): MachineOptions::
+// sim_threads is a throughput knob, never a behavior knob, and this suite is
+// what pins that contract.  ParallelEngineFullObservables goes beyond the
+// fingerprint and compares the complete metrics surface — per-cell
+// contention histogram, region attribution, hottest cell/round, per-
+// processor op and finish-step vectors — between thread counts.
+//
 // If an *intentional* behavior change ever touches these numbers, re-record
 // by running this binary and copying the "recorded:" lines it prints.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <iostream>
+#include <map>
 #include <numeric>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -32,6 +42,10 @@
 #include "pramsort/driver.h"
 
 namespace {
+
+// Thread counts every golden is exercised at.  1 is the sequential engine;
+// 2 and 4 shard the same rounds and must not change a single observable.
+constexpr std::uint32_t kThreadSweep[] = {1, 2, 4};
 
 struct RunFingerprint {
   std::uint64_t rounds = 0;
@@ -58,6 +72,12 @@ std::vector<pram::Word> golden_keys(std::size_t n, std::uint64_t seed) {
   return keys;
 }
 
+pram::MachineOptions machine_opts(pram::MemoryModel model, std::uint32_t sim_threads) {
+  return pram::MachineOptions{.memory_model = model,
+                              .sim_threads = sim_threads,
+                              .par_round_min = 1};
+}
+
 RunFingerprint fingerprint(const pram::Machine& m, const pram::RunResult& run,
                            const pram::HashTracer& tracer) {
   return RunFingerprint{run.rounds,
@@ -69,19 +89,25 @@ RunFingerprint fingerprint(const pram::Machine& m, const pram::RunResult& run,
 }
 
 RunFingerprint det_sort_fingerprint(pram::MemoryModel model, std::size_t n, std::uint32_t procs,
-                                    pram::Scheduler& sched) {
-  pram::Machine m(pram::MachineOptions{.memory_model = model});
+                                    pram::Scheduler& sched, std::uint32_t sim_threads = 1) {
+  pram::Machine m(machine_opts(model, sim_threads));
   pram::HashTracer tracer;
   m.set_tracer(&tracer);
   auto keys = golden_keys(n, /*seed=*/1234);
   auto res = wfsort::sim::run_det_sort(m, keys, procs, sched);
   EXPECT_TRUE(res.run.all_finished);
   EXPECT_TRUE(res.sorted);
+  if (sim_threads > 1) {
+    // Every served round must actually have gone through the sharded engine.
+    EXPECT_GT(m.commit_stats().par_rounds, 0u);
+    EXPECT_EQ(m.commit_stats().seq_rounds, 0u);
+  }
   return fingerprint(m, res.run, tracer);
 }
 
-RunFingerprint lc_sort_fingerprint(std::size_t n, std::uint32_t procs) {
-  pram::Machine m;
+RunFingerprint lc_sort_fingerprint(std::size_t n, std::uint32_t procs,
+                                   std::uint32_t sim_threads = 1) {
+  pram::Machine m(machine_opts(pram::MemoryModel::kCrcw, sim_threads));
   pram::HashTracer tracer;
   m.set_tracer(&tracer);
   auto keys = golden_keys(n, /*seed=*/98765);
@@ -91,14 +117,16 @@ RunFingerprint lc_sort_fingerprint(std::size_t n, std::uint32_t procs) {
   return fingerprint(m, res.run, tracer);
 }
 
-void check(const char* label, const RunFingerprint& golden, const RunFingerprint& actual) {
-  std::cout << "recorded: " << label << " = " << actual << "\n";
-  EXPECT_EQ(golden.rounds, actual.rounds) << label;
-  EXPECT_EQ(golden.total_ops, actual.total_ops) << label;
-  EXPECT_EQ(golden.max_cell_contention, actual.max_cell_contention) << label;
-  EXPECT_EQ(golden.qrqw_time, actual.qrqw_time) << label;
-  EXPECT_EQ(golden.trace_events, actual.trace_events) << label;
-  EXPECT_EQ(golden.trace_hash, actual.trace_hash) << label;
+void check(const char* label, const RunFingerprint& golden, const RunFingerprint& actual,
+           std::uint32_t sim_threads = 1) {
+  if (sim_threads == 1) std::cout << "recorded: " << label << " = " << actual << "\n";
+  EXPECT_EQ(golden.rounds, actual.rounds) << label << " t=" << sim_threads;
+  EXPECT_EQ(golden.total_ops, actual.total_ops) << label << " t=" << sim_threads;
+  EXPECT_EQ(golden.max_cell_contention, actual.max_cell_contention)
+      << label << " t=" << sim_threads;
+  EXPECT_EQ(golden.qrqw_time, actual.qrqw_time) << label << " t=" << sim_threads;
+  EXPECT_EQ(golden.trace_events, actual.trace_events) << label << " t=" << sim_threads;
+  EXPECT_EQ(golden.trace_hash, actual.trace_hash) << label << " t=" << sim_threads;
 }
 
 // Goldens recorded from the pre-flat-array engine (see file comment).
@@ -114,31 +142,41 @@ constexpr RunFingerprint kLcSync = {790ULL, 67108ULL, 23ULL, 2719ULL, 67108ULL,
                                     0x116e149013b09f7dULL};
 
 TEST(Determinism, DetSortSynchronousCrcwMatchesGolden) {
-  pram::SynchronousScheduler sched;
-  check("kDetSyncCrcw", kDetSyncCrcw,
-        det_sort_fingerprint(pram::MemoryModel::kCrcw, /*n=*/96, /*procs=*/96, sched));
+  for (std::uint32_t t : kThreadSweep) {
+    pram::SynchronousScheduler sched;
+    check("kDetSyncCrcw", kDetSyncCrcw,
+          det_sort_fingerprint(pram::MemoryModel::kCrcw, /*n=*/96, /*procs=*/96, sched, t), t);
+  }
 }
 
 TEST(Determinism, DetSortSynchronousStallMatchesGolden) {
-  pram::SynchronousScheduler sched;
-  check("kDetSyncStall", kDetSyncStall,
-        det_sort_fingerprint(pram::MemoryModel::kStall, /*n=*/64, /*procs=*/64, sched));
+  for (std::uint32_t t : kThreadSweep) {
+    pram::SynchronousScheduler sched;
+    check("kDetSyncStall", kDetSyncStall,
+          det_sort_fingerprint(pram::MemoryModel::kStall, /*n=*/64, /*procs=*/64, sched, t), t);
+  }
 }
 
 TEST(Determinism, DetSortRoundRobinMatchesGolden) {
-  pram::RoundRobinScheduler sched(/*width=*/3);
-  check("kDetRoundRobin", kDetRoundRobin,
-        det_sort_fingerprint(pram::MemoryModel::kCrcw, /*n=*/32, /*procs=*/32, sched));
+  for (std::uint32_t t : kThreadSweep) {
+    pram::RoundRobinScheduler sched(/*width=*/3);
+    check("kDetRoundRobin", kDetRoundRobin,
+          det_sort_fingerprint(pram::MemoryModel::kCrcw, /*n=*/32, /*procs=*/32, sched, t), t);
+  }
 }
 
 TEST(Determinism, DetSortHalfFreezeMatchesGolden) {
-  pram::HalfFreezeScheduler sched(/*period=*/4);
-  check("kDetHalfFreeze", kDetHalfFreeze,
-        det_sort_fingerprint(pram::MemoryModel::kCrcw, /*n=*/48, /*procs=*/48, sched));
+  for (std::uint32_t t : kThreadSweep) {
+    pram::HalfFreezeScheduler sched(/*period=*/4);
+    check("kDetHalfFreeze", kDetHalfFreeze,
+          det_sort_fingerprint(pram::MemoryModel::kCrcw, /*n=*/48, /*procs=*/48, sched, t), t);
+  }
 }
 
 TEST(Determinism, LcSortSynchronousMatchesGolden) {
-  check("kLcSync", kLcSync, lc_sort_fingerprint(/*n=*/96, /*procs=*/96));
+  for (std::uint32_t t : kThreadSweep) {
+    check("kLcSync", kLcSync, lc_sort_fingerprint(/*n=*/96, /*procs=*/96, t), t);
+  }
 }
 
 // The fingerprint must also be stable across repeated runs in one process
@@ -148,6 +186,59 @@ TEST(Determinism, RepeatedRunsAreBitIdentical) {
   const auto a = det_sort_fingerprint(pram::MemoryModel::kCrcw, 64, 64, s1);
   const auto b = det_sort_fingerprint(pram::MemoryModel::kCrcw, 64, 64, s2);
   EXPECT_EQ(a, b);
+}
+
+// Beyond the fingerprint: the parallel engine must reproduce the *entire*
+// metrics surface, including the order-sensitive pieces (which cell holds
+// the hottest-cell title on ties, and in which round it was set), the full
+// contention histogram, per-region attribution, and both per-processor step
+// vectors.
+TEST(Determinism, ParallelEngineFullObservables) {
+  struct Observed {
+    RunFingerprint fp;
+    std::vector<std::uint64_t> hist;
+    std::map<std::string, std::size_t> regions;
+    pram::Addr hottest_addr;
+    std::uint64_t hottest_round;
+    std::uint64_t stalls;
+    std::vector<std::uint64_t> proc_ops;
+    std::vector<std::uint64_t> finish_steps;
+  };
+  auto observe = [](pram::MemoryModel model, std::uint32_t sim_threads) {
+    pram::Machine m(machine_opts(model, sim_threads));
+    pram::HashTracer tracer;
+    m.set_tracer(&tracer);
+    pram::HalfFreezeScheduler sched(/*period=*/4);
+    auto keys = golden_keys(/*n=*/80, /*seed=*/424242);
+    auto res = wfsort::sim::run_det_sort(m, keys, /*procs=*/80, sched);
+    EXPECT_TRUE(res.sorted);
+    const pram::Metrics& mx = m.metrics();
+    Observed o;
+    o.fp = fingerprint(m, res.run, tracer);
+    const wfsort::Histogram& h = mx.contention_histogram();
+    for (std::size_t b = 0; b < h.buckets(); ++b) o.hist.push_back(h.count(b));
+    o.regions = mx.region_contention();
+    o.hottest_addr = mx.hottest_addr();
+    o.hottest_round = mx.hottest_round();
+    o.stalls = mx.stalls();
+    o.proc_ops = mx.proc_ops();
+    o.finish_steps = mx.finish_steps();
+    return o;
+  };
+  for (pram::MemoryModel model : {pram::MemoryModel::kCrcw, pram::MemoryModel::kStall}) {
+    const Observed seq = observe(model, 1);
+    for (std::uint32_t t : {2u, 4u}) {
+      const Observed par = observe(model, t);
+      EXPECT_EQ(seq.fp, par.fp) << "t=" << t;
+      EXPECT_EQ(seq.hist, par.hist) << "t=" << t;
+      EXPECT_EQ(seq.regions, par.regions) << "t=" << t;
+      EXPECT_EQ(seq.hottest_addr, par.hottest_addr) << "t=" << t;
+      EXPECT_EQ(seq.hottest_round, par.hottest_round) << "t=" << t;
+      EXPECT_EQ(seq.stalls, par.stalls) << "t=" << t;
+      EXPECT_EQ(seq.proc_ops, par.proc_ops) << "t=" << t;
+      EXPECT_EQ(seq.finish_steps, par.finish_steps) << "t=" << t;
+    }
+  }
 }
 
 }  // namespace

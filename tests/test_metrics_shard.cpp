@@ -1,0 +1,222 @@
+// Shard-merge equivalence for pram::Metrics.
+//
+// The parallel round engine records cell-level metrics into per-thread
+// Metrics::Shard scratch and folds them in with merge_shard at round commit.
+// These tests prove the contract that makes that legal: issuing a round's
+// record_* calls through any partition of the cells into shards — in any
+// per-shard order — then merging, yields exactly the state the sequential
+// record path produces, including the order-sensitive observables (which
+// cell holds the hottest-cell title on ties, and in which round).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "pram/memory.h"
+#include "pram/metrics.h"
+
+namespace {
+
+using pram::Addr;
+using pram::Memory;
+using pram::Metrics;
+using pram::ProcId;
+
+// One round's worth of cell records, in the canonical (first-touch) order
+// the sequential engine would serve them.
+struct CellRecord {
+  Addr addr;
+  std::uint32_t count;
+  Memory::RegionId region;
+};
+
+struct RoundScript {
+  std::vector<CellRecord> cells;
+  std::vector<ProcId> op_procs;   // record_proc_op stream
+  std::vector<ProcId> finishers;  // record_proc_finish at round end
+  std::uint64_t stalls = 0;
+};
+
+// Every aggregate observable Metrics exposes, for whole-state comparison.
+struct Snapshot {
+  std::uint64_t rounds, total_ops, stalls, qrqw_time;
+  std::size_t max_contention;
+  Addr hottest_addr;
+  std::uint64_t hottest_round;
+  std::vector<std::uint64_t> hist;
+  std::map<std::string, std::size_t> regions;
+  std::vector<std::uint64_t> proc_ops;
+  std::vector<std::uint64_t> finish_steps;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+Snapshot snapshot(const Metrics& m) {
+  Snapshot s{m.rounds(),       m.total_ops(),     m.stalls(),
+             m.qrqw_time(),    m.max_cell_contention(), m.hottest_addr(),
+             m.hottest_round(), {},               m.region_contention(),
+             m.proc_ops(),     m.finish_steps()};
+  const wfsort::Histogram& h = m.contention_histogram();
+  for (std::size_t b = 0; b < h.buckets(); ++b) s.hist.push_back(h.count(b));
+  return s;
+}
+
+// Apply the script through the sequential record path.
+void run_sequential(Metrics& m, const Memory& mem, const std::vector<RoundScript>& rounds,
+                    std::size_t nprocs) {
+  m.ensure_procs(nprocs);
+  for (const RoundScript& r : rounds) {
+    m.begin_round(mem);
+    for (const CellRecord& c : r.cells) m.record_cell(c.addr, c.count, c.region);
+    for (ProcId p : r.op_procs) m.record_proc_op(p);
+    if (r.stalls != 0) m.record_stall(r.stalls);
+    for (ProcId p : r.finishers) m.record_proc_finish(p);
+    m.end_round();
+  }
+}
+
+// Apply the same script through `nshards` shards.  Cell i goes to shard
+// i % nshards with rank i (its canonical position); to exercise order
+// independence within a shard, each shard replays its cells in reverse.
+void run_sharded(Metrics& m, const Memory& mem, const std::vector<RoundScript>& rounds,
+                 std::size_t nprocs, unsigned nshards) {
+  m.ensure_procs(nprocs);
+  std::vector<Metrics::Shard> shards(nshards);
+  for (const RoundScript& r : rounds) {
+    m.begin_round(mem);
+    for (Metrics::Shard& s : shards) m.init_shard(s);
+    std::vector<std::vector<std::pair<std::uint64_t, CellRecord>>> per_shard(nshards);
+    for (std::size_t i = 0; i < r.cells.size(); ++i) {
+      per_shard[i % nshards].emplace_back(i, r.cells[i]);
+    }
+    for (unsigned t = 0; t < nshards; ++t) {
+      for (auto it = per_shard[t].rbegin(); it != per_shard[t].rend(); ++it) {
+        shards[t].record_cell(it->second.addr, it->second.count, it->second.region, it->first);
+      }
+    }
+    for (std::size_t i = 0; i < r.op_procs.size(); ++i) {
+      m.record_proc_op_sharded(r.op_procs[i], shards[i % nshards]);
+    }
+    if (r.stalls != 0) shards[r.stalls % nshards].record_stall(r.stalls);
+    for (ProcId p : r.finishers) m.record_proc_finish_presized(p);
+    for (Metrics::Shard& s : shards) m.merge_shard(s);
+    m.end_round();
+  }
+}
+
+std::vector<RoundScript> random_script(std::uint64_t seed, std::size_t nrounds,
+                                       std::size_t nprocs, const Memory& mem) {
+  wfsort::Rng rng(seed);
+  std::vector<RoundScript> rounds(nrounds);
+  std::vector<ProcId> unfinished(nprocs);
+  for (std::size_t p = 0; p < nprocs; ++p) unfinished[p] = static_cast<ProcId>(p);
+  for (RoundScript& r : rounds) {
+    const std::size_t ncells = rng.below(12) + 1;
+    for (std::size_t c = 0; c < ncells; ++c) {
+      const Addr a = static_cast<Addr>(rng.below(mem.size()));
+      // Small counts force ties, the order-sensitive case merge_shard must
+      // resolve by rank; occasional spikes move the global maximum.
+      const std::uint32_t count =
+          rng.below(10) == 0 ? static_cast<std::uint32_t>(rng.below(64) + 1)
+                             : static_cast<std::uint32_t>(rng.below(3) + 1);
+      r.cells.push_back(CellRecord{a, count, mem.region_id_of(a)});
+    }
+    const std::size_t nops = rng.below(20) + 1;
+    for (std::size_t i = 0; i < nops; ++i) {
+      r.op_procs.push_back(static_cast<ProcId>(rng.below(nprocs)));
+    }
+    if (rng.coin()) r.stalls = rng.below(8) + 1;
+    if (!unfinished.empty() && rng.below(3) == 0) {
+      const std::size_t k = rng.below(unfinished.size());
+      r.finishers.push_back(unfinished[k]);
+      unfinished.erase(unfinished.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+  }
+  return rounds;
+}
+
+class MetricsShard : public ::testing::Test {
+ protected:
+  MetricsShard() {
+    mem_.alloc("tree", 64, 0);
+    mem_.alloc("done", 16, 0);
+    mem_.alloc("out", 48, 0);
+  }
+  Memory mem_;
+};
+
+TEST_F(MetricsShard, MergeMatchesSequentialAccumulation) {
+  constexpr std::size_t kProcs = 24;
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 2026ULL}) {
+    const auto script = random_script(seed, /*nrounds=*/200, kProcs, mem_);
+    Metrics seq(/*histogram_buckets=*/32);
+    run_sequential(seq, mem_, script, kProcs);
+    for (unsigned nshards : {1u, 2u, 3u, 4u, 8u}) {
+      Metrics par(/*histogram_buckets=*/32);
+      run_sharded(par, mem_, script, kProcs, nshards);
+      EXPECT_EQ(snapshot(seq), snapshot(par)) << "seed=" << seed << " shards=" << nshards;
+    }
+  }
+}
+
+// Ties on the maximum count must resolve to the cell with the smallest
+// rank — the first one in canonical order — no matter which shard saw it.
+TEST_F(MetricsShard, HottestCellTieResolvesByRank) {
+  Metrics seq(16), par(16);
+  const std::vector<RoundScript> script = {
+      {{{/*addr=*/70, 5, mem_.region_id_of(70)},   // rank 0: first cell at max 5
+        {/*addr=*/3, 5, mem_.region_id_of(3)},     // rank 1: tie, must lose
+        {/*addr=*/100, 4, mem_.region_id_of(100)}},
+       {},
+       {},
+       0}};
+  run_sequential(seq, mem_, script, 1);
+  run_sharded(par, mem_, script, 1, /*nshards=*/3);  // ranks 0 and 1 on different shards
+  EXPECT_EQ(seq.hottest_addr(), 70u);
+  EXPECT_EQ(par.hottest_addr(), 70u);
+  EXPECT_EQ(snapshot(seq), snapshot(par));
+}
+
+// A later round may only take the hottest-cell title with a strictly
+// greater count — equal-count cells in later rounds must not steal it.
+TEST_F(MetricsShard, LaterRoundEqualCountKeepsEarlierTitle) {
+  Metrics seq(16), par(16);
+  const std::vector<RoundScript> script = {
+      {{{/*addr=*/10, 6, mem_.region_id_of(10)}}, {}, {}, 0},
+      {{{/*addr=*/90, 6, mem_.region_id_of(90)}}, {}, {}, 0}};
+  run_sequential(seq, mem_, script, 1);
+  run_sharded(par, mem_, script, 1, /*nshards=*/2);
+  EXPECT_EQ(seq.hottest_addr(), 10u);
+  EXPECT_EQ(seq.hottest_round(), 1u);
+  EXPECT_EQ(snapshot(seq), snapshot(par));
+}
+
+// Shards may be reused across rounds (the machine reuses its scratch);
+// merge_shard must fully reset round-scoped state.
+TEST_F(MetricsShard, ShardReuseAcrossRoundsIsClean) {
+  Metrics m(16);
+  Metrics::Shard s;
+  m.begin_round(mem_);
+  m.init_shard(s);
+  s.record_cell(5, 9, mem_.region_id_of(5), 0);
+  s.record_stall(3);
+  m.merge_shard(s);
+  m.end_round();
+  // Second round: the shard carries no residue, so a quiet round records a
+  // quiet round.
+  m.begin_round(mem_);
+  m.init_shard(s);
+  s.record_cell(6, 2, mem_.region_id_of(6), 0);
+  m.merge_shard(s);
+  m.end_round();
+  EXPECT_EQ(m.max_cell_contention(), 9u);
+  EXPECT_EQ(m.hottest_round(), 1u);
+  EXPECT_EQ(m.stalls(), 3u);
+  EXPECT_EQ(m.qrqw_time(), 9u + 2u);
+  EXPECT_EQ(m.contention_histogram().total(), 2u);
+}
+
+}  // namespace

@@ -55,7 +55,7 @@ std::vector<AdversaryCase> adversary_cases(std::uint32_t procs) {
   };
 }
 
-void certify(std::uint64_t n) {
+void certify(std::uint64_t n, std::uint32_t sim_threads = 1) {
   constexpr std::uint32_t kProcs = 16;
   const std::uint64_t bound = certified_bound(n);
 
@@ -65,6 +65,7 @@ void certify(std::uint64_t n) {
   spec.procs = kProcs;
   spec.variant = rt::SortKind::kDet;
   spec.own_step_bound = bound;
+  spec.sim_threads = sim_threads;
 
   for (const rt::SchedSpec& sched : rt::all_sched_specs(kProcs, 0xce27u)) {
     for (const AdversaryCase& adv : adversary_cases(kProcs)) {
@@ -90,6 +91,91 @@ TEST(WaitFreeCert, EveryScheduleAndAdversaryAtN256) {
 
 TEST(WaitFreeCert, EveryScheduleAndAdversaryAtN1024) {
   certify(1024);
+}
+
+// The same universal sweep through the sharded round engine: wait-freedom
+// certification is about observables, and sim_threads must not change one.
+TEST(WaitFreeCert, EveryScheduleAndAdversaryAtN256Parallel) {
+  certify(256, /*sim_threads=*/4);
+}
+
+// Per-scenario accounting must be identical between engines, not merely
+// within the bound: every scheduler family crossed with every adversary
+// yields the same round count, op count, contention, and own-step maximum
+// at 4 threads as at 1.
+TEST(WaitFreeCert, ParallelEngineAccountingMatchesSequential) {
+  constexpr std::uint32_t kProcs = 16;
+  rt::ScenarioSpec spec;
+  spec.substrate = rt::Substrate::kSim;
+  spec.n = 256;
+  spec.procs = kProcs;
+  spec.own_step_bound = certified_bound(spec.n);
+  for (const rt::SchedSpec& sched : rt::all_sched_specs(kProcs, 0xce27u)) {
+    for (const AdversaryCase& adv : adversary_cases(kProcs)) {
+      spec.sched = sched;
+      spec.script = adv.script;
+      spec.sim_threads = 1;
+      const rt::ScenarioResult seq = rt::run_scenario(spec);
+      spec.sim_threads = 4;
+      const rt::ScenarioResult par = rt::run_scenario(spec);
+      const std::string label = std::string(rt::sched_family_name(sched.family)) + "/" +
+                                adv.name;
+      EXPECT_EQ(seq.failure, par.failure) << label;
+      EXPECT_EQ(seq.detail, par.detail) << label;
+      EXPECT_EQ(seq.rounds, par.rounds) << label;
+      EXPECT_EQ(seq.total_ops, par.total_ops) << label;
+      EXPECT_EQ(seq.max_contention, par.max_contention) << label;
+      EXPECT_EQ(seq.max_finish_steps, par.max_finish_steps) << label;
+    }
+  }
+}
+
+// A failure artifact recorded under the parallel engine is byte-for-byte
+// the artifact the sequential engine records (sim_threads is a host
+// property, deliberately absent from the serialized spec), and it replays
+// to the exact recorded failure under either engine.
+TEST(WaitFreeCert, ReplayArtifactRoundTripsAcrossEngines) {
+  rt::ScenarioSpec spec;
+  spec.substrate = rt::Substrate::kSim;
+  spec.n = 256;
+  spec.procs = 16;
+  spec.script = rt::staggered_kills(32, 48, spec.procs, 4);
+  // A bound below the faultless per-processor cost fails deterministically,
+  // giving the artifact a real FaultScript and a real failure to carry.
+  spec.own_step_bound = 16;
+
+  auto make_artifact = [&spec](std::uint32_t sim_threads) {
+    rt::ScenarioSpec s = spec;
+    s.sim_threads = sim_threads;
+    const rt::ScenarioResult res = rt::run_scenario(s);
+    EXPECT_EQ(res.failure, rt::FailureKind::kOwnStep) << "t=" << sim_threads;
+    rt::ReplayArtifact a;
+    a.spec = s;
+    a.failure = res.failure;
+    a.detail = res.detail;
+    // observed stays null: the stats document embeds wall-clock shard spans,
+    // which are the one legitimately nondeterministic part of a run.
+    return a;
+  };
+  const rt::ReplayArtifact seq = make_artifact(1);
+  const rt::ReplayArtifact par = make_artifact(4);
+  EXPECT_EQ(rt::artifact_to_text(seq), rt::artifact_to_text(par));
+
+  const std::string path = ::testing::TempDir() + "/wfsort_par_repro.json";
+  ASSERT_TRUE(rt::write_artifact(par, path));
+  rt::ReplayArtifact loaded;
+  std::string error;
+  ASSERT_TRUE(rt::load_artifact(path, &loaded, &error)) << error;
+  EXPECT_EQ(rt::artifact_to_text(loaded), rt::artifact_to_text(par));
+
+  // Replay the loaded artifact under both engines; each must reproduce the
+  // recorded failure exactly (kind and detail).
+  for (std::uint32_t t : {1u, 4u}) {
+    loaded.spec.sim_threads = t;
+    const rt::ReplayOutcome outcome = rt::replay(loaded);
+    EXPECT_TRUE(outcome.reproduced) << "t=" << t;
+    EXPECT_TRUE(outcome.exact) << "t=" << t;
+  }
 }
 
 // The lone-survivor scenario is the bound's worst case: one processor must

@@ -11,17 +11,30 @@
 # never be committed.
 #
 # Usage:
-#   tools/run_sim_bench.sh [build-dir] [extra benchmark args...]
+#   tools/run_sim_bench.sh [build-dir] [--threads N] [extra benchmark args...]
 #
 # The build directory defaults to ./build and must already contain a
 # configured build; the script builds (only) the bench_sim_perf target in it.
-# Extra arguments are forwarded to the benchmark binary, e.g.:
+# --threads N runs the committed stats sample through the sharded round
+# engine (wfsort sim --sim-threads=N), stamping engine=par into
+# BENCH_sim_stats.json; the benchmark binary always sweeps its own simt
+# dimension regardless.  Extra arguments are forwarded to the benchmark
+# binary, e.g.:
 #   tools/run_sim_bench.sh build --benchmark_filter='DetSort' --benchmark_min_time=2
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 shift $(( $# > 0 ? 1 : 0 ))
+
+sim_threads=1
+if [[ "${1:-}" == "--threads" ]]; then
+  sim_threads="$2"
+  shift 2
+elif [[ "${1:-}" == --threads=* ]]; then
+  sim_threads="${1#--threads=}"
+  shift 1
+fi
 
 if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
   echo "error: '$build_dir' is not a configured CMake build directory" >&2
@@ -46,6 +59,6 @@ out="$repo_root/BENCH_sim_perf.json"
 "$build_dir/tools/wfsort" validate "$out" --require-release
 echo "wrote $out"
 
-"$build_dir/tools/wfsort" sim --n=4096 --procs=256 \
+"$build_dir/tools/wfsort" sim --n=4096 --procs=256 --sim-threads="$sim_threads" \
   --stats-json="$repo_root/BENCH_sim_stats.json"
 "$build_dir/tools/wfsort" validate "$repo_root/BENCH_sim_stats.json" --require-release

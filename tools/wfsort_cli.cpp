@@ -525,6 +525,7 @@ int run_sim(const wfsort::CliFlags& flags) {
 
   pram::MachineOptions mopts;
   if (flags.str("memory") == "stall") mopts.memory_model = pram::MemoryModel::kStall;
+  mopts.sim_threads = static_cast<std::uint32_t>(flags.u64("sim-threads"));
   pram::Machine m(mopts);
 
   pram::RingTracer tracer(flags.u64("trace"));
@@ -597,7 +598,10 @@ int run_sim(const wfsort::CliFlags& flags) {
     info.procs = procs;
     info.sched = s;
     info.seed = flags.u64("seed");
-    if (!write_json(tel::sim_stats_json(info, m.metrics()), stats_path)) return 2;
+    info.sim_threads = static_cast<std::uint32_t>(flags.u64("sim-threads"));
+    if (!write_json(tel::sim_stats_json(info, m.metrics(), &m.commit_stats()), stats_path)) {
+      return 2;
+    }
   }
   return sorted ? 0 : 1;
 }
@@ -627,6 +631,7 @@ wfsort::runtime::ScenarioSpec spec_from_flags(const wfsort::CliFlags& flags) {
     std::exit(2);
   }
   if (flags.str("memory") == "stall") spec.memory = pram::MemoryModel::kStall;
+  spec.sim_threads = static_cast<std::uint32_t>(flags.u64("sim-threads"));
   return spec;
 }
 
@@ -689,6 +694,10 @@ int run_replay(const wfsort::CliFlags& flags) {
   }
   std::fprintf(stderr, "replaying %s (recorded failure: %s)\n", path.c_str(),
                wfsort::runtime::failure_kind_name(artifact.failure));
+  // sim_threads is a host property, never serialized (see ScenarioSpec);
+  // the replay runs at whatever this invocation asks for and must reproduce
+  // the recorded failure regardless.
+  artifact.spec.sim_threads = static_cast<std::uint32_t>(flags.u64("sim-threads"));
   const wfsort::runtime::ReplayOutcome outcome = wfsort::runtime::replay(artifact);
   std::fprintf(stderr, "result: %s%s%s\n",
                wfsort::runtime::failure_kind_name(outcome.result.failure),
@@ -732,6 +741,9 @@ int main(int argc, char** argv) {
   flags.add_u64("procs", 256, "virtual processors (sim mode)");
   flags.add_u64("seed", 1, "workload / randomized-variant seed");
   flags.add_u64("trace", 0, "sim: keep and print the last K trace events");
+  flags.add_u64("sim-threads", 1,
+                "sim/hunt/replay: OS threads sharding the round engine "
+                "(observables are identical at any value)");
   flags.add_string("variant", "det", "det | lc | classic (sim only)");
   flags.add_string("phase1", "tree",
                    "native det phase 1: tree | partition (sort/hunt mode)");
