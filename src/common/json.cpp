@@ -153,6 +153,40 @@ std::string Json::dump(int indent) const {
   return out;
 }
 
+void Json::dump_compact_to(std::string& out) const {
+  switch (type_) {
+    case Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i != 0) out += ',';
+        arr_[i].dump_compact_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i != 0) out += ',';
+        append_escaped(out, obj_[i].first);
+        out += ':';
+        obj_[i].second.dump_compact_to(out);
+      }
+      out += '}';
+      break;
+    }
+    default:
+      dump_to(out, 0);  // scalars render identically in both forms
+      break;
+  }
+}
+
+std::string Json::dump_compact() const {
+  std::string out;
+  dump_compact_to(out);
+  return out;
+}
+
 // Recursive-descent parser.  Depth is bounded by the schema (artifacts nest
 // three levels), but a hard cap keeps hostile inputs from overflowing the
 // stack.

@@ -78,6 +78,10 @@ class Json {
   // Two-space-indented, trailing newline; stable field order.
   std::string dump(int indent = 0) const;
 
+  // Single-line serialization (no whitespace, no trailing newline) — the
+  // JSONL record form the live monitor and the bench history append.
+  std::string dump_compact() const;
+
   // Parse a whole document.  Returns a null value and sets *error on failure
   // (error stays empty on success).
   static Json parse(const std::string& text, std::string* error);
@@ -92,6 +96,7 @@ class Json {
   std::vector<std::pair<std::string, Json>> obj_;
 
   void dump_to(std::string& out, int indent) const;
+  void dump_compact_to(std::string& out) const;
   friend class JsonParser;
 };
 

@@ -30,6 +30,12 @@
 
 namespace wfsort::detail {
 
+// Flight-recorder threshold: an element that loses at least this many
+// install CASes during its descent gets a kCasFailBurst event (value = the
+// element, a32 = the loss count) — the per-element signature of a root
+// hot-spot, visible in `wfsort report` without wading through histograms.
+inline constexpr std::uint64_t kCasBurstThreshold = 8;
+
 struct BuildResult {
   std::uint64_t iterations = 0;    // trips around the Figure-4 loop
   std::uint64_t cas_failures = 0;  // CAS attempts / probes lost to another processor
@@ -229,6 +235,11 @@ bool build_batch(TreeState<Key, Compare>& st, std::int64_t lo, std::int64_t hi,
             tel->rep.cas_retries.add(ln.fails);
             tel->count(telemetry::Counter::kCasFailures, ln.fails);
             if (installed) tel->count(telemetry::Counter::kCasInstalls);
+            if (ln.fails >= kCasBurstThreshold) {
+              tel->emit(telemetry::FlightKind::kCasFailBurst, 0,
+                        static_cast<std::uint32_t>(ln.fails),
+                        static_cast<std::uint64_t>(ln.elem));
+            }
           }
         } else {
           tally.add({ln.iterations, 0, installed ? 1u : 0u});
@@ -372,6 +383,11 @@ bool build_lanes(TreeState<Key, Compare>& st, const std::int64_t* elems,
             tel->rep.cas_retries.add(ln.fails);
             tel->count(telemetry::Counter::kCasFailures, ln.fails);
             if (installed) tel->count(telemetry::Counter::kCasInstalls);
+            if (ln.fails >= kCasBurstThreshold) {
+              tel->emit(telemetry::FlightKind::kCasFailBurst, 0,
+                        static_cast<std::uint32_t>(ln.fails),
+                        static_cast<std::uint64_t>(ln.elem));
+            }
           }
         } else {
           tally.add({ln.iterations, 0, installed ? 1u : 0u});

@@ -139,7 +139,8 @@ class Engine {
     }
     if (opts.telemetry != telemetry::Level::kOff && data_.size() > 1) {
       recorder_ = std::make_unique<telemetry::Recorder>(
-          opts.telemetry, std::max(nominal_threads_, kTelemetrySlots));
+          opts.telemetry, std::max(nominal_threads_, kTelemetrySlots),
+          opts.ring_capacity);
     }
     if (copy_back_ && data_.size() > 1) {
       copy_chunks_ = (data_.size() + kCopyChunk - 1) / kCopyChunk;
@@ -179,7 +180,9 @@ class Engine {
                                    : run_deterministic(tid, plan, nullptr));
     }
     if (!ok) {
-      if (tel != nullptr) tel->rep.crashed = true;
+      // mark_crashed lands the post-mortem kFault event in the victim's own
+      // ring (single-writer rule: the dying worker writes its own epitaph).
+      if (tel != nullptr) tel->mark_crashed(tel->now_us());
       crashed_.fetch_add(1, std::memory_order_acq_rel);
       return false;
     }
@@ -220,6 +223,10 @@ class Engine {
   std::shared_ptr<const telemetry::Report> telemetry_report() const {
     return report_;
   }
+
+  // The run's recorder, for observers that sample the flight-recorder rings
+  // while workers are live (telemetry::Monitor).  Null at Level::kOff.
+  const telemetry::Recorder* recorder() const { return recorder_.get(); }
 
   SortStats stats() const {
     SortStats s;
@@ -365,6 +372,8 @@ class Engine {
             tel->count(telemetry::Counter::kWatClaims);
             tel->count(telemetry::Counter::kWatProbes, wat_probes);
             tel->rep.wat_probes.add(wat_probes);
+            tel->emit(telemetry::FlightKind::kWatClaim, 0,
+                      static_cast<std::uint32_t>(wat_probes), wat_.job_of(node));
             wat_probes = 0;
           }
         }
@@ -439,6 +448,8 @@ class Engine {
               tel->count(telemetry::Counter::kWatClaims);
               tel->count(telemetry::Counter::kWatProbes, wat_probes);
               tel->rep.wat_probes.add(wat_probes);
+              tel->emit(telemetry::FlightKind::kWatClaim, 0,
+                        static_cast<std::uint32_t>(wat_probes), wat.job_of(node));
               wat_probes = 0;
             }
           }
@@ -521,6 +532,8 @@ class Engine {
             tel->count(telemetry::Counter::kWatClaims);
             tel->count(telemetry::Counter::kWatProbes, wat_probes);
             tel->rep.wat_probes.add(wat_probes);
+            tel->emit(telemetry::FlightKind::kWatClaim, 0,
+                      static_cast<std::uint32_t>(wat_probes), gwat.job_of(node));
             wat_probes = 0;
           }
         }
@@ -640,6 +653,8 @@ class Engine {
           tel->count(telemetry::Counter::kWatClaims);
           tel->count(telemetry::Counter::kWatProbes, lcwat_probes);
           tel->rep.wat_probes.add(lcwat_probes);
+          tel->emit(telemetry::FlightKind::kWatClaim, 1,
+                    static_cast<std::uint32_t>(lcwat_probes), j);
           lcwat_probes = 0;
         }
       }

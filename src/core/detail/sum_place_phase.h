@@ -272,6 +272,11 @@ bool find_place_emit(TreeState<Key, Compare>& st, std::uint32_t pid, PrunePlaced
           tel->count(telemetry::Counter::kLeafInsertionSorts, lt.insertion_sorts);
           tel->count(telemetry::Counter::kLeafHeapsorts, lt.heapsorts);
           tel->count(telemetry::Counter::kPartitionSwaps, lt.partition_swaps);
+          // Flight event per sequential block: value = subtree root,
+          // a32 = block size, a8 = 1 when the walk was a duplicate.
+          tel->emit(telemetry::FlightKind::kLeafBlock, claimed ? 0 : 1,
+                    static_cast<std::uint32_t>(st.size_of(f.node)),
+                    static_cast<std::uint64_t>(f.node));
         }
       } else {
         if (prune == PrunePlaced::kDone) st.try_claim_place_done(f.node);

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 
+#include "telemetry/recorder.h"
 #include "telemetry/report.h"
 
 namespace wfsort {
@@ -98,6 +100,21 @@ struct Options {
   // counters and per-element CAS-retry / WAT-probe histograms, accumulated
   // in per-worker scratch.  The finished report hangs off SortStats.
   telemetry::Level telemetry = telemetry::Level::kOff;
+
+  // Flight-recorder depth: events retained per worker ring (rounded up to a
+  // power of two internally; exact logical window).  Only meaningful when
+  // telemetry != kOff — at kOff no Recorder (and hence no ring) exists.
+  // 0 disables the rings while keeping spans/counters.
+  std::uint32_t ring_capacity = telemetry::Recorder::kDefaultRingCapacity;
+
+  // Live monitor (docs/observability.md): when `monitor_interval_ms` > 0 and
+  // `monitor_path` is non-empty, the sort runs a sampler thread that reads
+  // the flight-recorder rings every interval and appends one
+  // "wfsort-monitor-v1" JSONL session to the file.  The sampler only ever
+  // touches the rings' seqlock snapshots — workers never block on it.
+  // Requires telemetry != kOff.
+  std::uint32_t monitor_interval_ms = 0;
+  std::string monitor_path{};
 
   std::uint32_t resolved_threads() const {
     if (threads != 0) return threads;

@@ -42,6 +42,7 @@ void Machine::kill(ProcId p) {
     proc.killed = true;
     if (!proc.done_counted) --unfinished_live_;
     set_eligible(p, false);
+    if (tracer_ != nullptr) tracer_->on_fault(round_, p, TraceFault::kKill);
   }
 }
 
@@ -50,6 +51,7 @@ void Machine::suspend(ProcId p) {
   Proc& proc = procs_[p];
   proc.suspended = true;
   set_eligible(p, false);
+  if (tracer_ != nullptr) tracer_->on_fault(round_, p, TraceFault::kSuspend);
 }
 
 void Machine::awaken(ProcId p) {
@@ -57,6 +59,7 @@ void Machine::awaken(ProcId p) {
   Proc& proc = procs_[p];
   proc.suspended = false;
   set_eligible(p, eligible(proc));
+  if (tracer_ != nullptr) tracer_->on_fault(round_, p, TraceFault::kRevive);
 }
 
 bool Machine::killed(ProcId p) const {
@@ -186,6 +189,11 @@ RunResult Machine::run(Scheduler& sched, const StopPredicate& stop) {
       if (pool_ != nullptr) ++commit_stats_.seq_rounds;
     }
     metrics_.end_round();
+    // Round-loop flight-recorder milestone (after the sequential trace
+    // flush, so a recording tracer sees the round's ops before its marker).
+    if (tracer_ != nullptr) {
+      tracer_->on_round(round_, stepping_list_.size());
+    }
 
     ++round_;
     ++res.rounds;

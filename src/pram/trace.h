@@ -13,6 +13,7 @@
 #include "pram/memory.h"
 #include "pram/request.h"
 #include "pram/word.h"
+#include "telemetry/ring.h"
 
 namespace pram {
 
@@ -26,50 +27,60 @@ struct TraceEvent {
   Word result = 0;  // value delivered to the processor
 };
 
+// Processor lifecycle transitions the adversary engine can inflict; the
+// machine reports them through Tracer::on_fault so a flight recorder can
+// land kill/suspend/revive events in the victim's ring.
+enum class TraceFault : std::uint8_t { kKill = 0, kSuspend = 1, kRevive = 2 };
+
 class Tracer {
  public:
   virtual ~Tracer() = default;
   virtual void on_event(const TraceEvent& event) = 0;
+  // Round-loop instrumentation: called once after every committed round with
+  // the number of operations it served.  Default no-op keeps the existing
+  // tracers (hashing, goldens) byte-identical.
+  virtual void on_round(std::uint64_t round, std::uint64_t ops) {
+    (void)round;
+    (void)ops;
+  }
+  // Adversary instrumentation: pid's lifecycle changed at `round`.
+  virtual void on_fault(std::uint64_t round, ProcId pid, TraceFault fault) {
+    (void)round;
+    (void)pid;
+    (void)fault;
+  }
 };
 
-// Keeps the most recent `capacity` events in a fixed-capacity ring: the
-// backing vector is filled once and then overwritten in place, so steady-
-// state recording is allocation-free (a deque would churn block nodes).
-// capacity 0 records nothing but still counts total_events().
+// A served memory op as a compact flight-recorder event: t = round,
+// a8 = OpKind, a32 = result (truncated), value = address.
+inline wfsort::telemetry::FlightEvent to_flight(const TraceEvent& e) {
+  wfsort::telemetry::FlightEvent out;
+  out.t = e.round;
+  out.value = static_cast<std::uint64_t>(e.addr);
+  out.a32 = static_cast<std::uint32_t>(static_cast<std::uint64_t>(e.result));
+  out.tid = static_cast<std::uint16_t>(e.pid);
+  out.kind = static_cast<std::uint8_t>(wfsort::telemetry::FlightKind::kSimOp);
+  out.a8 = static_cast<std::uint8_t>(e.kind);
+  return out;
+}
+
+// Keeps the most recent `capacity` events — a thin adapter over the repo's
+// one ring implementation (telemetry::FixedRing; single writer, steady-state
+// recording allocation-free).  capacity 0 records nothing but still counts
+// total_events().
 class RingTracer final : public Tracer {
  public:
-  explicit RingTracer(std::size_t capacity) : capacity_(capacity) {
-    buf_.reserve(capacity_);
-  }
+  explicit RingTracer(std::size_t capacity) : ring_(capacity) {}
 
-  void on_event(const TraceEvent& event) override {
-    ++total_;
-    if (capacity_ == 0) return;
-    if (buf_.size() < capacity_) {
-      buf_.push_back(event);  // filling phase: within the reserved capacity
-    } else {
-      buf_[head_] = event;  // steady state: overwrite the oldest slot
-      head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
-    }
-  }
+  void on_event(const TraceEvent& event) override { ring_.push(event); }
 
   // The retained window in chronological order (oldest first).
-  std::vector<TraceEvent> events() const {
-    std::vector<TraceEvent> out;
-    out.reserve(buf_.size());
-    const auto mid = buf_.begin() + static_cast<std::ptrdiff_t>(head_);
-    out.insert(out.end(), mid, buf_.end());
-    out.insert(out.end(), buf_.begin(), mid);
-    return out;
-  }
-  std::size_t size() const { return buf_.size(); }
-  std::uint64_t total_events() const { return total_; }
+  std::vector<TraceEvent> events() const { return ring_.snapshot(); }
+  std::size_t size() const { return ring_.size(); }
+  std::uint64_t total_events() const { return ring_.total(); }
 
  private:
-  std::size_t capacity_;
-  std::size_t head_ = 0;  // index of the oldest event once the ring is full
-  std::vector<TraceEvent> buf_;
-  std::uint64_t total_ = 0;
+  wfsort::telemetry::FixedRing<TraceEvent> ring_;
 };
 
 // Folds every event into an order-sensitive 64-bit FNV-1a hash.  Two runs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <span>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include "common/check.h"
 #include "core/sort.h"
 #include "pram/scheduler.h"
+#include "pram/trace.h"
 #include "pramsort/lc_layout.h"
 #include "pramsort/lc_programs.h"
 #include "pramsort/validate.h"
@@ -98,6 +100,67 @@ PrunePlaced to_native_prune(sim::PlacePrune p) {
   return PrunePlaced::kDone;
 }
 
+// Events retained per kill victim in a failure artifact's post-mortem ring:
+// enough to see the victim's final claims and descents, small enough that a
+// multi-kill artifact stays readable.
+constexpr std::uint32_t kVictimRingCapacity = 64;
+
+// Flight recorder for the adversary's victims.  Keeps one ring per scripted
+// kill target, fed from the machine's trace stream (served ops, via
+// to_flight) and from the adversary engine's lifecycle callbacks
+// (kill/suspend/revive land as kFault events in the victim's own ring).
+// Trace flush and round hooks run on the coordinating thread even under the
+// sharded engine, so each ring keeps its single writer; events are stamped
+// with round numbers, so two replays of the same spec serialize
+// byte-identically.
+class VictimRingTracer final : public pram::Tracer {
+ public:
+  explicit VictimRingTracer(const std::vector<std::uint32_t>& victims) {
+    for (const std::uint32_t p : victims) rings_[p].reset(kVictimRingCapacity);
+  }
+
+  void on_event(const pram::TraceEvent& e) override {
+    const auto it = rings_.find(static_cast<std::uint32_t>(e.pid));
+    if (it != rings_.end()) it->second.push(pram::to_flight(e));
+  }
+
+  void on_fault(std::uint64_t round, pram::ProcId pid,
+                pram::TraceFault fault) override {
+    const auto it = rings_.find(static_cast<std::uint32_t>(pid));
+    if (it == rings_.end()) return;
+    telemetry::FlightEvent ev{};
+    ev.t = round;
+    ev.tid = static_cast<std::uint16_t>(pid);
+    ev.kind = static_cast<std::uint8_t>(telemetry::FlightKind::kFault);
+    ev.a8 = static_cast<std::uint8_t>(fault);  // TraceFault mirrors FaultCode
+    it->second.push(ev);
+  }
+
+  // The artifact's "rings" section: [{tid, total_events, events:[...]}],
+  // victims in pid order, empty rings skipped.  Null when nothing recorded.
+  Json rings_json() const {
+    Json arr = Json::array();
+    bool any = false;
+    for (const auto& [pid, ring] : rings_) {
+      if (ring.total() == 0) continue;
+      any = true;
+      Json r = Json::object();
+      r.set("tid", static_cast<std::int64_t>(pid));
+      r.set("total_events", ring.total());
+      Json evs = Json::array();
+      for (const telemetry::FlightEvent& e : ring.snapshot()) {
+        evs.push_back(telemetry::flight_event_json(e));
+      }
+      r.set("events", std::move(evs));
+      arr.push_back(std::move(r));
+    }
+    return any ? arr : Json();
+  }
+
+ private:
+  std::map<std::uint32_t, telemetry::FlightRing> rings_;
+};
+
 // Judge own-step counts for every processor that finished; fills
 // res->max_finish_steps and flips the result to kOwnStep on a violation.
 void certify_own_steps(const ScenarioSpec& spec, ScenarioResult* res,
@@ -133,6 +196,15 @@ ScenarioResult run_sim_scenario(const ScenarioSpec& spec) {
   if (spec.sim_threads > 1) mopts.par_round_min = 1;
   pram::Machine m(mopts);
   const std::unique_ptr<pram::Scheduler> sched = make_scheduler(spec.sched);
+
+  // Post-mortem flight recorder: when the script kills processors, record
+  // each victim's final ops + lifecycle faults for the failure artifact.
+  std::unique_ptr<VictimRingTracer> victim_rings;
+  if (const std::vector<std::uint32_t> victims = spec.script.killed_targets();
+      !victims.empty()) {
+    victim_rings = std::make_unique<VictimRingTracer>(victims);
+    m.set_tracer(victim_rings.get());
+  }
 
   std::unique_ptr<SortOracle> oracle;
   sim::SortLayout det_layout;
@@ -187,6 +259,7 @@ ScenarioResult run_sim_scenario(const ScenarioSpec& spec) {
     info.sim_threads = spec.sim_threads;
     res.stats = telemetry::sim_stats_json(info, m.metrics(), &m.commit_stats());
   }
+  if (victim_rings != nullptr) res.rings = victim_rings->rings_json();
 
   if (oracle != nullptr && oracle->violated()) {
     res.failure = FailureKind::kOracle;
@@ -251,6 +324,12 @@ ScenarioResult run_native_scenario(const ScenarioSpec& spec) {
   SortStats stats;
   const bool ok = sort_with_faults(std::span<std::uint64_t>(data), opts, plan, &stats);
   res.stats = telemetry::native_stats_json(telemetry::native_run_info(opts, spec.n), stats);
+  // The stats document already carries the crashed workers' post-mortem
+  // rings; mirror them into the result so both substrates expose one field.
+  if (const Json* r = res.stats.find("rings");
+      r != nullptr && !r->items().empty()) {
+    res.rings = *r;
+  }
 
   const std::vector<std::uint32_t> killed = spec.script.killed_targets();
   const auto survived = [&killed](std::uint32_t tid) {
@@ -430,6 +509,7 @@ std::string artifact_to_text(const ReplayArtifact& a) {
   failure.set("detail", a.detail);
   j.set("failure", std::move(failure));
   if (!a.observed.is_null()) j.set("observed", a.observed);
+  if (!a.rings.is_null()) j.set("rings", a.rings);
   return j.dump();
 }
 
@@ -460,6 +540,9 @@ bool artifact_from_text(const std::string& text, ReplayArtifact* out, std::strin
   }
   if (const Json* observed = j.find("observed"); observed != nullptr) {
     a.observed = *observed;
+  }
+  if (const Json* rings = j.find("rings"); rings != nullptr) {
+    a.rings = *rings;
   }
   *out = a;
   return true;

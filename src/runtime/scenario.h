@@ -103,6 +103,13 @@ struct ScenarioResult {
   // contention against the original run.
   Json stats;
 
+  // Post-mortem flight-recorder rings of the fault script's kill victims
+  // (array of {tid, total_events, events}; null when the script kills
+  // nobody).  Simulated rings are stamped with round numbers and replay
+  // byte-identically; native rings are copied out of the stats document and
+  // carry best-effort wall-clock times.
+  Json rings{};
+
   bool ok() const { return failure == FailureKind::kNone; }
 };
 
@@ -124,6 +131,9 @@ struct ReplayArtifact {
   // Stats document of the original failing run (null when the artifact
   // predates telemetry); `wfsort replay` diffs a re-run against this.
   Json observed;
+  // Kill victims' post-mortem rings (ScenarioResult::rings; optional —
+  // absent in artifacts that predate the flight recorder).
+  Json rings{};
 };
 
 Json spec_to_json(const ScenarioSpec& spec);

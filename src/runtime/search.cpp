@@ -325,6 +325,7 @@ bool search_for_violation(const ScenarioSpec& base, const SearchOptions& opts,
         out->failure = res.failure;
         out->detail = res.detail;
         out->observed = res.stats;
+        out->rings = res.rings;
         return true;
       }
     }
@@ -341,6 +342,7 @@ ReplayArtifact shrink_artifact(const ReplayArtifact& artifact, const ShrinkOptio
   ReplayArtifact best = artifact;
   std::vector<FaultEvent> events = artifact.spec.script.events;
   Json observed = artifact.observed;
+  Json rings = artifact.rings;
 
   const auto still_fails = [&](const std::vector<FaultEvent>& candidate,
                                std::string* detail) {
@@ -357,6 +359,7 @@ ReplayArtifact shrink_artifact(const ReplayArtifact& artifact, const ShrinkOptio
     // Every accepted candidate becomes the artifact, so keep its stats as
     // the observed document the minimized artifact ships with.
     observed = res.stats;
+    rings = res.rings;
     ++st.failures;
     return true;
   };
@@ -413,6 +416,7 @@ ReplayArtifact shrink_artifact(const ReplayArtifact& artifact, const ShrinkOptio
   best.spec.script.events = std::move(events);
   best.detail = detail;
   best.observed = std::move(observed);
+  best.rings = std::move(rings);
   return best;
 }
 

@@ -1,0 +1,170 @@
+#include "telemetry/monitor.h"
+
+#include <utility>
+
+#include "telemetry/schema.h"
+
+namespace wfsort::telemetry {
+
+namespace {
+
+Json sketch_quantiles_json(const LatencySketch& sk) {
+  Json j = Json::object();
+  j.set("count", sk.count());
+  j.set("p50_us", sk.quantile(0.50));
+  j.set("p99_us", sk.quantile(0.99));
+  j.set("p999_us", sk.quantile(0.999));
+  j.set("max_us", sk.max());
+  return j;
+}
+
+}  // namespace
+
+Monitor::Monitor(const Recorder* recorder, Config cfg) : cfg_(std::move(cfg)) {
+  for (std::uint32_t tid = 0; tid < recorder->slot_count(); ++tid) {
+    rings_.push_back(recorder->ring(tid));
+  }
+  cursors_.assign(rings_.size(), 0);
+  out_.open(cfg_.path, std::ios::app);
+  ok_ = out_.is_open();
+}
+
+Monitor::Monitor(std::vector<const FlightRing*> rings, Config cfg)
+    : rings_(std::move(rings)), cfg_(std::move(cfg)) {
+  cursors_.assign(rings_.size(), 0);
+  out_.open(cfg_.path, std::ios::app);
+  ok_ = out_.is_open();
+}
+
+Monitor::~Monitor() { stop(); }
+
+void Monitor::start() {
+  if (!ok_ || started_) return;
+  started_ = true;
+  t0_ = std::chrono::steady_clock::now();
+  Json header = Json::object();
+  header.set("schema", kMonitorSchema);
+  header.set("record", "header");
+  header.set("build_type", build_type_name());
+  header.set("source", cfg_.source);
+  header.set("interval_ms", static_cast<std::uint64_t>(cfg_.interval_ms));
+  header.set("rings", static_cast<std::uint64_t>(rings_.size()));
+  header.set("ring_capacity",
+             static_cast<std::uint64_t>(
+                 rings_.empty() ? 0 : rings_.front()->capacity()));
+  header.set("config", cfg_.config);
+  out_ << header.dump_compact() << '\n';
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void Monitor::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  take_sample(/*final_sample=*/true);
+  out_.flush();
+}
+
+void Monitor::note_job(std::uint64_t duration_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  jobs_.add(duration_us);
+}
+
+void Monitor::run_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(cfg_.interval_ms),
+                     [this] { return stop_requested_; })) {
+      break;  // final drain happens on the stop() caller's thread
+    }
+    lock.unlock();
+    take_sample(/*final_sample=*/false);
+    lock.lock();
+  }
+}
+
+void Monitor::drain_rings() {
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    const FlightRing* ring = rings_[i];
+    if (ring == nullptr) continue;
+    FlightRing::ReadResult r = ring->read_from(cursors_[i]);
+    cursors_[i] = r.next;
+    dropped_ += r.dropped;
+    events_ += r.dropped + r.events.size();
+    for (const FlightEvent& e : r.events) {
+      const auto kind = static_cast<std::size_t>(e.kind);
+      if (kind < static_cast<std::size_t>(FlightKind::kKindCount)) {
+        ++counts_[kind];
+      }
+      switch (e.flight_kind()) {
+        case FlightKind::kPhaseExit:
+          if (e.a8 < kPhaseCount) phase_lat_[e.a8].add(e.value);
+          break;
+        case FlightKind::kSimRound:
+          if (e.t > sim_round_) sim_round_ = e.t;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+Json Monitor::sample_json(bool final_sample) {
+  const auto t_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t0_)
+                        .count();
+  std::uint64_t active = 0;
+  for (const FlightRing* ring : rings_) {
+    if (ring != nullptr && ring->total() != 0) ++active;
+  }
+
+  Json j = Json::object();
+  j.set("schema", kMonitorSchema);
+  j.set("record", "sample");
+  j.set("seq", samples_);
+  j.set("t_ms", static_cast<std::uint64_t>(t_ms));
+  j.set("final", final_sample);
+  j.set("events", events_);
+  j.set("dropped", dropped_);
+  j.set("workers_active", active);
+
+  Json counters = Json::object();
+  const auto count_of = [this](FlightKind k) {
+    return counts_[static_cast<std::size_t>(k)];
+  };
+  counters.set("wat_claims", count_of(FlightKind::kWatClaim));
+  counters.set("cas_fail_bursts", count_of(FlightKind::kCasFailBurst));
+  counters.set("leaf_blocks", count_of(FlightKind::kLeafBlock));
+  counters.set("faults", count_of(FlightKind::kFault));
+  counters.set("sim_ops", count_of(FlightKind::kSimOp));
+  counters.set("sim_rounds", sim_round_);
+  j.set("counters", counters);
+
+  Json phases = Json::object();
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    if (phase_lat_[p].count() == 0) continue;
+    phases.set(phase_name(static_cast<PhaseId>(p)),
+               sketch_quantiles_json(phase_lat_[p]));
+  }
+  j.set("phases", phases);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (jobs_.count() != 0) j.set("jobs", sketch_quantiles_json(jobs_));
+  }
+  return j;
+}
+
+void Monitor::take_sample(bool final_sample) {
+  drain_rings();
+  out_ << sample_json(final_sample).dump_compact() << '\n';
+  ++samples_;
+}
+
+}  // namespace wfsort::telemetry

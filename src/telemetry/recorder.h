@@ -37,9 +37,13 @@ inline constexpr bool kTelEnabled =
 
 // One worker's private recording area.  `detail` mirrors Level::kFull so
 // per-element sites can skip histogram work at Level::kPhases without
-// consulting the Recorder.
+// consulting the Recorder.  The flight-recorder `ring` is the one exception
+// to "nobody else touches a live slot": it is written only by the owning
+// worker and read concurrently by observers (the live monitor) through the
+// ring's seqlock snapshot — never through this struct's plain fields.
 struct alignas(64) WorkerScratch {
   WorkerReport rep;
+  FlightRing ring;
   std::chrono::steady_clock::time_point t0{};  // the run's epoch (copied in)
   bool detail = false;
 
@@ -54,24 +58,58 @@ struct alignas(64) WorkerScratch {
             .count());
   }
 
+  // Append a flight-recorder event stamped with the current run-relative
+  // time.  One clock read plus a wait-free ring push.
+  void emit(FlightKind kind, std::uint8_t a8, std::uint32_t a32,
+            std::uint64_t value) {
+    if (ring.capacity() == 0) return;
+    ring.push({now_us(), value, a32, static_cast<std::uint16_t>(rep.tid),
+               static_cast<std::uint8_t>(kind), a8});
+  }
+
+  // Record the worker's own death (adversary kill or fault-plan abort) —
+  // the post-mortem marker observers look for.  Emitted by the victim
+  // itself, preserving the ring's single-writer rule.
+  void mark_crashed(std::uint64_t step) {
+    rep.crashed = true;
+    emit(FlightKind::kFault, static_cast<std::uint8_t>(FaultCode::kKill), 0,
+         step);
+  }
+
   // Begin a phase span, closing the previous one at the same instant (a
   // worker is always in exactly one phase).
   void begin_phase(PhaseId phase) {
     const std::uint64_t now = now_us();
-    if (has_open) rep.spans.push_back({open_phase, rep.tid, open_begin_us, now});
+    if (has_open) close_span(now);
     open_phase = phase;
     open_begin_us = now;
     has_open = true;
+    if (ring.capacity() != 0) {
+      ring.push({now, 0, 0, static_cast<std::uint16_t>(rep.tid),
+                 static_cast<std::uint8_t>(FlightKind::kPhaseEnter),
+                 static_cast<std::uint8_t>(phase)});
+    }
   }
 
   void end_phase() {
     if (!has_open) return;
-    rep.spans.push_back({open_phase, rep.tid, open_begin_us, now_us()});
+    close_span(now_us());
     has_open = false;
   }
 
   void count(Counter c, std::uint64_t v = 1) {
     rep.counters[static_cast<std::size_t>(c)] += v;
+  }
+
+ private:
+  void close_span(std::uint64_t now) {
+    rep.spans.push_back({open_phase, rep.tid, open_begin_us, now});
+    if (ring.capacity() != 0) {
+      ring.push({now, now - open_begin_us, 0,
+                 static_cast<std::uint16_t>(rep.tid),
+                 static_cast<std::uint8_t>(FlightKind::kPhaseExit),
+                 static_cast<std::uint8_t>(open_phase)});
+    }
   }
 };
 
@@ -95,7 +133,11 @@ class ScratchCloser {
 // run can legally use, so scratch() is an index, never an allocation.
 class Recorder {
  public:
-  Recorder(Level level, std::uint32_t max_workers);
+  // Default flight-recorder depth per worker (Options::ring_capacity).
+  static constexpr std::uint32_t kDefaultRingCapacity = 256;
+
+  Recorder(Level level, std::uint32_t max_workers,
+           std::uint32_t ring_capacity = kDefaultRingCapacity);
 
   Level level() const { return level_; }
   bool detail() const { return level_ == Level::kFull; }
@@ -107,6 +149,14 @@ class Recorder {
   }
 
   std::uint64_t now_us() const;
+
+  // Observer access while the run is live: the flight-recorder rings are
+  // the ONLY slot state safe to read concurrently (seqlock snapshots; see
+  // ring.h).  The live monitor samples through these.
+  std::uint32_t slot_count() const { return slot_count_; }
+  const FlightRing* ring(std::uint32_t tid) const {
+    return tid < slot_count_ ? &slots_[tid].ring : nullptr;
+  }
 
   // Aggregate every active slot into an immutable Report.  Call only after
   // the workers have joined (slots are unsynchronized by design).

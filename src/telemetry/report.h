@@ -22,6 +22,9 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/ring.h"
+#include "telemetry/sketch.h"
+
 namespace wfsort::telemetry {
 
 // How much a run records.
@@ -148,6 +151,10 @@ struct WorkerReport {
   std::array<std::uint64_t, kCounterCount> counters{};
   LogHistogram cas_retries;
   LogHistogram wat_probes;
+  // The worker's frozen flight-recorder window (its last ring_total events,
+  // truncated to the ring capacity) — the crash post-mortem payload.
+  std::vector<FlightEvent> ring;
+  std::uint64_t ring_total = 0;
 
   std::uint64_t counter(Counter c) const {
     return counters[static_cast<std::size_t>(c)];
@@ -168,6 +175,10 @@ struct Report {
   double phase_max_ms(PhaseId phase) const;
   // Phases at least one worker recorded, in enum order.
   std::vector<PhaseId> phases_present() const;
+  // Latency sketch over every recorded span of `phase` (one sample per
+  // worker-span, microseconds) — the p50/p99/p999 source for the exported
+  // "sketches" section.
+  LatencySketch phase_sketch(PhaseId phase) const;
 };
 
 }  // namespace wfsort::telemetry

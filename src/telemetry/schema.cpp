@@ -134,6 +134,31 @@ Json histogram_json(const LogHistogram& h) {
   return out;
 }
 
+Json sketch_json(const LatencySketch& sk) {
+  Json out = Json::object();
+  out.set("kind", "loglin");
+  out.set("sub_bits", static_cast<std::uint64_t>(LatencySketch::kSubBits));
+  out.set("count", sk.count());
+  out.set("sum", sk.sum());
+  out.set("max_us", sk.max());
+  out.set("mean_us", sk.mean());
+  out.set("p50_us", sk.quantile(0.50));
+  out.set("p99_us", sk.quantile(0.99));
+  out.set("p999_us", sk.quantile(0.999));
+  return out;
+}
+
+Json flight_event_json(const FlightEvent& e) {
+  Json out = Json::object();
+  out.set("t", e.t);
+  out.set("kind", flight_kind_name(e.flight_kind()));
+  out.set("a8", static_cast<std::uint64_t>(e.a8));
+  out.set("a32", static_cast<std::uint64_t>(e.a32));
+  out.set("value", e.value);
+  out.set("tid", static_cast<std::uint64_t>(e.tid));
+  return out;
+}
+
 Json native_stats_json(const NativeRunInfo& info, const SortStats& stats) {
   const Report* rep = stats.telemetry.get();
 
@@ -231,7 +256,34 @@ Json native_stats_json(const NativeRunInfo& info, const SortStats& stats) {
   }
   doc.set("histograms", std::move(hists));
 
+  // Per-phase latency sketches (one sample per worker-span): the p50/p99/
+  // p999 block the sort-as-a-service story keys on.
+  Json sketches = Json::object();
+  if (rep != nullptr && rep->level != Level::kOff) {
+    for (PhaseId p : rep->phases_present()) {
+      sketches.set(phase_name(p), sketch_json(rep->phase_sketch(p)));
+    }
+  }
+  doc.set("sketches", std::move(sketches));
+
   doc.set("contention", native_contention_json(stats, rep));
+
+  // Crash post-mortems: the frozen flight-recorder window of every worker
+  // that died mid-run (empty array on clean runs and at Level::kOff).
+  Json rings = Json::array();
+  if (rep != nullptr) {
+    for (const WorkerReport& w : rep->workers) {
+      if (!w.crashed || w.ring.empty()) continue;
+      Json r = Json::object();
+      r.set("tid", static_cast<std::uint64_t>(w.tid));
+      r.set("total_events", w.ring_total);
+      Json events = Json::array();
+      for (const FlightEvent& e : w.ring) events.push_back(flight_event_json(e));
+      r.set("events", std::move(events));
+      rings.push_back(std::move(r));
+    }
+  }
+  doc.set("rings", std::move(rings));
   return doc;
 }
 
@@ -389,6 +441,34 @@ bool validate_stats_json(const Json& doc, std::string* error,
     *error = "contention missing max_value";
     return false;
   }
+  // "sketches" and "rings" postdate the v1 documents already committed, so
+  // absence is tolerated — but a present key must have the right shape.
+  if (const Json* sketches = doc.find("sketches"); sketches != nullptr) {
+    if (sketches->type() != Json::Type::kObject) {
+      *error = "wrong type for key: sketches";
+      return false;
+    }
+    for (const auto& [name, sk] : sketches->object_items()) {
+      if (sk.type() != Json::Type::kObject || sk.find("p50_us") == nullptr ||
+          sk.find("p99_us") == nullptr || sk.find("p999_us") == nullptr) {
+        *error = "malformed sketch: " + name;
+        return false;
+      }
+    }
+  }
+  if (const Json* rings = doc.find("rings"); rings != nullptr) {
+    if (rings->type() != Json::Type::kArray) {
+      *error = "wrong type for key: rings";
+      return false;
+    }
+    for (const Json& r : rings->items()) {
+      if (r.type() != Json::Type::kObject || r.find("tid") == nullptr ||
+          r.find("events") == nullptr) {
+        *error = "malformed post-mortem ring entry";
+        return false;
+      }
+    }
+  }
   return true;
 }
 
@@ -493,6 +573,88 @@ bool validate_scaling_json(const Json& doc, std::string* error,
         return false;
       }
     }
+  }
+  return true;
+}
+
+bool validate_monitor_jsonl(const std::string& text, std::string* error,
+                            bool require_release) {
+  error->clear();
+  bool in_session = false;
+  std::size_t headers = 0;
+  std::size_t samples = 0;
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string line = text.substr(
+        pos, nl == std::string::npos ? std::string::npos : nl - pos);
+    pos = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    std::string perr;
+    const Json rec = Json::parse(line, &perr);
+    if (!perr.empty()) {
+      *error = "line " + std::to_string(lineno) + ": " + perr;
+      return false;
+    }
+    const auto fail = [&](const std::string& why) {
+      *error = "line " + std::to_string(lineno) + ": " + why;
+      return false;
+    };
+    if (rec.type() != Json::Type::kObject) return fail("record is not an object");
+    if (!check_key(rec, "schema", Json::Type::kString, error) ||
+        !check_key(rec, "record", Json::Type::kString, error)) {
+      return fail(*error);
+    }
+    if (rec.at("schema").as_string() != kMonitorSchema) {
+      return fail("unexpected schema: " + rec.at("schema").as_string());
+    }
+    const std::string& kind = rec.at("record").as_string();
+    if (kind == "header") {
+      // Provenance is per header, exactly like the bench envelopes — and a
+      // monitor file without it is rejected outright under require_release.
+      if (!check_build_type(rec, require_release, error)) return fail(*error);
+      if (rec.find("build_type") == nullptr) {
+        return fail("missing key: build_type (monitor provenance)");
+      }
+      if (!check_key(rec, "source", Json::Type::kString, error) ||
+          !check_key(rec, "interval_ms", Json::Type::kInt, error) ||
+          !check_key(rec, "config", Json::Type::kObject, error)) {
+        return fail(*error);
+      }
+      in_session = true;
+      ++headers;
+    } else if (kind == "sample") {
+      if (!in_session) return fail("sample record before any header");
+      for (const char* key : {"seq", "t_ms", "events", "dropped",
+                              "workers_active"}) {
+        if (!check_key(rec, key, Json::Type::kInt, error)) return fail(*error);
+      }
+      if (!check_key(rec, "counters", Json::Type::kObject, error) ||
+          !check_key(rec, "phases", Json::Type::kObject, error)) {
+        return fail(*error);
+      }
+      for (const auto& [name, ph] : rec.at("phases").object_items()) {
+        if (ph.type() != Json::Type::kObject || ph.find("count") == nullptr ||
+            ph.find("p50_us") == nullptr || ph.find("p99_us") == nullptr ||
+            ph.find("p999_us") == nullptr) {
+          return fail("malformed phase sketch: " + name);
+        }
+      }
+      ++samples;
+    } else {
+      return fail("unexpected record kind: " + kind);
+    }
+  }
+  if (headers == 0) {
+    *error = "no header record";
+    return false;
+  }
+  if (samples == 0) {
+    *error = "no sample records";
+    return false;
   }
   return true;
 }

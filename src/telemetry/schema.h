@@ -37,6 +37,7 @@ namespace wfsort::telemetry {
 inline constexpr const char kStatsSchema[] = "wfsort-stats-v1";
 inline constexpr const char kBenchSchema[] = "wfsort-bench-v1";
 inline constexpr const char kScalingSchema[] = "wfsort-scaling-v1";
+inline constexpr const char kMonitorSchema[] = "wfsort-monitor-v1";
 
 // "release" or "debug", from the NDEBUG the telemetry library itself was
 // compiled with.  Stamped into every bench/scaling envelope so committed
@@ -73,6 +74,15 @@ struct SimRunInfo {
 // Log2 histogram -> {"kind":"log2", total, sum, max, mean, counts:[...]}
 // (counts trimmed to the last nonzero bucket).
 Json histogram_json(const LogHistogram& h);
+
+// Latency sketch quantile summary -> {"kind":"loglin", sub_bits, count,
+// sum, max_us, mean_us, p50_us, p99_us, p999_us}.  Quantiles carry the
+// sketch's documented relative error (LatencySketch::kRelativeError).
+Json sketch_json(const LatencySketch& sk);
+
+// One flight-recorder event -> {"t", "kind", "a8", "a32", "value", "tid"}
+// (kind rendered by name; see ring.h for the per-kind payload table).
+Json flight_event_json(const FlightEvent& e);
 
 // One native run.  Uses stats.telemetry when present (per-phase spans,
 // per-site counters, histograms); degrades to the always-on SortStats
@@ -116,5 +126,13 @@ bool validate_bench_json(const Json& doc, std::string* error,
 Json make_scaling_doc();
 bool validate_scaling_json(const Json& doc, std::string* error,
                            bool require_release = false);
+
+// Structural validation of a whole "wfsort-monitor-v1" JSONL file (the live
+// monitor's output; monitor.h documents the record stream).  A file holds
+// one or more sessions, each a "header" record followed by its "sample"
+// records; every header must carry build_type provenance exactly like the
+// bench envelopes (`require_release` rejects missing/non-release values).
+bool validate_monitor_jsonl(const std::string& text, std::string* error,
+                            bool require_release = false);
 
 }  // namespace wfsort::telemetry

@@ -65,6 +65,30 @@ const char* counter_name(Counter counter) {
   return "?";
 }
 
+const char* flight_kind_name(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kPhaseEnter: return "phase_enter";
+    case FlightKind::kPhaseExit: return "phase_exit";
+    case FlightKind::kWatClaim: return "wat_claim";
+    case FlightKind::kCasFailBurst: return "cas_fail_burst";
+    case FlightKind::kLeafBlock: return "leaf_block";
+    case FlightKind::kFault: return "fault";
+    case FlightKind::kSimOp: return "sim_op";
+    case FlightKind::kSimRound: return "sim_round";
+    case FlightKind::kKindCount: break;
+  }
+  return "?";
+}
+
+const char* fault_code_name(FaultCode code) {
+  switch (code) {
+    case FaultCode::kKill: return "kill";
+    case FaultCode::kSuspend: return "suspend";
+    case FaultCode::kRevive: return "revive";
+  }
+  return "?";
+}
+
 std::size_t LogHistogram::max_nonzero_bucket() const {
   for (std::size_t b = kBuckets; b-- > 0;) {
     if (counts[b] != 0) return b;
@@ -112,13 +136,25 @@ std::vector<PhaseId> Report::phases_present() const {
   return out;
 }
 
-Recorder::Recorder(Level level, std::uint32_t max_workers)
+LatencySketch Report::phase_sketch(PhaseId phase) const {
+  LatencySketch sk;
+  for (const WorkerReport& w : workers) {
+    for (const Span& s : w.spans) {
+      if (s.phase == phase) sk.add(s.duration_us());
+    }
+  }
+  return sk;
+}
+
+Recorder::Recorder(Level level, std::uint32_t max_workers,
+                   std::uint32_t ring_capacity)
     : level_(level),
       t0_(std::chrono::steady_clock::now()),
       slot_count_(max_workers),
       slots_(new WorkerScratch[max_workers]) {
   for (std::uint32_t tid = 0; tid < slot_count_; ++tid) {
     slots_[tid].rep.tid = tid;
+    slots_[tid].ring.reset(ring_capacity);
     slots_[tid].t0 = t0_;
     slots_[tid].detail = detail();
   }
@@ -141,7 +177,13 @@ Report Recorder::snapshot() const {
         !w.spans.empty() || w.crashed ||
         std::any_of(w.counters.begin(), w.counters.end(),
                     [](std::uint64_t c) { return c != 0; });
-    if (active) rep.workers.push_back(w);
+    if (active) {
+      rep.workers.push_back(w);
+      // Freeze the worker's flight-recorder window into the report — the
+      // post-mortem payload a failure artifact serializes.
+      rep.workers.back().ring = slots_[tid].ring.snapshot();
+      rep.workers.back().ring_total = slots_[tid].ring.total();
+    }
   }
   return rep;
 }

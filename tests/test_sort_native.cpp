@@ -483,7 +483,7 @@ TEST(SortFaults, CannedAdversaryAtNonDefaultKnobs) {
   const wfsort::runtime::FaultScript script =
       wfsort::runtime::staggered_kills(/*first_round=*/40, /*stride=*/400, kThreads,
                                        /*survivors=*/1);
-  for (const Options opts :
+  for (const Options& opts :
        {Options{.threads = kThreads, .wat_batch = 1, .seq_cutoff = 512},
         Options{.threads = kThreads, .wat_batch = 64, .seq_cutoff = 0},
         // The blocked-partition phase 1 at both knob extremes: its three
@@ -561,7 +561,7 @@ TEST(SortFaults, SuspendAndReviveLcAtNonDefaultKnobs) {
   // survivors advanced to, so stale burst stacks, claim runs, and backoff
   // states must all be harmless.
   constexpr std::uint32_t kThreads = 4;
-  for (const Options opts :
+  for (const Options& opts :
        {Options{.threads = kThreads,
                 .variant = Variant::kLowContention,
                 .lc_burst = 1,

@@ -268,7 +268,8 @@ TEST(StatsSchema, GoldenNativeShape) {
   EXPECT_EQ(object_keys(doc),
             (std::vector<std::string>{"schema", "substrate", "build_type",
                                       "config", "totals", "phases", "counters",
-                                      "histograms", "contention"}));
+                                      "histograms", "sketches", "contention",
+                                      "rings"}));
   EXPECT_EQ(doc.at("schema").as_string(), "wfsort-stats-v1");
   EXPECT_EQ(doc.at("substrate").as_string(), "native");
   EXPECT_EQ(object_keys(doc.at("config")),
@@ -282,6 +283,10 @@ TEST(StatsSchema, GoldenNativeShape) {
   EXPECT_EQ(object_keys(doc.at("contention")),
             (std::vector<std::string>{"max_site", "max_value", "sites"}));
   EXPECT_FALSE(doc.at("phases").items().empty());
+  // Latency sketches fill for every recorded phase; post-mortem rings stay
+  // empty on a clean (crash-free) run.
+  EXPECT_FALSE(doc.at("sketches").object_items().empty());
+  EXPECT_TRUE(doc.at("rings").items().empty());
   // Golden pin: the full-level counters object names the leaf-sort and
   // partition instrumentation — dashboards key on these exact strings.
   const Json& counters = doc.at("counters");

@@ -178,6 +178,45 @@ TEST(WaitFreeCert, ReplayArtifactRoundTripsAcrossEngines) {
   }
 }
 
+// Post-mortem flight rings: a sim scenario with staggered kills freezes each
+// victim's last events into the result, stamped with round numbers — so two
+// identical runs serialize byte-for-byte, and the last event in every ring
+// is the kill fault marker itself.
+TEST(WaitFreeCert, PostMortemRingsAreByteStableAndEndAtTheKill) {
+  rt::ScenarioSpec spec;
+  spec.substrate = rt::Substrate::kSim;
+  spec.n = 256;
+  spec.procs = 16;
+  spec.script = rt::staggered_kills(32, 48, spec.procs, 4);
+  spec.own_step_bound = certified_bound(spec.n);
+
+  const rt::ScenarioResult first = rt::run_scenario(spec);
+  const rt::ScenarioResult second = rt::run_scenario(spec);
+  ASSERT_FALSE(first.rings.is_null());
+  EXPECT_EQ(first.rings.dump_compact(), second.rings.dump_compact());
+
+  const auto& rings = first.rings.items();
+  EXPECT_EQ(rings.size(), spec.script.killed_targets().size());
+  for (const wfsort::Json& ring : rings) {
+    const auto& events = ring.at("events").items();
+    ASSERT_FALSE(events.empty());
+    const wfsort::Json& last = events.back();
+    EXPECT_EQ(last.at("kind").as_string(), "fault");
+    EXPECT_EQ(last.at("a8").as_u64(), 0u);  // FaultCode::kKill
+    // Round stamps within one worker's ring are strictly increasing.
+    std::uint64_t prev = 0;
+    bool have_prev = false;
+    for (const wfsort::Json& e : events) {
+      const std::uint64_t t = e.at("t").as_u64();
+      if (have_prev) {
+        EXPECT_GT(t, prev);
+      }
+      prev = t;
+      have_prev = true;
+    }
+  }
+}
+
 // The lone-survivor scenario is the bound's worst case: one processor must
 // absorb the whole job.  Pin it explicitly so the calibration (and any
 // future constant change) is anchored to the scenario that actually

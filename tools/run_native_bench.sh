@@ -20,13 +20,19 @@
 # the script succeeds — a debug-build number must never be committed.
 #
 # Usage:
-#   tools/run_native_bench.sh [build-dir] [extra benchmark args...]
+#   tools/run_native_bench.sh [build-dir] [--append-history] [extra benchmark args...]
 #
 # The build directory defaults to ./build-release and must already contain a
 # configured Release build; the script builds (only) the bench_e11_native
 # and wfsort_cli targets in it.  Extra arguments are forwarded to the
 # benchmark binary, e.g.:
 #   tools/run_native_bench.sh build-release --benchmark_filter='Det/1048576'
+#
+# --append-history additionally appends the freshly validated
+# "wfsort-bench-v1" envelope as one compact line to BENCH_history.jsonl at
+# the repo root — the longitudinal record behind perf trend lines.  The file
+# itself is validated per-line (`wfsort validate BENCH_history.jsonl`), so a
+# debug-build line can never slip in.
 #
 # Scaling-sweep knobs (environment): WFSORT_SCALING_N (default 1048576),
 # WFSORT_SCALING_REPS (default 2), WFSORT_SCALING_THREADS (default: powers
@@ -36,6 +42,17 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-release}"
 shift $(( $# > 0 ? 1 : 0 ))
+
+append_history=0
+fwd_args=()
+for arg in "$@"; do
+  if [[ "$arg" == "--append-history" ]]; then
+    append_history=1
+  else
+    fwd_args+=( "$arg" )
+  fi
+done
+set -- ${fwd_args[@]+"${fwd_args[@]}"}
 
 if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
   echo "error: '$build_dir' is not a configured CMake build directory" >&2
@@ -64,6 +81,18 @@ echo "wrote $out"
 "$wfsort" bench --n=262144 --threads=4 --reps=2 \
   --stats-json="$repo_root/BENCH_native_stats.json"
 "$wfsort" validate "$repo_root/BENCH_native_stats.json" --require-release
+
+if [[ "$append_history" == 1 ]]; then
+  history="$repo_root/BENCH_history.jsonl"
+  python3 - "$repo_root/BENCH_native_stats.json" "$history" <<'EOF'
+import json, sys
+env = json.load(open(sys.argv[1]))
+with open(sys.argv[2], 'a') as f:
+    f.write(json.dumps(env, separators=(',', ':')) + '\n')
+EOF
+  "$wfsort" validate "$history" --require-release
+  echo "appended envelope to $history"
+fi
 
 scaling_args=( --n="${WFSORT_SCALING_N:-1048576}" --reps="${WFSORT_SCALING_REPS:-2}" )
 if [[ -n "${WFSORT_SCALING_THREADS:-}" ]]; then
