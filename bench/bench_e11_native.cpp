@@ -16,6 +16,7 @@
 #include "baselines/lock_parallel_quicksort.h"
 #include "baselines/parallel_mergesort.h"
 #include "baselines/sequential.h"
+#include "core/pool.h"
 #include "core/sort.h"
 #include "exp/workloads.h"
 
@@ -84,6 +85,36 @@ void BM_WaitFreeSortLc(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
+// Cold vs pooled (ISSUE 10): BM_WaitFreeSortCold is BM_WaitFreeSortDet
+// registered over the small-N sweep — every iteration pays the full setup
+// bill (thread spawn + storage allocation).  BM_WaitFreeSortPooled drives
+// the same engine through the process-wide SortPool, so consecutive
+// iterations are exactly the back-to-back submit pattern the pool exists
+// for: recycled arenas, parked workers, caller-only fast path below
+// kCallerOnlyCutoff.  Outputs are bit-identical; only setup is amortized.
+void BM_WaitFreeSortCold(benchmark::State& state) {
+  const auto base = input(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    auto v = base;
+    wfsort::sort(std::span<std::uint64_t>(v), wfsort::Options{.threads = threads});
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_WaitFreeSortPooled(benchmark::State& state) {
+  const auto base = input(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    auto v = base;
+    wfsort::default_pool().sort(std::span<std::uint64_t>(v),
+                                wfsort::Options{.threads = threads});
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
 void BM_LockParallelQuicksort(benchmark::State& state) {
   const auto base = input(static_cast<std::size_t>(state.range(0)));
   const auto threads = static_cast<std::uint32_t>(state.range(1));
@@ -147,6 +178,25 @@ BENCHMARK(BM_WaitFreeSortLc)
     ->Args({1 << 14, 4})
     ->Args({1 << 20, 4})
     ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+// The small-N sweep 2^10..2^16 (where setup IS the latency), plus a 2^20
+// parity row (pooled must be within noise of cold at large N).  Microsecond
+// units: the pooled small-N rows are far below a millisecond.
+BENCHMARK(BM_WaitFreeSortCold)
+    ->Args({1 << 10, 4})
+    ->Args({1 << 12, 4})
+    ->Args({1 << 14, 4})
+    ->Args({1 << 16, 4})
+    ->Args({1 << 20, 4})
+    ->Unit(benchmark::kMicrosecond)
+    ->MinTime(0.2);
+BENCHMARK(BM_WaitFreeSortPooled)
+    ->Args({1 << 10, 4})
+    ->Args({1 << 12, 4})
+    ->Args({1 << 14, 4})
+    ->Args({1 << 16, 4})
+    ->Args({1 << 20, 4})
+    ->Unit(benchmark::kMicrosecond)
     ->MinTime(0.2);
 BENCHMARK(BM_LockParallelQuicksort)
     ->Args({1 << 16, 1})

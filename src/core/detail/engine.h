@@ -33,6 +33,7 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/bits.h"
 #include "common/check.h"
 #include "common/rng.h"
@@ -97,36 +98,56 @@ class PhaseClock {
   std::chrono::steady_clock::time_point t0_{};
 };
 
+// Below this size the low-contention variant falls back to the
+// deterministic one: with fewer elements than this there is no slice worth
+// pre-sorting and no contention worth spreading.  (Namespace scope, not
+// Engine scope: SortPool's arena-lane selection mirrors the fallback and
+// must not have to name a template instantiation to do it.)
+inline constexpr std::uint64_t kLcMinN = 64;
+
+// Output copy-back is chunked so finished workers can share it; the
+// per-chunk done flags make finalize()'s sweep exact.
+inline constexpr std::uint64_t kCopyChunk = 8192;
+
+// Telemetry scratch slots cover every worker id a SortSession can hand
+// out (its kMaxWorkers), not just the nominal thread count — replacement
+// workers get ids past `threads` and must still be recordable.  SortPool
+// sizes its recycled Recorders with the same formula as the Engine.
+inline constexpr std::uint32_t kTelemetrySlots = 64;
+
 template <typename Key, typename Compare>
 class Engine {
  public:
-  // Below this size the low-contention variant falls back to the
-  // deterministic one: with fewer elements than this there is no slice worth
-  // pre-sorting and no contention worth spreading.
-  static constexpr std::uint64_t kLcMinN = 64;
-
-  // Output copy-back is chunked so finished workers can share it; the
-  // per-chunk done flags make finalize()'s sweep exact.
-  static constexpr std::uint64_t kCopyChunk = 8192;
-
-  // Telemetry scratch slots cover every worker id a SortSession can hand
-  // out (its kMaxWorkers), not just the nominal thread count — replacement
-  // workers get ids past `threads` and must still be recordable.
-  static constexpr std::uint32_t kTelemetrySlots = 64;
 
   // `assemble_into_data` controls whether workers (and finalize) write the
   // sorted output back into `data`; sort_permutation turns it off because
   // its input must stay untouched.
+  //
+  // `arena` (optional) is where every shared structure of the run — node
+  // records, output slots, WAT done-bits, partition scratch, LC fat-tree
+  // planes — takes its storage from.  Null means the engine wraps its own
+  // private arena (the cold one-shot path: allocate, sort, free).  SortPool
+  // passes its recycled per-variant arena instead, which is what makes
+  // steady-state pooled submits allocation-free.  The arena must outlive
+  // the Engine, and its begin_run() must have been called for this run.
+  //
+  // `recorder` (optional, only meaningful when Options::telemetry != kOff)
+  // lends the engine pre-sized telemetry scratch; null means the engine
+  // builds its own.  A borrowed recorder must already be reuse()-armed and
+  // shape-matched (SortPool does both).
   Engine(std::span<Key> data, Compare cmp, const Options& opts,
-         bool assemble_into_data = true)
+         bool assemble_into_data = true, RunArena* arena = nullptr,
+         telemetry::Recorder* recorder = nullptr)
       : data_(data),
         opts_(opts),
         nominal_threads_(opts.resolved_threads()),
         wat_batch_(std::max<std::uint64_t>(1, opts.wat_batch)),
         seq_cutoff_(opts.seq_cutoff),
         copy_back_(assemble_into_data),
-        st_(std::span<const Key>(data.data(), data.size()), cmp),
-        wat_(batch_jobs(data.size() < 2 ? 1 : data.size(), wat_batch_)) {
+        arena_(arena != nullptr ? arena : &own_arena_),
+        st_(std::span<const Key>(data.data(), data.size()), cmp, *arena_),
+        wat_(batch_jobs(data.size() < 2 ? 1 : data.size(), wat_batch_),
+             *arena_) {
     effective_variant_ = opts.variant;
     if (effective_variant_ == Variant::kLowContention && data.size() < kLcMinN) {
       effective_variant_ = Variant::kDeterministic;
@@ -134,22 +155,39 @@ class Engine {
     if (effective_variant_ == Variant::kLowContention) init_lc();
     if (effective_variant_ == Variant::kDeterministic &&
         opts.phase1 == Phase1::kPartition && data_.size() > 1) {
-      part_ = std::make_unique<PartitionShared<Key>>(
-          std::span<const Key>(data_.data(), data_.size()));
+      part_ = arena_->create<PartitionShared<Key>>(
+          std::span<const Key>(data_.data(), data_.size()), *arena_);
     }
     if (opts.telemetry != telemetry::Level::kOff && data_.size() > 1) {
-      recorder_ = std::make_unique<telemetry::Recorder>(
-          opts.telemetry, std::max(nominal_threads_, kTelemetrySlots),
-          opts.ring_capacity);
+      if (recorder != nullptr) {
+        recorder_ = recorder;
+      } else {
+        recorder_owned_ = std::make_unique<telemetry::Recorder>(
+            opts.telemetry, std::max(nominal_threads_, kTelemetrySlots),
+            opts.ring_capacity);
+        recorder_ = recorder_owned_.get();
+      }
     }
     if (copy_back_ && data_.size() > 1) {
       copy_chunks_ = (data_.size() + kCopyChunk - 1) / kCopyChunk;
-      copy_done_ = std::make_unique<std::atomic<std::uint8_t>[]>(copy_chunks_);
+      copy_done_ =
+          ArenaArray<std::atomic<std::uint8_t>>(copy_chunks_, *arena_);
       for (std::uint64_t c = 0; c < copy_chunks_; ++c) {
         copy_done_[c].store(0, std::memory_order_relaxed);
       }
     }
   }
+
+  // Arena-placed shared structures need their destructors run before the
+  // arena recycles the storage (their bulk arrays are arena-borrowed and
+  // trivially destructible, but the objects themselves are not).
+  ~Engine() {
+    if (lc_ != nullptr) lc_->~LcShared();
+    if (part_ != nullptr) part_->~PartitionShared();
+  }
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   Variant effective_variant() const { return effective_variant_; }
 
@@ -206,7 +244,6 @@ class Engine {
     for (std::uint64_t c = 0; c < copy_chunks_; ++c) {
       if (copy_done_[c].load(std::memory_order_acquire) == 0) copy_chunk(c);
     }
-    measured_depth_ = st_.measure_depth();
     snapshot_telemetry();
   }
 
@@ -226,7 +263,7 @@ class Engine {
 
   // The run's recorder, for observers that sample the flight-recorder rings
   // while workers are live (telemetry::Monitor).  Null at Level::kOff.
-  const telemetry::Recorder* recorder() const { return recorder_.get(); }
+  const telemetry::Recorder* recorder() const { return recorder_; }
 
   SortStats stats() const {
     SortStats s;
@@ -240,7 +277,7 @@ class Engine {
     s.cas_successes = install_cas_.load(std::memory_order_relaxed);
     s.fat_read_misses = fat_misses_.load(std::memory_order_relaxed);
     s.telemetry = report_;
-    s.tree_depth = measured_depth_;
+    s.tree_depth = measured_depth();
     s.phase1_ms = static_cast<double>(phase1_us_.load(std::memory_order_relaxed)) / 1000.0;
     s.phase2_ms = static_cast<double>(phase2_us_.load(std::memory_order_relaxed)) / 1000.0;
     s.phase3_ms = static_cast<double>(phase3_us_.load(std::memory_order_relaxed)) / 1000.0;
@@ -259,30 +296,42 @@ class Engine {
     std::uint32_t levels = 0;      // H: fat-tree levels
     std::uint64_t slice_len = 0;   // S = 2^H - 1
     std::uint32_t groups = 0;      // sqrt-style group count
-    std::vector<std::unique_ptr<TreeState<Key, Compare>>> group_states;
-    std::vector<std::unique_ptr<Wat>> group_wats;
+    // Group pre-sort structures, placement-new'd into arena storage by
+    // init_lc (`constructed` tracks how many pairs the dtor must unwind).
+    TreeState<Key, Compare>* group_states = nullptr;
+    Wat* group_wats = nullptr;
+    std::uint32_t constructed = 0;
     WinnerTree winner;
     FatTree fat;
     LcWat insert_wat;  // randomized phase-1 allocation, one job per K-run
     LcMarks sum_marks;
     LcMarks place_marks;
-    // The winner slice's sorted order (global element indices), built once
-    // by whichever worker reaches Stage C first and published write-once;
-    // every worker computes identical contents, so first-wins is safe.
-    std::atomic<const std::vector<std::int64_t>*> sorted_idx{nullptr};
+    // The winner slice's sorted order (global element indices).  Every
+    // worker that reaches Stage C before a publication builds the identical
+    // contents into its OWN slice of `sorted_bufs` (one slice per worker
+    // id, so concurrent builders never write the same bytes) and the first
+    // CAS wins; losers simply adopt the published pointer.
+    std::int64_t* sorted_bufs = nullptr;  // [sorted_slots] x [slice_len]
+    std::uint32_t sorted_slots = 0;
+    std::atomic<const std::int64_t*> sorted_idx{nullptr};
 
     LcShared(std::uint32_t levels_in, std::uint64_t slice_in, std::uint32_t groups_in,
              std::uint32_t threads, std::uint32_t copies, std::uint64_t n,
-             std::uint64_t insert_jobs)
+             std::uint64_t insert_jobs, RunArena& arena)
         : levels(levels_in),
           slice_len(slice_in),
           groups(groups_in),
-          winner(threads),
-          fat(levels_in, copies),
-          insert_wat(insert_jobs),
-          sum_marks(n),
-          place_marks(n) {}
-    ~LcShared() { delete sorted_idx.load(std::memory_order_acquire); }
+          winner(threads, /*wait_unit=*/4, arena),
+          fat(levels_in, copies, arena),
+          insert_wat(insert_jobs, arena),
+          sum_marks(n, arena),
+          place_marks(n, arena) {}
+    ~LcShared() {
+      for (std::uint32_t g = constructed; g-- > 0;) {
+        group_wats[g].~Wat();
+        group_states[g].~TreeState();
+      }
+    }
   };
 
   void init_lc() {
@@ -295,14 +344,25 @@ class Engine {
     const std::uint32_t copies =
         opts_.lc_copies != 0 ? opts_.lc_copies
                              : std::max<std::uint32_t>(2, isqrt(nominal_threads_));
-    lc_ = std::make_unique<LcShared>(levels, slice, groups, nominal_threads_, copies, n,
-                                     batch_jobs(n, wat_batch_));
+    RunArena& arena = *arena_;
+    lc_ = arena.create<LcShared>(levels, slice, groups, nominal_threads_, copies,
+                                 n, batch_jobs(n, wat_batch_), arena);
+    lc_->group_states = static_cast<TreeState<Key, Compare>*>(
+        arena.raw(sizeof(TreeState<Key, Compare>) * groups));
+    lc_->group_wats = static_cast<Wat*>(arena.raw(sizeof(Wat) * groups));
     for (std::uint32_t g = 0; g < groups; ++g) {
       auto keys = std::span<const Key>(data_.data() + g * slice, slice);
-      lc_->group_states.push_back(
-          std::make_unique<TreeState<Key, Compare>>(keys, st_.cmp));
-      lc_->group_wats.push_back(std::make_unique<Wat>(batch_jobs(slice, wat_batch_)));
+      ::new (static_cast<void*>(lc_->group_states + g))
+          TreeState<Key, Compare>(keys, st_.cmp, arena);
+      ::new (static_cast<void*>(lc_->group_wats + g))
+          Wat(batch_jobs(slice, wat_batch_), arena);
+      ++lc_->constructed;
     }
+    // One sorted-order buffer per worker id the run can legally use (same
+    // bound as the telemetry slots: SortSession replacement ids included).
+    lc_->sorted_slots = std::max(nominal_threads_, kTelemetrySlots);
+    lc_->sorted_bufs = arena.make<std::int64_t>(
+        static_cast<std::size_t>(lc_->sorted_slots) * slice);
   }
 
   // Flush a per-worker phase-1 tally into the shared statistics — one RMW
@@ -416,7 +476,10 @@ class Engine {
     [[maybe_unused]] bool tel_detail = false;
     if constexpr (kTel) tel_detail = tel->detail;
     PartitionShared<Key>& ps = *part_;
-    PartitionLocal<Key> local;
+    // thread_local: pooled workers keep the classify/scatter scratch warm
+    // across runs (run_worker is never reentrant on one thread).
+    static thread_local PartitionLocal<Key> local;
+    local.begin_run();
 
     const auto flush = [&] {
       if constexpr (kTel) {
@@ -516,8 +579,8 @@ class Engine {
     const std::uint32_t group = tid % lc.groups;
     const std::uint32_t group_workers =
         std::max<std::uint32_t>(1, nominal_threads_ / lc.groups);
-    TreeState<Key, Compare>& gst = *lc.group_states[group];
-    Wat& gwat = *lc.group_wats[group];
+    TreeState<Key, Compare>& gst = lc.group_states[group];
+    Wat& gwat = lc.group_wats[group];
     const std::int64_t slice_n = static_cast<std::int64_t>(lc.slice_len);
     std::int64_t node = gwat.initial_leaf(tid / lc.groups, group_workers);
     [[maybe_unused]] std::uint64_t wat_probes = 1;  // WAT nodes since last claim
@@ -569,14 +632,16 @@ class Engine {
     // Stage C: reconstruct the winner slice's sorted order (global element
     // indices).  The winner candidate was submitted by a worker that
     // completed the slice, so every place is set and the contents are the
-    // same for every worker — the first one to finish publishes its copy
-    // via a write-once pointer and everyone else reuses it.
+    // same for every worker — each builder fills its own per-worker buffer
+    // (never shared bytes), the first to finish publishes its pointer
+    // write-once, and everyone else reuses the published copy.
     if constexpr (kTel) tel->begin_phase(telemetry::PhaseId::kLcSortedIdx);
-    const std::vector<std::int64_t>* si =
-        lc.sorted_idx.load(std::memory_order_acquire);
+    const std::int64_t* si = lc.sorted_idx.load(std::memory_order_acquire);
     if (si == nullptr) {
-      auto built = std::make_unique<std::vector<std::int64_t>>(lc.slice_len);
-      TreeState<Key, Compare>& wst = *lc.group_states[static_cast<std::size_t>(w)];
+      WFSORT_CHECK(tid < lc.sorted_slots);
+      std::int64_t* built =
+          lc.sorted_bufs + static_cast<std::uint64_t>(tid) * lc.slice_len;
+      TreeState<Key, Compare>& wst = lc.group_states[static_cast<std::size_t>(w)];
       for (std::uint64_t i = 0; i < lc.slice_len; ++i) {
         if (!chk()) {
           flush_build(tally);
@@ -584,20 +649,20 @@ class Engine {
         }
         const std::int64_t pl = wst.place_of(static_cast<std::int64_t>(i));
         WFSORT_CHECK(pl > 0);
-        (*built)[static_cast<std::size_t>(pl - 1)] =
+        built[static_cast<std::size_t>(pl - 1)] =
             static_cast<std::int64_t>(w) * static_cast<std::int64_t>(lc.slice_len) +
             static_cast<std::int64_t>(i);
       }
-      const std::vector<std::int64_t>* expected = nullptr;
-      if (lc.sorted_idx.compare_exchange_strong(expected, built.get(),
+      const std::int64_t* expected = nullptr;
+      if (lc.sorted_idx.compare_exchange_strong(expected, built,
                                                 std::memory_order_acq_rel,
                                                 std::memory_order_acquire)) {
-        si = built.release();
+        si = built;
       } else {
-        si = expected;  // someone else published first; ours is discarded
+        si = expected;  // someone else published first; ours is ignored
       }
     }
-    const std::span<const std::int64_t> sorted_idx(*si);
+    const std::span<const std::int64_t> sorted_idx(si, lc.slice_len);
 
     // Stage D: fatten the winner tree (write-most) and stitch its structure
     // into the main pivot tree.  All writes are idempotent (identical values
@@ -644,7 +709,10 @@ class Engine {
     const std::int64_t wend = wbase + static_cast<std::int64_t>(lc.slice_len);
     const std::int64_t n = st_.n();
     std::uint64_t fat_reads = 0;
-    std::vector<std::int64_t> run;
+    // thread_local: pooled workers keep the stripe buffer's capacity warm
+    // across runs (run_worker is never reentrant on one thread).
+    static thread_local std::vector<std::int64_t> run;
+    run.clear();
     run.reserve(static_cast<std::size_t>(wat_batch_));
     [[maybe_unused]] std::uint64_t lcwat_probes = 0;  // step() calls since last claim
     const auto insert_run = [&](std::uint64_t j) {
@@ -777,6 +845,17 @@ class Engine {
     }
   }
 
+  // Pivot-tree depth is a diagnostic, not a by-product of the sort: it is
+  // measured lazily, the first time stats() wants it, so plain (statsless)
+  // runs skip the full-tree walk entirely.  Same calling contract as
+  // stats(): workers joined, at least one completed.
+  std::uint32_t measured_depth() const {
+    if (measured_depth_ == 0 && data_.size() > 1 && result_ready()) {
+      measured_depth_ = st_.measure_depth();
+    }
+    return measured_depth_;
+  }
+
   std::span<Key> data_;
   Options opts_;
   Variant effective_variant_;
@@ -784,16 +863,22 @@ class Engine {
   std::uint64_t wat_batch_;
   std::uint64_t seq_cutoff_;
   bool copy_back_;
+  // The run's storage substrate (declared before every structure that
+  // borrows from it; destroyed after them).  arena_ points at own_arena_
+  // on the cold path and at SortPool's recycled arena on the pooled path.
+  RunArena own_arena_;
+  RunArena* arena_;
   TreeState<Key, Compare> st_;
   Wat wat_;
-  std::unique_ptr<LcShared> lc_;
-  std::unique_ptr<PartitionShared<Key>> part_;  // Phase1::kPartition only
+  LcShared* lc_ = nullptr;                // arena-placed; dtor runs in ~Engine
+  PartitionShared<Key>* part_ = nullptr;  // Phase1::kPartition only; ditto
 
   std::uint64_t copy_chunks_ = 0;
   std::atomic<std::uint64_t> copy_next_{0};
-  std::unique_ptr<std::atomic<std::uint8_t>[]> copy_done_;
+  ArenaArray<std::atomic<std::uint8_t>> copy_done_;
 
-  std::unique_ptr<telemetry::Recorder> recorder_;
+  telemetry::Recorder* recorder_ = nullptr;  // borrowed (pool) or owned below
+  std::unique_ptr<telemetry::Recorder> recorder_owned_;
   std::shared_ptr<const telemetry::Report> report_;
 
   std::atomic<std::uint64_t> max_build_iters_{0};
@@ -802,7 +887,7 @@ class Engine {
   std::atomic<std::uint64_t> install_cas_{0};
   std::atomic<std::uint32_t> completed_{0};
   std::atomic<std::uint32_t> crashed_{0};
-  std::uint32_t measured_depth_ = 0;
+  mutable std::uint32_t measured_depth_ = 0;  // lazy; see measured_depth()
   std::atomic<std::uint64_t> fat_misses_{0};
   std::atomic<std::uint64_t> phase1_us_{0};
   std::atomic<std::uint64_t> phase2_us_{0};

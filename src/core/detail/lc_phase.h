@@ -62,6 +62,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "core/detail/tree_state.h"
 
@@ -72,10 +73,10 @@ enum LcMark : std::uint8_t { kLcEmpty = 0, kLcDone = 1, kLcAllDone = 2 };
 // Per-phase announcement flags, one byte per element.
 class LcMarks {
  public:
-  explicit LcMarks(std::size_t n) : marks_(n) {
-    for (auto& m : marks_) m.store(kLcEmpty, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-  }
+  explicit LcMarks(std::size_t n) : marks_(n) { init(); }
+
+  // Pooled form: the mark bytes borrow RunArena storage.
+  LcMarks(std::size_t n, RunArena& arena) : marks_(n, arena) { init(); }
 
   LcMark get(std::int64_t i) const {
     return static_cast<LcMark>(
@@ -86,11 +87,20 @@ class LcMarks {
   }
   // The full ALLDONE sweep (run by the root-marker; idempotent).
   void set_all(LcMark m) {
-    for (auto& mk : marks_) mk.store(m, std::memory_order_release);
+    for (std::size_t i = 0; i < marks_.size(); ++i) {
+      marks_[i].store(m, std::memory_order_release);
+    }
   }
 
  private:
-  std::vector<std::atomic<std::uint8_t>> marks_;
+  void init() {
+    for (std::size_t i = 0; i < marks_.size(); ++i) {
+      marks_[i].store(kLcEmpty, std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  ArenaArray<std::atomic<std::uint8_t>> marks_;
 };
 
 // Per-worker accumulator for the randomized phases, flushed into telemetry
@@ -120,7 +130,11 @@ bool lc_tree_sum(TreeState<Key, Compare>& st, LcMarks& marks, Rng& rng,
   const std::uint64_t un = static_cast<std::uint64_t>(n);
   const std::uint64_t budget = burst == 0 ? 1 : burst;
 
-  std::vector<LcBurstFrame> stack;
+  // Reused across runs so a pooled worker's steady-state probes allocate
+  // nothing; run_worker is never reentrant on one thread, so the scratch
+  // cannot be aliased.
+  static thread_local std::vector<LcBurstFrame> stack;
+  stack.clear();
   stack.reserve(static_cast<std::size_t>(budget) + 2);
 
   // Sum `e` if both children are summed; returns true if `e` was the root
@@ -214,7 +228,8 @@ bool lc_find_place_emit(TreeState<Key, Compare>& st, LcMarks& marks, Rng& rng,
   const std::int64_t root = st.root_idx();
   const std::uint64_t budget = burst == 0 ? 1 : burst;
 
-  std::vector<LcBurstFrame> stack;
+  static thread_local std::vector<LcBurstFrame> stack;  // see lc_tree_sum
+  stack.clear();
   stack.reserve(static_cast<std::size_t>(budget) + 2);
 
   // Downward rule: a placed element places its children.

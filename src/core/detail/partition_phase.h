@@ -57,6 +57,7 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "core/detail/leaf_sort.h"
 #include "core/detail/tree_state.h"
@@ -82,20 +83,20 @@ struct PartitionShared {
   // caller's buffer is off-limits once finished workers start copying the
   // output back over it), so the partition phase keeps its own dense copy —
   // sizeof(Key) per element, sequential.
-  std::vector<Key> keys;
+  ArenaArray<Key> keys;
   // chunks x buckets per-chunk bucket counts (row-major).  Written with
   // relaxed stores of identical values; completeness and visibility are
   // gated by classify_wat's done flags, never by the values themselves.
-  std::vector<std::atomic<std::uint32_t>> hist;
+  ArenaArray<std::atomic<std::uint32_t>> hist;
   // Per-element bucket id, filled by classify and read back by scatter so
   // the splitter binary search runs once per element, not twice.  Same
   // idempotent-store / ALLDONE-gated discipline as `hist`; uint16 because
   // kMaxBuckets is 1024.
-  std::vector<std::atomic<std::uint16_t>> bucket_id;
+  ArenaArray<std::atomic<std::uint16_t>> bucket_id;
   // Scattered (key, index) pairs, one deterministic slot per element.  The
   // index fits uint32 by the ctor CHECK below.
-  std::vector<std::atomic<Key>> skey;
-  std::vector<std::atomic<std::uint32_t>> sidx;
+  ArenaArray<std::atomic<Key>> skey;
+  ArenaArray<std::atomic<std::uint32_t>> sidx;
 
   Wat classify_wat;
   Wat scatter_wat;
@@ -106,7 +107,7 @@ struct PartitionShared {
         chunks((n + kChunk - 1) / kChunk),
         buckets(std::min(std::max<std::int64_t>(n / kChunk, 1), kMaxBuckets)),
         sample_size(std::min(kOversample * buckets, n)),
-        keys(input.begin(), input.end()),
+        keys(input.size()),
         hist(static_cast<std::size_t>(chunks * buckets)),
         bucket_id(static_cast<std::size_t>(n)),
         skey(static_cast<std::size_t>(n)),
@@ -114,10 +115,32 @@ struct PartitionShared {
         classify_wat(static_cast<std::uint64_t>(chunks)),
         scatter_wat(static_cast<std::uint64_t>(chunks)),
         bucket_wat(static_cast<std::uint64_t>(buckets)) {
+    init(input);
+  }
+
+  // Pooled form: all shared arrays and Wat done-bits borrow RunArena storage.
+  PartitionShared(std::span<const Key> input, RunArena& arena)
+      : n(static_cast<std::int64_t>(input.size())),
+        chunks((n + kChunk - 1) / kChunk),
+        buckets(std::min(std::max<std::int64_t>(n / kChunk, 1), kMaxBuckets)),
+        sample_size(std::min(kOversample * buckets, n)),
+        keys(input.size(), arena),
+        hist(static_cast<std::size_t>(chunks * buckets), arena),
+        bucket_id(static_cast<std::size_t>(n), arena),
+        skey(static_cast<std::size_t>(n), arena),
+        sidx(static_cast<std::size_t>(n), arena),
+        classify_wat(static_cast<std::uint64_t>(chunks), arena),
+        scatter_wat(static_cast<std::uint64_t>(chunks), arena),
+        bucket_wat(static_cast<std::uint64_t>(buckets), arena) {
+    init(input);
+  }
+
+  void init(std::span<const Key> input) {
     WFSORT_CHECK(n > 0);
     // Scatter-offset bookkeeping and sidx are uint32; 2^32 elements is
     // 32 GiB of keys.
     WFSORT_CHECK(n <= static_cast<std::int64_t>(UINT32_MAX));
+    for (std::size_t i = 0; i < input.size(); ++i) keys[i] = input[i];
   }
 
   const Key& key(std::int64_t i) const {
@@ -136,8 +159,17 @@ struct PartitionLocal {
   std::vector<std::int64_t> base;          // buckets+1 bucket base slots
   std::vector<std::uint32_t> cursor;       // scatter scratch (buckets)
   std::vector<LeafItem<Key>> items;        // bucket gather/sort scratch
+  std::vector<std::uint32_t> run;          // partition_offsets cursor scratch
   bool offsets_ready = false;
   LeafSortTally tally;                     // folded into telemetry by the engine
+
+  // Re-arm worker-persistent (thread_local) scratch for a new run: the
+  // vectors keep their capacity — that is the point — but everything the
+  // previous run computed must be recomputed against the new input.
+  void begin_run() {
+    offsets_ready = false;
+    tally = {};
+  }
 };
 
 // Bucket of one (key, index) item: the number of splitters strictly below it
@@ -246,7 +278,8 @@ bool partition_offsets(const PartitionShared<Key>& ps, PartitionLocal<Key>& loca
   // Running per-bucket cursors -> absolute start slot of every (chunk,
   // bucket) run.
   local.offsets.resize(static_cast<std::size_t>(ps.chunks * ps.buckets));
-  std::vector<std::uint32_t> run(nb);
+  std::vector<std::uint32_t>& run = local.run;
+  run.assign(nb, 0);
   for (std::size_t b = 0; b < nb; ++b) {
     run[b] = static_cast<std::uint32_t>(base[b]);
   }

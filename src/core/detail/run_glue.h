@@ -1,0 +1,61 @@
+// Glue shared by every native run entry point (sort.h's one-shot templates,
+// pool.h's SortPool submits): deciding whether a run wants a live monitor,
+// building/starting one, and draining it when the run ends.  Lives below
+// sort.h so pool.h can reuse it without a circular include.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "core/options.h"
+#include "telemetry/monitor.h"
+#include "telemetry/recorder.h"
+
+namespace wfsort::detail {
+
+// A run pays for monitor plumbing (a steady_clock read before the engine is
+// built, the Monitor construction attempt) only when the Options actually
+// ask for one: telemetry on (so the engine holds a Recorder with rings) plus
+// a sink path and a sampling interval.
+inline bool monitor_wanted(const Options& opts) {
+  return opts.telemetry != telemetry::Level::kOff &&
+         opts.monitor_interval_ms != 0 && !opts.monitor_path.empty();
+}
+
+// Build and start the run's live monitor when the Options ask for one
+// (monitor_path + monitor_interval_ms set, telemetry on so the engine holds
+// a Recorder).  Returns null — and the sort runs exactly as before — in
+// every other case, including an unopenable sink.
+inline std::unique_ptr<telemetry::Monitor> make_monitor(
+    const telemetry::Recorder* rec, const Options& opts, std::uint64_t n) {
+  if (rec == nullptr || opts.monitor_interval_ms == 0 ||
+      opts.monitor_path.empty()) {
+    return nullptr;
+  }
+  telemetry::Monitor::Config cfg;
+  cfg.path = opts.monitor_path;
+  cfg.interval_ms = opts.monitor_interval_ms;
+  cfg.source = "native";
+  cfg.config.set("variant",
+                 opts.variant == Variant::kLowContention ? "lc" : "det");
+  cfg.config.set("n", static_cast<std::int64_t>(n));
+  cfg.config.set("threads", static_cast<std::int64_t>(opts.resolved_threads()));
+  cfg.config.set("seed", static_cast<std::int64_t>(opts.seed));
+  cfg.config.set("ring_capacity", static_cast<std::int64_t>(opts.ring_capacity));
+  auto mon = std::make_unique<telemetry::Monitor>(rec, std::move(cfg));
+  if (!mon->ok()) return nullptr;
+  mon->start();
+  return mon;
+}
+
+// note_job + final drain for a monitored run; no-op on null.
+inline void finish_monitor(telemetry::Monitor* mon,
+                           std::chrono::steady_clock::time_point t_start) {
+  if (mon == nullptr) return;
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t_start);
+  mon->note_job(static_cast<std::uint64_t>(us.count()));
+  mon->stop();
+}
+
+}  // namespace wfsort::detail

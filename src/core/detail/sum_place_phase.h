@@ -76,7 +76,11 @@ bool tree_sum(TreeState<Key, Compare>& st, std::uint32_t pid, Check&& keep_going
     std::int64_t small;      // children, loaded once at stage 0
     std::int64_t big;
   };
-  std::vector<Frame> stack;
+  // thread_local: persistent pool workers reuse the DFS stack across runs
+  // (zero steady-state allocations); run_worker is never reentrant on one
+  // thread, so the scratch cannot be aliased.
+  static thread_local std::vector<Frame> stack;
+  stack.clear();
   stack.reserve(64);
   stack.push_back({st.root_idx(), 0, 0, 0, kNoIdx, kNoIdx});
   std::int64_t ret = 0;  // value "returned" by the frame just popped (or by
@@ -223,10 +227,16 @@ bool find_place_emit(TreeState<Key, Compare>& st, std::uint32_t pid, PrunePlaced
     std::uint32_t depth;
     std::uint8_t stage;  // 1 = post-frame: both children complete
   };
-  std::vector<Frame> stack;
+  // thread_local for the same reason as tree_sum's stack: steady-state
+  // pooled runs reuse the worker's warmed-up capacity instead of
+  // reallocating per run.
+  static thread_local std::vector<Frame> stack;
+  static thread_local std::vector<std::int64_t> scratch;
+  static thread_local std::vector<LeafItem<Key>> items;
+  stack.clear();
   stack.reserve(96);
-  std::vector<std::int64_t> scratch;
-  std::vector<LeafItem<Key>> items;
+  scratch.clear();
+  items.clear();
   if (seq_cutoff != 0) {
     const std::size_t cap = static_cast<std::size_t>(
         std::min<std::uint64_t>(seq_cutoff, static_cast<std::uint64_t>(st.n())));

@@ -26,6 +26,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
 
 namespace wfsort::detail {
@@ -60,11 +61,23 @@ struct TreeState {
   // stores the same value, so the atomic is only for data-race freedom).
   std::atomic<std::int64_t> root{0};
 
-  std::unique_ptr<PackedNode<Key>[]> nodes;  // one record per element
-  std::vector<std::atomic<Key>> out;         // sorted result (index place-1)
+  ArenaArray<PackedNode<Key>> nodes;  // one record per element
+  ArenaArray<std::atomic<Key>> out;   // sorted result (index place-1)
 
   TreeState(std::span<const Key> k, Compare c)
-      : keys(k), cmp(c), nodes(new PackedNode<Key>[k.size()]), out(k.size()) {
+      : keys(k), cmp(c), nodes(k.size()), out(k.size()) {
+    init();
+  }
+
+  // Pooled form: records and output borrow RunArena storage.
+  TreeState(std::span<const Key> k, Compare c, RunArena& arena)
+      : keys(k), cmp(c), nodes(k.size(), arena), out(k.size(), arena) {
+    init();
+  }
+
+  void init() {
+    const std::span<const Key> k = keys;
+    root.store(0, std::memory_order_relaxed);
     for (std::size_t i = 0; i < k.size(); ++i) {
       PackedNode<Key>& nd = nodes[i];
       nd.child[0].store(kNoIdx, std::memory_order_relaxed);

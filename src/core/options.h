@@ -118,8 +118,13 @@ struct Options {
 
   std::uint32_t resolved_threads() const {
     if (threads != 0) return threads;
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1u : hw;
+    // hardware_concurrency() can cost a syscall on some libstdc++ builds;
+    // the machine shape doesn't change mid-process, so resolve it once.
+    static const std::uint32_t hw = [] {
+      const unsigned v = std::thread::hardware_concurrency();
+      return v == 0 ? 1u : static_cast<std::uint32_t>(v);
+    }();
+    return hw;
   }
 };
 

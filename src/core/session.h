@@ -11,19 +11,27 @@
 // the remaining workers; if every worker was reaped before the sort
 // finished, the calling thread completes the sort itself — wait-freedom
 // makes that always possible and always safe.
+//
+// Worker threads come from the process-wide SortPool (pool.h) rather than
+// per-call std::jthreads: spawn_worker enqueues a detached pool job for the
+// new worker id, and wait() drains the session's outstanding jobs — helping
+// to execute them on the calling thread if the pool is short-handed, so the
+// join semantics (and the reap-all edge cases in test_session.cpp) are
+// unchanged.  The engine keeps its own private arena: a session lives
+// arbitrarily long and must not hold a pool lane hostage.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
-#include <thread>
-#include <vector>
 
 #include "common/check.h"
 #include "core/detail/engine.h"
 #include "core/options.h"
+#include "core/pool.h"
 #include "runtime/fault_plan.h"
 
 namespace wfsort {
@@ -36,20 +44,22 @@ class SortSession {
   static constexpr std::uint32_t kMaxWorkers = 64;
 
   explicit SortSession(std::span<T> data, Options opts = {}, Compare cmp = Compare{})
-      : engine_(data, cmp, opts), plan_(kMaxWorkers) {}
+      : engine_(data, cmp, opts), plan_(kMaxWorkers), pool_(&default_pool()) {}
 
   ~SortSession() { wait(); }
 
   SortSession(const SortSession&) = delete;
   SortSession& operator=(const SortSession&) = delete;
 
-  // Add a worker thread; returns its id (usable with reap_worker).
+  // Add a worker; returns its id (usable with reap_worker).  The worker is
+  // a detached pool job, picked up by a parked pool thread (or by wait()'s
+  // help loop).
   std::uint32_t spawn_worker() {
     std::lock_guard<std::mutex> lock(mu_);
     WFSORT_CHECK(!finalized_);
     WFSORT_CHECK(next_tid_ < kMaxWorkers);
     const std::uint32_t tid = next_tid_++;
-    threads_.emplace_back([this, tid] { engine_.run_worker(tid, &plan_); });
+    pool_->submit_detached(&SortSession::run_entry, this, tid, &pending_);
     return tid;
   }
 
@@ -66,7 +76,7 @@ class SortSession {
   void wait() {
     std::lock_guard<std::mutex> lock(mu_);
     if (finalized_) return;
-    threads_.clear();  // join
+    pool_->wait_pending(&pending_);  // "join": every submitted job has run
     if (!engine_.result_ready()) {
       WFSORT_CHECK(next_tid_ < kMaxWorkers);
       engine_.run_worker(next_tid_++);  // no plan: runs to completion
@@ -85,10 +95,16 @@ class SortSession {
   }
 
  private:
+  static bool run_entry(void* self, std::uint32_t tid) {
+    auto* s = static_cast<SortSession*>(self);
+    return s->engine_.run_worker(tid, &s->plan_);
+  }
+
   detail::Engine<T, Compare> engine_;
   runtime::FaultPlan plan_;
+  SortPool* pool_;
   std::mutex mu_;
-  std::vector<std::jthread> threads_;
+  std::atomic<std::uint32_t> pending_{0};
   std::uint32_t next_tid_ = 0;
   bool finalized_ = false;
 };

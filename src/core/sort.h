@@ -20,59 +20,26 @@
 #include <vector>
 
 #include "core/detail/engine.h"
+#include "core/detail/run_glue.h"
 #include "core/options.h"
 #include "runtime/fault_plan.h"
 #include "telemetry/monitor.h"
 
 namespace wfsort {
 
-namespace detail {
-
-// Build and start the run's live monitor when the Options ask for one
-// (monitor_path + monitor_interval_ms set, telemetry on so the engine holds
-// a Recorder).  Returns null — and the sort runs exactly as before — in
-// every other case, including an unopenable sink.
-inline std::unique_ptr<telemetry::Monitor> make_monitor(
-    const telemetry::Recorder* rec, const Options& opts, std::uint64_t n) {
-  if (rec == nullptr || opts.monitor_interval_ms == 0 ||
-      opts.monitor_path.empty()) {
-    return nullptr;
-  }
-  telemetry::Monitor::Config cfg;
-  cfg.path = opts.monitor_path;
-  cfg.interval_ms = opts.monitor_interval_ms;
-  cfg.source = "native";
-  cfg.config.set("variant",
-                 opts.variant == Variant::kLowContention ? "lc" : "det");
-  cfg.config.set("n", static_cast<std::int64_t>(n));
-  cfg.config.set("threads", static_cast<std::int64_t>(opts.resolved_threads()));
-  cfg.config.set("seed", static_cast<std::int64_t>(opts.seed));
-  cfg.config.set("ring_capacity", static_cast<std::int64_t>(opts.ring_capacity));
-  auto mon = std::make_unique<telemetry::Monitor>(rec, std::move(cfg));
-  if (!mon->ok()) return nullptr;
-  mon->start();
-  return mon;
-}
-
-// note_job + final drain for a monitored run; no-op on null.
-inline void finish_monitor(telemetry::Monitor* mon,
-                           std::chrono::steady_clock::time_point t_start) {
-  if (mon == nullptr) return;
-  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-      std::chrono::steady_clock::now() - t_start);
-  mon->note_job(static_cast<std::uint64_t>(us.count()));
-  mon->stop();
-}
-
-}  // namespace detail
-
 // Sort `data` in place.  `stats`, if given, receives per-run diagnostics.
 template <typename T, typename Compare = std::less<T>>
 void sort(std::span<T> data, const Options& opts = {}, SortStats* stats = nullptr,
           Compare cmp = Compare{}) {
-  const auto t_start = std::chrono::steady_clock::now();
+  // With telemetry off there is no Recorder, hence no monitor: skip the
+  // clock read and the monitor plumbing entirely on the untraced path.
+  const bool monitored = detail::monitor_wanted(opts);
+  const auto t_start = monitored ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
   detail::Engine<T, Compare> engine(data, cmp, opts);
-  auto monitor = detail::make_monitor(engine.recorder(), opts, data.size());
+  auto monitor =
+      monitored ? detail::make_monitor(engine.recorder(), opts, data.size())
+                : nullptr;
   const std::uint32_t workers = opts.resolved_threads();
   if (workers <= 1 || data.size() <= 1) {
     engine.run_worker(0);
@@ -96,9 +63,13 @@ void sort(std::span<T> data, const Options& opts = {}, SortStats* stats = nullpt
 template <typename T, typename Compare = std::less<T>>
 bool sort_with_faults(std::span<T> data, const Options& opts, runtime::FaultPlan& plan,
                       SortStats* stats = nullptr, Compare cmp = Compare{}) {
-  const auto t_start = std::chrono::steady_clock::now();
+  const bool monitored = detail::monitor_wanted(opts);
+  const auto t_start = monitored ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
   detail::Engine<T, Compare> engine(data, cmp, opts);
-  auto monitor = detail::make_monitor(engine.recorder(), opts, data.size());
+  auto monitor =
+      monitored ? detail::make_monitor(engine.recorder(), opts, data.size())
+                : nullptr;
   const std::uint32_t workers = opts.resolved_threads();
   {
     std::vector<std::jthread> threads;

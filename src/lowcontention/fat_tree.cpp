@@ -19,8 +19,21 @@ FatTree::FatTree(std::uint32_t levels, std::uint32_t copies)
   reset();
 }
 
+FatTree::FatTree(std::uint32_t levels, std::uint32_t copies, RunArena& arena)
+    : levels_(levels),
+      nodes_((std::uint64_t{1} << levels) - 1),
+      copies_(copies),
+      stride_((nodes_ + kCellsPerLine - 1) / kCellsPerLine * kCellsPerLine),
+      cells_(stride_ * copies, arena) {
+  WFSORT_CHECK(levels >= 1);
+  WFSORT_CHECK(copies >= 1);
+  reset();
+}
+
 void FatTree::reset() {
-  for (auto& c : cells_) c.store(kEmptyCell, std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].store(kEmptyCell, std::memory_order_relaxed);
+  }
   std::atomic_thread_fence(std::memory_order_seq_cst);
 }
 

@@ -30,8 +30,8 @@
 #include <atomic>
 #include <cstdint>
 #include <span>
-#include <vector>
 
+#include "common/arena.h"
 #include "common/bits.h"
 #include "common/check.h"
 #include "common/rng.h"
@@ -46,6 +46,8 @@ class FatTree {
   // `levels`: H, the number of BST levels (S = 2^H - 1 nodes).
   // `copies`: duplicates per node.
   FatTree(std::uint32_t levels, std::uint32_t copies);
+  // Pooled form: the cell planes borrow RunArena storage.
+  FatTree(std::uint32_t levels, std::uint32_t copies, RunArena& arena);
 
   std::uint32_t levels() const { return levels_; }
   std::uint64_t node_count() const { return nodes_; }
@@ -120,7 +122,7 @@ class FatTree {
   std::uint64_t nodes_;
   std::uint32_t copies_;
   std::uint64_t stride_;  // nodes_ rounded up to a cache line of cells
-  std::vector<std::atomic<std::int64_t>> cells_;  // copies_ planes of stride_
+  ArenaArray<std::atomic<std::int64_t>> cells_;  // copies_ planes of stride_
 };
 
 }  // namespace wfsort

@@ -7,8 +7,17 @@ WinnerTree::WinnerTree(std::uint32_t slots, std::uint32_t wait_unit)
   reset();
 }
 
+WinnerTree::WinnerTree(std::uint32_t slots, std::uint32_t wait_unit, RunArena& arena)
+    : tree_(next_pow2(slots == 0 ? 1 : slots)),
+      wait_unit_(wait_unit),
+      nodes_(tree_.nodes(), arena) {
+  reset();
+}
+
 void WinnerTree::reset() {
-  for (auto& n : nodes_) n.v.store(kUndecided, std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].v.store(kUndecided, std::memory_order_relaxed);
+  }
   std::atomic_thread_fence(std::memory_order_seq_cst);
 }
 

@@ -14,8 +14,8 @@
 #include <atomic>
 #include <cstdint>
 #include <thread>
-#include <vector>
 
+#include "common/arena.h"
 #include "common/bits.h"
 #include "common/check.h"
 #include "common/rng.h"
@@ -28,6 +28,8 @@ class WinnerTree {
   // internally).  `wait_unit`: how many cooperative yields one unit of the
   // Figure-9 wait loop costs (0 disables waiting — useful in tests).
   explicit WinnerTree(std::uint32_t slots, std::uint32_t wait_unit = 4);
+  // Pooled form: the padded slots borrow RunArena storage.
+  WinnerTree(std::uint32_t slots, std::uint32_t wait_unit, RunArena& arena);
 
   // Compete with `candidate` (>= 0) from position `slot`.  Returns the
   // winning candidate.  Wait-free: the climb is bounded by the tree depth;
@@ -52,7 +54,7 @@ class WinnerTree {
 
   HeapTree tree_;
   std::uint32_t wait_unit_;
-  std::vector<PaddedSlot> nodes_;
+  ArenaArray<PaddedSlot> nodes_;
 };
 
 }  // namespace wfsort

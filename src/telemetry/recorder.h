@@ -139,6 +139,20 @@ class Recorder {
   Recorder(Level level, std::uint32_t max_workers,
            std::uint32_t ring_capacity = kDefaultRingCapacity);
 
+  // Pool recycling: re-arm an idle Recorder for a new run with zero heap
+  // traffic — restamp the epoch, switch the level, and clear every slot in
+  // place (span vectors keep their capacity, rings keep their buffers).
+  // Call only between runs (slots are unsynchronized by design).
+  void reuse(Level level);
+
+  // Whether this Recorder's preallocated shape can serve a run that needs
+  // `max_workers` slots with `ring_capacity`-deep rings (reuse() cannot
+  // resize; a mismatch means the pool rebuilds the Recorder).
+  bool shape_matches(std::uint32_t max_workers,
+                     std::uint32_t ring_capacity) const {
+    return slot_count_ == max_workers && ring_capacity_ == ring_capacity;
+  }
+
   Level level() const { return level_; }
   bool detail() const { return level_ == Level::kFull; }
 
@@ -166,6 +180,7 @@ class Recorder {
   Level level_;
   std::chrono::steady_clock::time_point t0_;
   std::uint32_t slot_count_;
+  std::uint32_t ring_capacity_;
   std::unique_ptr<WorkerScratch[]> slots_;
 };
 

@@ -65,6 +65,11 @@ class FixedRing {
     seq_.store(0, std::memory_order_relaxed);
   }
 
+  // Drop all contents but KEEP the slot buffer (pool recycling: rings are
+  // sized once and cleared between runs with zero heap traffic).  Same
+  // concurrency caveat as reset(): call only while nobody pushes or reads.
+  void clear() { seq_.store(0, std::memory_order_relaxed); }
+
   std::size_t capacity() const { return capacity_; }
 
   // Events ever pushed (the published sequence counter).

@@ -514,6 +514,48 @@ bool validate_bench_json(const Json& doc, std::string* error,
   for (const Json& run : doc.at("runs").items()) {
     if (!validate_stats_json(run, error)) return false;
   }
+  // Optional "pool" group (`wfsort bench --pool`): the SortPool lifetime
+  // counters, plus the --back-to-back small-N cold-vs-pooled sweep rows
+  // when present.
+  if (const Json* pool = doc.find("pool"); pool != nullptr) {
+    if (pool->type() != Json::Type::kObject) {
+      *error = "pool group is not an object";
+      return false;
+    }
+    static constexpr const char* kPoolKeys[] = {
+        "threads",         "runs",
+        "caller_only_runs", "detached_jobs",
+        "bypass_runs",     "arena_reuse_bytes",
+        "arena_grow_events", "arena_held_bytes",
+        "wake_ns"};
+    for (const char* key : kPoolKeys) {
+      if (!check_key(*pool, key, Json::Type::kInt, error)) {
+        *error = "pool: " + *error;
+        return false;
+      }
+    }
+    if (const Json* sweep = pool->find("small_n"); sweep != nullptr) {
+      if (sweep->type() != Json::Type::kArray) {
+        *error = "pool.small_n is not an array";
+        return false;
+      }
+      for (const Json& row : sweep->items()) {
+        if (row.type() != Json::Type::kObject) {
+          *error = "pool.small_n row is not an object";
+          return false;
+        }
+        if (!check_key(row, "n", Json::Type::kInt, error) ||
+            !check_key(row, "threads", Json::Type::kInt, error) ||
+            !check_key(row, "reps", Json::Type::kInt, error) ||
+            !check_key(row, "cold_ms", Json::Type::kDouble, error) ||
+            !check_key(row, "pooled_ms", Json::Type::kDouble, error) ||
+            !check_key(row, "speedup", Json::Type::kDouble, error)) {
+          *error = "pool.small_n row: " + *error;
+          return false;
+        }
+      }
+    }
+  }
   return true;
 }
 

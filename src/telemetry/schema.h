@@ -107,7 +107,12 @@ bool validate_stats_json(const Json& doc, std::string* error,
 // {"schema":"wfsort-bench-v1","build_type":...,"caveats":{...},"runs":[]} —
 // callers push stats documents onto "runs".  The caveats object records
 // measurement caveats ONCE per envelope (e.g. the distro libbenchmark note)
-// instead of as per-document footnotes.
+// instead of as per-document footnotes.  `wfsort bench --pool` additionally
+// sets an optional "pool" object: the SortPool lifetime counters (threads,
+// runs, caller_only_runs, detached_jobs, bypass_runs, arena_reuse_bytes,
+// arena_grow_events, arena_held_bytes, wake_ns) and, under --back-to-back,
+// a "small_n" array of cold-vs-pooled latency rows
+// ({n, threads, reps, cold_ms, pooled_ms, speedup}).
 Json make_bench_doc();
 // `require_release`: additionally reject envelopes whose build_type is
 // missing or not "release" (bench provenance — used by the bench scripts and

@@ -151,12 +151,32 @@ Recorder::Recorder(Level level, std::uint32_t max_workers,
     : level_(level),
       t0_(std::chrono::steady_clock::now()),
       slot_count_(max_workers),
+      ring_capacity_(ring_capacity),
       slots_(new WorkerScratch[max_workers]) {
   for (std::uint32_t tid = 0; tid < slot_count_; ++tid) {
     slots_[tid].rep.tid = tid;
     slots_[tid].ring.reset(ring_capacity);
     slots_[tid].t0 = t0_;
     slots_[tid].detail = detail();
+  }
+}
+
+void Recorder::reuse(Level level) {
+  level_ = level;
+  t0_ = std::chrono::steady_clock::now();
+  for (std::uint32_t tid = 0; tid < slot_count_; ++tid) {
+    WorkerScratch& s = slots_[tid];
+    s.rep.crashed = false;
+    s.rep.spans.clear();         // keeps capacity
+    s.rep.counters.fill(0);
+    s.rep.cas_retries = {};
+    s.rep.wat_probes = {};
+    s.rep.ring.clear();          // keeps capacity
+    s.rep.ring_total = 0;
+    s.ring.clear();              // keeps the slot buffer
+    s.t0 = t0_;
+    s.detail = detail();
+    s.has_open = false;
   }
 }
 

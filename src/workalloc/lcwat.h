@@ -38,8 +38,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <vector>
 
+#include "common/arena.h"
 #include "common/bits.h"
 #include "common/rng.h"
 
@@ -56,6 +56,12 @@ class LcWat {
 
   explicit LcWat(std::uint64_t jobs)
       : tree_(next_pow2(jobs)), jobs_(jobs), state_(tree_.nodes()) {
+    reset();
+  }
+
+  // Pooled form: the state bytes borrow RunArena storage.
+  LcWat(std::uint64_t jobs, RunArena& arena)
+      : tree_(next_pow2(jobs)), jobs_(jobs), state_(tree_.nodes(), arena) {
     reset();
   }
 
@@ -119,7 +125,9 @@ class LcWat {
   State node_state(std::uint64_t i) const { return get(i); }
 
   void reset() {
-    for (auto& s : state_) s.store(0, std::memory_order_relaxed);
+    for (std::uint64_t i = 0; i < state_.size(); ++i) {
+      state_[i].store(0, std::memory_order_relaxed);
+    }
     for (std::uint64_t k = jobs_; k < tree_.leaves; ++k) {
       state_[tree_.leaf(k)].store(static_cast<std::uint8_t>(State::kDone),
                                   std::memory_order_relaxed);
@@ -209,14 +217,15 @@ class LcWat {
   // node ALLDONE.  Run by the processor that turned the root ALLDONE;
   // idempotent if two processors race the root transition.
   void announce_all_done() {
-    for (auto& s : state_) {
-      s.store(static_cast<std::uint8_t>(State::kAllDone), std::memory_order_release);
+    for (std::uint64_t i = 0; i < state_.size(); ++i) {
+      state_[i].store(static_cast<std::uint8_t>(State::kAllDone),
+                      std::memory_order_release);
     }
   }
 
   HeapTree tree_;
   std::uint64_t jobs_;
-  std::vector<std::atomic<std::uint8_t>> state_;
+  ArenaArray<std::atomic<std::uint8_t>> state_;
 };
 
 }  // namespace wfsort

@@ -10,8 +10,16 @@ Wat::Wat(std::uint64_t jobs)
   reset();
 }
 
+Wat::Wat(std::uint64_t jobs, RunArena& arena)
+    : tree_(next_pow2(jobs)), jobs_(jobs), done_(tree_.nodes(), arena) {
+  WFSORT_CHECK(jobs >= 1);
+  reset();
+}
+
 void Wat::reset() {
-  for (auto& d : done_) d.store(0, std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < done_.size(); ++i) {
+    done_[i].store(0, std::memory_order_relaxed);
+  }
   // Padding leaves (beyond the real jobs) start life complete, and so do any
   // inner nodes whose whole subtree is padding, so next_element never hands
   // them out.

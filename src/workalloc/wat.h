@@ -18,8 +18,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <vector>
 
+#include "common/arena.h"
 #include "common/bits.h"
 
 namespace wfsort {
@@ -30,6 +30,8 @@ class Wat {
   static constexpr std::int64_t kAllJobsDone = -1;
 
   explicit Wat(std::uint64_t jobs);
+  // Pooled form: the done-bit array borrows RunArena storage.
+  Wat(std::uint64_t jobs, RunArena& arena);
 
   std::uint64_t jobs() const { return jobs_; }
   std::uint64_t nodes() const { return tree_.nodes(); }
@@ -61,7 +63,7 @@ class Wat {
  private:
   HeapTree tree_;
   std::uint64_t jobs_;
-  std::vector<std::atomic<std::uint8_t>> done_;
+  ArenaArray<std::atomic<std::uint8_t>> done_;
 
   void mark(std::uint64_t node) { done_[node].store(1, std::memory_order_release); }
   bool marked(std::uint64_t node) const {

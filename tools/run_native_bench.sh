@@ -8,8 +8,11 @@
 # Also emits:
 #   BENCH_native_stats.json    one "wfsort-bench-v1" document (det tree,
 #                              det partition and lc at full telemetry plus
-#                              in-process baselines and the derived
-#                              gap-vs-std::sort table, docs/observability.md)
+#                              in-process baselines, the derived
+#                              gap-vs-std::sort table, and — via
+#                              --pool --back-to-back — the SortPool counter
+#                              group with the small-N cold-vs-pooled sweep,
+#                              docs/observability.md)
 #   BENCH_native_scaling.json  one "wfsort-scaling-v1" document — both
 #                              variants swept over t = 1, 2, 4, ... up to the
 #                              hardware concurrency, with per-point speedup
@@ -78,7 +81,11 @@ out="$repo_root/BENCH_native_perf.json"
 "$wfsort" validate "$out" --require-release
 echo "wrote $out"
 
-"$wfsort" bench --n=262144 --threads=4 --reps=2 \
+# --pool --back-to-back: the per-rep sorts run through the process-wide
+# SortPool and the envelope gains a "pool" group — the pool's lifetime
+# counters plus the small-N cold-vs-pooled sweep rows (2^10..2^20) that
+# docs/native_engine.md's latency table is built from.
+"$wfsort" bench --n=262144 --threads=4 --reps=2 --pool --back-to-back \
   --stats-json="$repo_root/BENCH_native_stats.json"
 "$wfsort" validate "$repo_root/BENCH_native_stats.json" --require-release
 

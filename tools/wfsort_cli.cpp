@@ -4,6 +4,7 @@
 //   wfsort sort file.txt                 # sort whitespace-separated integers
 //   wfsort sim  --n=256 --procs=256 --variant=det --schedule=serial --trace=20
 //   wfsort bench --n=1048576 --threads=8 --reps=3 --stats-json=stats.json
+//   wfsort bench --pool --back-to-back --n=262144 --stats-json=stats.json
 //   wfsort scaling --n=1048576 --reps=3 --stats-json=scaling.json
 //   wfsort validate BENCH_native_perf.json --require-release
 //   wfsort hunt --n=256 --procs=16 --prune=placed --out=repro.json
@@ -53,6 +54,7 @@
 #include "baselines/parallel_mergesort.h"
 #include "common/cli.h"
 #include "common/json.h"
+#include "core/pool.h"
 #include "core/sort.h"
 #include "exp/workloads.h"
 #include "pram/machine.h"
@@ -228,7 +230,11 @@ int run_sort(const wfsort::CliFlags& flags) {
   apply_monitor_flags(flags, &opts);
   if (!truncate_monitor_file(opts.monitor_path)) return 2;
   wfsort::SortStats stats;
-  wfsort::sort(std::span<std::uint64_t>(data), opts, &stats);
+  if (flags.flag("pool")) {
+    wfsort::default_pool().sort(std::span<std::uint64_t>(data), opts, &stats);
+  } else {
+    wfsort::sort(std::span<std::uint64_t>(data), opts, &stats);
+  }
   if (const int rc = check_monitor_file(opts.monitor_path); rc != 0) return rc;
 
   bool ok = true;
@@ -279,6 +285,7 @@ int run_sort(const wfsort::CliFlags& flags) {
 int run_bench(const wfsort::CliFlags& flags) {
   const std::uint64_t n = flags.u64("n");
   const std::uint64_t reps = std::max<std::uint64_t>(flags.u64("reps"), 1);
+  const bool pooled = flags.flag("pool");
   const auto threads = static_cast<std::uint32_t>(flags.u64("threads"));
   const std::vector<std::uint64_t> input = wfsort::exp::make_u64_keys(
       n, parse_dist(flags.str("dist")), flags.u64("seed"));
@@ -315,7 +322,12 @@ int run_bench(const wfsort::CliFlags& flags) {
       opts.telemetry = tel::Level::kFull;
       apply_monitor_flags(flags, &opts);  // one monitor session per rep
       wfsort::SortStats stats;
-      wfsort::sort(std::span<std::uint64_t>(data), opts, &stats);
+      if (pooled) {
+        wfsort::default_pool().sort(std::span<std::uint64_t>(data), opts,
+                                    &stats);
+      } else {
+        wfsort::sort(std::span<std::uint64_t>(data), opts, &stats);
+      }
       for (std::size_t i = 1; i < data.size(); ++i) ok &= data[i - 1] <= data[i];
 
       const wfsort::Json doc =
@@ -371,6 +383,62 @@ int run_bench(const wfsort::CliFlags& flags) {
   Json derived = Json::object();
   derived.set("gap_vs_stdsort", std::move(gaps));
   bench.set("derived", std::move(derived));
+
+  // --pool: stamp the SortPool's lifetime counters into the envelope; under
+  // --back-to-back additionally run the small-N cold-vs-pooled sweep — the
+  // rows docs/native_engine.md's latency table is built from.  Sweep runs
+  // are telemetry-off (full telemetry would dominate small-N wall time).
+  if (pooled) {
+    Json pool = Json::object();
+    if (flags.flag("back-to-back")) {
+      Json sweep = Json::array();
+      const std::uint64_t btb_reps = std::max<std::uint64_t>(reps, 10);
+      for (const std::uint64_t bn :
+           {std::uint64_t{1} << 10, std::uint64_t{1} << 12,
+            std::uint64_t{1} << 14, std::uint64_t{1} << 16,
+            std::uint64_t{1} << 20}) {
+        const std::vector<std::uint64_t> small = wfsort::exp::make_u64_keys(
+            bn, parse_dist(flags.str("dist")), flags.u64("seed"));
+        wfsort::Options sopts;
+        sopts.threads = threads;
+        sopts.seed = flags.u64("seed");
+        const double cold_ms = time_best_ms(
+            small, btb_reps, [&sopts](std::vector<std::uint64_t>& v) {
+              wfsort::sort(std::span<std::uint64_t>(v), sopts);
+            });
+        const double pooled_ms = time_best_ms(
+            small, btb_reps, [&sopts](std::vector<std::uint64_t>& v) {
+              wfsort::default_pool().sort(std::span<std::uint64_t>(v), sopts);
+            });
+        const double speedup = pooled_ms > 0.0 ? cold_ms / pooled_ms : 0.0;
+        std::fprintf(stderr,
+                     "bench back-to-back n=%llu: cold %.3f ms  pooled %.3f ms "
+                     "(%.2fx)\n",
+                     static_cast<unsigned long long>(bn), cold_ms, pooled_ms,
+                     speedup);
+        Json row = Json::object();
+        row.set("n", bn);
+        row.set("threads", static_cast<std::uint64_t>(threads));
+        row.set("reps", btb_reps);
+        row.set("cold_ms", cold_ms);
+        row.set("pooled_ms", pooled_ms);
+        row.set("speedup", speedup);
+        sweep.push_back(std::move(row));
+      }
+      pool.set("small_n", std::move(sweep));
+    }
+    const wfsort::PoolStats ps = wfsort::default_pool().stats();
+    pool.set("threads", static_cast<std::uint64_t>(ps.threads));
+    pool.set("runs", ps.runs);
+    pool.set("caller_only_runs", ps.caller_only_runs);
+    pool.set("detached_jobs", ps.detached_jobs);
+    pool.set("bypass_runs", ps.bypass_runs);
+    pool.set("arena_reuse_bytes", ps.arena_reuse_bytes);
+    pool.set("arena_grow_events", ps.arena_grow_events);
+    pool.set("arena_held_bytes", ps.arena_held_bytes);
+    pool.set("wake_ns", ps.wake_ns);
+    bench.set("pool", std::move(pool));
+  }
 
   std::string verr;
   if (!tel::validate_bench_json(bench, &verr)) {
@@ -1094,6 +1162,12 @@ int main(int argc, char** argv) {
   flags.add_string("schedule", "sync", "sim: sync|serial|subset|freeze");
   flags.add_string("memory", "crcw", "sim: crcw | stall");
   flags.add_bool("print", false, "sort: print the sorted keys to stdout");
+  flags.add_bool("pool", false,
+                 "sort/bench: route runs through the process-wide SortPool "
+                 "(persistent workers, recycled arenas)");
+  flags.add_bool("back-to-back", false,
+                 "bench --pool: add the small-N cold-vs-pooled latency sweep "
+                 "(2^10..2^20) to the envelope");
   flags.add_string("substrate", "sim", "hunt: sim | native");
   flags.add_string("prune", "completed", "hunt: phase-3 pruning (none|placed|completed)");
   flags.add_u64("budget", 400, "hunt: max scenario executions");
